@@ -1,0 +1,249 @@
+// Command experiments regenerates the paper's whole evaluation in one
+// run: Table 1, Table 3, the miss-rate and performance series behind
+// Figures 14–21, the Figure 22 memory overheads, the Section 1 reuse
+// boundaries, and the Section 4.6 MGRID experiment. Select subsets with
+// flags; -quick shrinks the sweeps for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/mg"
+	"tiling3d/internal/results"
+	"tiling3d/internal/stencil"
+)
+
+func main() {
+	var (
+		doTable1   = flag.Bool("table1", false, "Table 1: non-conflicting tile enumeration")
+		doTable3   = flag.Bool("table3", false, "Table 3: average improvements")
+		doFigures  = flag.Bool("figures", false, "Figures 14-19: per-size miss rates and MFlops")
+		doLarge    = flag.Bool("large", false, "Figures 20-21: RESID at N=400-700")
+		doMem      = flag.Bool("memuse", false, "Figure 22: padding memory overhead")
+		doBoundary = flag.Bool("boundary", false, "Section 1 reuse boundaries")
+		doMgrid    = flag.Bool("mgrid", false, "Section 4.6 MGRID experiment")
+		doSens     = flag.Bool("sensitivity", false, "beyond the paper: associativity, cross-interference and 2D experiments")
+		outDir     = flag.String("out", "", "also write SVG charts for the figure sweeps into this directory")
+		savePath   = flag.String("save", "", "capture the headline numbers to this JSON snapshot")
+		against    = flag.String("against", "", "compare the headline numbers against this JSON snapshot")
+		tol        = flag.Float64("tol", 0.5, "comparison tolerance for -against (absolute)")
+		all        = flag.Bool("all", false, "run everything")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		withPerf   = flag.Bool("perf", true, "include native wall-clock measurements")
+	)
+	flag.Parse()
+	if *all {
+		*doTable1, *doTable3, *doFigures, *doLarge, *doMem, *doBoundary, *doMgrid, *doSens = true, true, true, true, true, true, true, true
+	}
+	if !(*doTable1 || *doTable3 || *doFigures || *doLarge || *doMem || *doBoundary || *doMgrid || *doSens ||
+		*savePath != "" || *against != "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := bench.DefaultOptions()
+	if *quick {
+		opt.NStep = 50
+	}
+
+	if *doTable1 {
+		fmt.Println("=== Table 1: non-conflicting array tiles (200x200xM, 16K cache) ===")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "TK\tTJ\tTI\t")
+		for _, t := range core.Euc3DArrayTiles(2048, 200, 200, 4) {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t\n", t.TK, t.TJ, t.TI)
+		}
+		tw.Flush()
+		tile, _ := core.Euc3D(2048, 200, 200, core.Jacobi6pt())
+		fmt.Printf("Euc3D selection for a +/-1 stencil: %v (paper: (22, 13))\n\n", tile)
+	}
+
+	if *doBoundary {
+		fmt.Println("=== Section 1: reuse boundaries ===")
+		fmt.Printf("2D stencil, 16K L1: group reuse preserved up to N = %d (paper: 1024)\n",
+			bench.MaxN2D(cache.UltraSparc2L1()))
+		fmt.Printf("3D stencil, 16K L1: up to N = %d (paper: 32)\n", bench.MaxN3D(cache.UltraSparc2L1()))
+		fmt.Printf("3D stencil,  2M L2: up to N = %d (paper: 362)\n", bench.MaxN3D(cache.UltraSparc2L2()))
+		p := bench.ProbeBoundary3D(cache.UltraSparc2L1(), 8, opt.Coeffs)
+		fmt.Printf("simulated cliff at the L1 boundary: %.2f%% at N=%d vs %.2f%% at N=%d\n\n",
+			p.MissBelow, p.NBelow, p.MissAbove, p.NAbove)
+	}
+
+	if *doTable3 {
+		fmt.Println("=== Table 3: average improvements over N=200..400 ===")
+		rows := bench.Table3(opt, *withPerf)
+		if err := bench.WriteTable3(os.Stdout, rows, opt.Methods); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+
+	if *doFigures {
+		figNum := map[stencil.Kernel][2]int{
+			stencil.Jacobi: {14, 15}, stencil.RedBlack: {16, 17}, stencil.Resid: {18, 19},
+		}
+		for _, k := range stencil.Kernels() {
+			fmt.Printf("=== Figures: %s ===\n", k)
+			miss, est := bench.CombinedSweep(k, opt, bench.UltraSparc2Model())
+			if err := bench.WriteMissSeries(os.Stdout, k, miss, opt.Methods, opt); err != nil {
+				fail(err)
+			}
+			if err := bench.WritePerfSeries(os.Stdout, k, "cycle-model (360MHz)", est, opt.Methods, opt); err != nil {
+				fail(err)
+			}
+			if *outDir != "" {
+				nums := figNum[k]
+				saveSVG(*outDir, fmt.Sprintf("fig%d-l1.svg", nums[0]), bench.MissChart(k, miss, opt.Methods, 1))
+				saveSVG(*outDir, fmt.Sprintf("fig%d-l2.svg", nums[0]), bench.MissChart(k, miss, opt.Methods, 2))
+				saveSVG(*outDir, fmt.Sprintf("fig%d.svg", nums[1]), bench.PerfChart(k, "cycle-model", est, opt.Methods))
+			}
+			if *withPerf {
+				if err := bench.WritePerfSeries(os.Stdout, k, "native", bench.PerfSweep(k, opt), opt.Methods, opt); err != nil {
+					fail(err)
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	if *doLarge {
+		fmt.Println("=== Figures 20-21: RESID at larger sizes ===")
+		large := opt
+		large.NMin, large.NMax = 400, 700
+		if *quick {
+			large.NStep = 75
+		} else {
+			large.NStep = 12
+		}
+		missL, estL := bench.CombinedSweep(stencil.Resid, large, bench.UltraSparc2Model450())
+		if err := bench.WriteMissSeries(os.Stdout, stencil.Resid, missL, large.Methods, large); err != nil {
+			fail(err)
+		}
+		if err := bench.WritePerfSeries(os.Stdout, stencil.Resid, "cycle-model (450MHz)", estL, large.Methods, large); err != nil {
+			fail(err)
+		}
+		if *outDir != "" {
+			saveSVG(*outDir, "fig20-l1.svg", bench.MissChart(stencil.Resid, missL, large.Methods, 1))
+			saveSVG(*outDir, "fig20-l2.svg", bench.MissChart(stencil.Resid, missL, large.Methods, 2))
+			saveSVG(*outDir, "fig21.svg", bench.PerfChart(stencil.Resid, "cycle-model (450MHz)", estL, large.Methods))
+		}
+		if *withPerf {
+			if err := bench.WritePerfSeries(os.Stdout, stencil.Resid, "native", bench.PerfSweep(stencil.Resid, large), large.Methods, large); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *doMem {
+		fmt.Println("=== Figure 22: memory increase from padding (JACOBI) ===")
+		methods := []core.Method{core.MethodGcdPad, core.MethodPad}
+		series := map[core.Method][]bench.MemPoint{}
+		for _, m := range methods {
+			series[m] = bench.MemorySeries(stencil.Jacobi, m, opt.K, opt)
+		}
+		if err := bench.WriteMemSeries(os.Stdout, series, methods, opt); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+
+	if *savePath != "" || *against != "" {
+		fmt.Fprintln(os.Stderr, "capturing headline snapshot...")
+		snap := results.Capture("cmd/experiments", opt)
+		if *savePath != "" {
+			if err := results.Save(*savePath, snap); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *savePath)
+		}
+		if *against != "" {
+			base, err := results.Load(*against)
+			if err != nil {
+				fail(err)
+			}
+			diffs := results.Compare(base, snap, *tol)
+			if len(diffs) == 0 {
+				fmt.Printf("headline numbers match %s within %.2f\n", *against, *tol)
+			} else {
+				fmt.Printf("%d deviations from %s (tol %.2f):\n", len(diffs), *against, *tol)
+				for _, d := range diffs {
+					fmt.Println("  " + d.String())
+				}
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *doSens {
+		sensitivity(opt)
+	}
+
+	if *doMgrid {
+		fmt.Println("=== Section 4.6: MGRID ===")
+		lm, iters := 7, 8
+		if *quick {
+			lm, iters = 5, 4
+		}
+		res := mg.RunExperiment(lm, iters, opt.CacheElems(), core.MethodGcdPad)
+		fmt.Printf("finest grid %d^3, %d V-cycles: orig %.3fs, tiled %.3fs, native improvement %+.1f%%, identical=%v\n",
+			(1<<lm)+2, iters, res.OrigSeconds, res.TiledSeconds, res.ImprovementPct, res.Identical)
+		est := bench.MGridAmdahl(lm, core.MethodGcdPad, 0.60, opt, bench.UltraSparc2Model())
+		fmt.Printf("simulated finest-grid RESID L1: orig %.2f%% (paper: 6.8%% at 130^3), tiled %.2f%%\n",
+			est.OrigL1, est.TiledL1)
+		fmt.Printf("cycle-model: RESID speedup %.2fx; whole-app estimate %+.1f%% (paper: 6%%; pathological sizes improve much more)\n\n",
+			est.ResidSpeedup, est.AppImprovementPct)
+	}
+}
+
+func sensitivity(opt bench.Options) {
+	fmt.Println("=== Beyond the paper: sensitivity ===")
+	fmt.Println("L1 associativity (JACOBI, N=256, pathological):")
+	for _, p := range bench.AssocSensitivity(stencil.Jacobi, 256, []int{1, 2, 4, 8}, opt) {
+		fmt.Printf("  %d-way: Orig %6.2f%%  Tile %6.2f%%  GcdPad %6.2f%%\n", p.Assoc, p.Orig, p.Tile, p.GcdPad)
+	}
+	fmt.Println("cross-interference (RESID, Section 3.5):")
+	for _, n := range []int{256, 300, 341} {
+		p := bench.CrossInterference(n, opt)
+		fmt.Printf("  N=%d: Orig %6.2f%%  tiled back-to-back %6.2f%%  partitioned+inter-pad %6.2f%%\n",
+			p.N, p.Orig, p.Default, p.Partitioned)
+	}
+	fmt.Println("2D Jacobi (tiling unnecessary below N=1024):")
+	for _, p := range bench.TwoDSeries([]int{500, 900, 1000, 1100}, opt.L1, 0.25) {
+		fmt.Printf("  N=%d: Orig %6.2f%%  tiled %6.2f%%\n", p.N, p.Orig, p.Tiled)
+	}
+	fmt.Println()
+}
+
+func saveSVG(dir, name string, chart interface {
+	WriteSVG(w io.Writer) error
+}) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := chart.WriteSVG(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

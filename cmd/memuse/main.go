@@ -1,0 +1,41 @@
+// Command memuse regenerates Figure 22: the memory increase caused by
+// GcdPad and Pad padding on JACOBI across the problem-size sweep, plus
+// the paper's Section 4.5 cubic-array estimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func main() {
+	var (
+		nMin = flag.Int("min", 200, "smallest problem size N")
+		nMax = flag.Int("max", 400, "largest problem size N")
+		step = flag.Int("step", 8, "problem size step")
+		k    = flag.Int("k", 30, "third array extent of the measured configuration")
+	)
+	flag.Parse()
+
+	opt := bench.DefaultOptions()
+	opt.NMin, opt.NMax, opt.NStep = *nMin, *nMax, *step
+	methods := []core.Method{core.MethodGcdPad, core.MethodPad}
+	series := map[core.Method][]bench.MemPoint{}
+	for _, m := range methods {
+		series[m] = bench.MemorySeries(stencil.Jacobi, m, *k, opt)
+	}
+	if err := bench.WriteMemSeries(os.Stdout, series, methods, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\npaper's K=N estimate (pad bytes of the K=%d configuration over an N^3 array):\n", *k)
+	for _, m := range methods {
+		kn := bench.AverageMem(bench.MemorySeriesKNEstimate(stencil.Jacobi, m, *k, opt))
+		fmt.Printf("  %-8s %.2f%%\n", m, kn)
+	}
+}

@@ -1,0 +1,101 @@
+// Command perf regenerates the native performance figures (15, 17, 19 and
+// 21): it sweeps problem sizes, times each kernel variant on the host
+// CPU, and prints the MFlops series. Absolute numbers depend on the host;
+// the comparison between methods is the reproduced result.
+//
+// Usage:
+//
+//	perf -kernel jacobi                # Figure 15
+//	perf -kernel redblack              # Figure 17
+//	perf -kernel resid                 # Figure 19
+//	perf -kernel resid -min 400 -max 700   # Figure 21
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "jacobi", "kernel: jacobi, redblack or resid")
+		nMin       = flag.Int("min", 200, "smallest problem size N")
+		nMax       = flag.Int("max", 400, "largest problem size N")
+		step       = flag.Int("step", 8, "problem size step")
+		k          = flag.Int("k", 30, "third array extent")
+		cacheBytes = flag.Int("cache", 16384, "cache capacity the tile selection targets (bytes)")
+		methodList = flag.String("methods", "", "comma-separated methods (default: the paper's)")
+		mode       = flag.String("mode", "model", "model: cycle-model MFlops from the simulated UltraSparc2 (reproduces the paper's shapes); native: wall-clock on this host")
+		clock      = flag.Float64("clock", 0, "model clock in MHz (default 360, or 450 when -min >= 400 as in Figures 20-21)")
+		svgPath    = flag.String("svg", "", "also write an SVG chart to this path")
+	)
+	flag.Parse()
+
+	kernel, err := stencil.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := bench.DefaultOptions()
+	opt.NMin, opt.NMax, opt.NStep, opt.K = *nMin, *nMax, *step, *k
+	opt.TargetElems = *cacheBytes / 8
+	if *methodList != "" {
+		opt.Methods = nil
+		for _, name := range strings.Split(*methodList, ",") {
+			m, err := core.ParseMethod(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opt.Methods = append(opt.Methods, m)
+		}
+	}
+
+	var sweep map[core.Method][]bench.PerfPoint
+	var label string
+	switch *mode {
+	case "native":
+		sweep = bench.PerfSweep(kernel, opt)
+		label = "native"
+	case "model":
+		model := bench.UltraSparc2Model()
+		if *nMin >= 400 {
+			model = bench.UltraSparc2Model450()
+		}
+		if *clock > 0 {
+			model.ClockMHz = *clock
+		}
+		sweep = bench.EstimateSweep(kernel, opt, model)
+		label = fmt.Sprintf("cycle-model (%.0fMHz UltraSparc2)", model.ClockMHz)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want model or native)\n", *mode)
+		os.Exit(2)
+	}
+	if err := bench.WritePerfSeries(os.Stdout, kernel, label, sweep, opt.Methods, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		chart := bench.PerfChart(kernel, label, sweep, opt.Methods)
+		if err := chart.WriteSVG(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,31 @@
+// Command repro runs the reproduction self-test: every headline claim of
+// the paper, executed against this library, with a pass/fail table. It
+// exits non-zero if any claim fails.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"tiling3d/internal/repro"
+)
+
+func main() {
+	results := repro.RunAll()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	failures := 0
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t\n", status, r.ID, r.Got, r.Claim)
+	}
+	tw.Flush()
+	fmt.Printf("\n%d/%d claims reproduced\n", len(results)-failures, len(results))
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command simulate regenerates the cache miss-rate figures (14, 16, 18
+// and 20): it sweeps problem sizes, replays each kernel variant's address
+// stream through the simulated 16K L1 / 2M L2 direct-mapped hierarchy,
+// and prints the per-size miss-rate series.
+//
+// Usage:
+//
+//	simulate -kernel jacobi               # Figure 14
+//	simulate -kernel redblack             # Figure 16
+//	simulate -kernel resid                # Figure 18
+//	simulate -kernel resid -min 400 -max 700   # Figure 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "jacobi", "kernel: jacobi, redblack or resid")
+		nMin       = flag.Int("min", 200, "smallest problem size N")
+		nMax       = flag.Int("max", 400, "largest problem size N")
+		step       = flag.Int("step", 8, "problem size step")
+		k          = flag.Int("k", 30, "third array extent")
+		methodList = flag.String("methods", "", "comma-separated methods (default: the paper's)")
+		sweeps     = flag.Int("sweeps", 1, "measured sweeps per point")
+		svgPath    = flag.String("svg", "", "also write SVG charts to <path>-l1.svg and <path>-l2.svg")
+		asJSON     = flag.Bool("json", false, "emit the series as JSON instead of a table")
+	)
+	flag.Parse()
+
+	kernel, err := stencil.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := bench.DefaultOptions()
+	opt.NMin, opt.NMax, opt.NStep, opt.K, opt.Sweeps = *nMin, *nMax, *step, *k, *sweeps
+	if *methodList != "" {
+		opt.Methods = nil
+		for _, name := range strings.Split(*methodList, ",") {
+			m, err := core.ParseMethod(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			opt.Methods = append(opt.Methods, m)
+		}
+	}
+
+	sweep := bench.MissSweep(kernel, opt)
+	if *asJSON {
+		byName := map[string][]bench.MissPoint{}
+		for m, s := range sweep {
+			byName[m.String()] = s
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Kernel string
+			L1, L2 string
+			Series map[string][]bench.MissPoint
+		}{kernel.String(), opt.L1.String(), opt.L2.String(), byName}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if err := bench.WriteMissSeries(os.Stdout, kernel, sweep, opt.Methods, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *svgPath != "" {
+		for level := 1; level <= 2; level++ {
+			name := fmt.Sprintf("%s-l%d.svg", *svgPath, level)
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			chart := bench.MissChart(kernel, sweep, opt.Methods, level)
+			if err := chart.WriteSVG(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command tilesel runs the tile-size selection and padding algorithms for
+// a given cache and array shape and prints what each method chooses —
+// including the non-conflicting array-tile enumeration behind the paper's
+// Table 1.
+//
+// Usage:
+//
+//	tilesel -cache 16384 -elem 8 -di 200 -dj 200 -trim 2 -depth 3 [-tiles]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"tiling3d/internal/core"
+)
+
+func main() {
+	var (
+		cacheBytes = flag.Int("cache", 16384, "cache capacity in bytes")
+		elemSize   = flag.Int("elem", 8, "array element size in bytes")
+		di         = flag.Int("di", 200, "array leading dimension (elements)")
+		dj         = flag.Int("dj", 200, "array second dimension (elements)")
+		trim       = flag.Int("trim", 2, "stencil reach per tiled dimension (m = n)")
+		depth      = flag.Int("depth", 3, "array tile depth ATD")
+		showTiles  = flag.Bool("tiles", false, "also print the non-conflicting array tiles (Table 1)")
+		maxDepth   = flag.Int("maxdepth", 4, "deepest TK to enumerate with -tiles")
+	)
+	flag.Parse()
+
+	cs := *cacheBytes / *elemSize
+	st := core.Stencil{TrimI: *trim, TrimJ: *trim, Depth: *depth}
+	fmt.Printf("cache: %d bytes = %d elements; array %dx%dxM; stencil trim %d, depth %d\n\n",
+		*cacheBytes, cs, *di, *dj, *trim, *depth)
+
+	if *showTiles {
+		fmt.Println("non-conflicting array tiles (cf. Table 1):")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(tw, "TK\tTJ\tTI\t")
+		for _, t := range core.Euc3DArrayTiles(cs, *di, *dj, *maxDepth) {
+			fmt.Fprintf(tw, "%d\t%d\t%d\t\n", t.TK, t.TJ, t.TI)
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "method\ttile TI\ttile TJ\tpad DI\tpad DJ\tcost\t")
+	for _, m := range core.AllMethods() {
+		p := core.Select(m, cs, *di, *dj, st)
+		ti, tj := "-", "-"
+		if p.Tiled {
+			ti, tj = fmt.Sprint(p.Tile.TI), fmt.Sprint(p.Tile.TJ)
+		}
+		cost := "-"
+		if p.Tiled {
+			cost = fmt.Sprintf("%.4f", p.Cost)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t+%d\t+%d\t%s\t\n",
+			m, ti, tj, p.DI-*di, p.DJ-*dj, cost)
+	}
+	tw.Flush()
+}

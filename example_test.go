@@ -1,0 +1,66 @@
+package tiling3d_test
+
+import (
+	"fmt"
+
+	"tiling3d"
+)
+
+// ExampleSelect reproduces the paper's Section 3.3 selection: the
+// minimum-cost non-conflicting tile for a 200x200xM array and a 16K
+// cache.
+func ExampleSelect() {
+	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3}
+	plan := tiling3d.Select(tiling3d.MethodEuc3D, 2048, 200, 200, st)
+	fmt.Println(plan.Tile)
+	// Output: (TI=22, TJ=13)
+}
+
+// ExampleGcdPad shows the Section 3.4.1 padding: array dimensions grow
+// to odd multiples of the power-of-two tile extents.
+func ExampleGcdPad() {
+	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3}
+	plan := tiling3d.GcdPad(2048, 256, 256, st)
+	fmt.Printf("tile %v, dims %dx%d\n", plan.Tile, plan.DI, plan.DJ)
+	// Output: tile (TI=30, TJ=14), dims 288x272
+}
+
+// ExampleSelfConflicts demonstrates why 256x256 arrays are pathological
+// for a 2048-element direct-mapped cache and padding fixes them.
+func ExampleSelfConflicts() {
+	fmt.Println(tiling3d.SelfConflicts(2048, 256, 256, 32, 16, 4))
+	fmt.Println(tiling3d.SelfConflicts(2048, 288, 272, 32, 16, 4))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleNewWorkload runs a tiled kernel sweep and simulates its miss
+// rate on the paper's memory system.
+func ExampleNewWorkload() {
+	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3}
+	plan := tiling3d.Select(tiling3d.MethodGcdPad, 2048, 64, 64, st)
+	w := tiling3d.NewWorkload(tiling3d.Jacobi, 64, 16, plan, tiling3d.DefaultCoeffs())
+	w.RunNative()
+	h := tiling3d.UltraSparc2()
+	w.RunTrace(h)
+	fmt.Println(h.Level(0).Stats().Accesses() == uint64(w.AccessCount()))
+	// Output: true
+}
+
+// ExampleCost evaluates the paper's tile cost model: square tiles win.
+func ExampleCost() {
+	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3}
+	square := tiling3d.Cost(tiling3d.Tile{TI: 16, TJ: 16}, st)
+	thin := tiling3d.Cost(tiling3d.Tile{TI: 256, TJ: 1}, st)
+	fmt.Println(square < thin)
+	// Output: true
+}
+
+// ExampleBox7 derives selection inputs from a user-defined stencil.
+func ExampleBox7() {
+	shape := tiling3d.Box7(0.4, 0.1)
+	st := shape.Spec()
+	fmt.Printf("trims (%d,%d), depth %d\n", st.TrimI, st.TrimJ, st.Depth)
+	// Output: trims (2,2), depth 3
+}

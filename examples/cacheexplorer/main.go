@@ -1,0 +1,67 @@
+// cacheexplorer visualizes why 3D stencils need tiling: it sweeps problem
+// sizes across a cache's capacity boundary and prints the simulated miss
+// rate of untiled versus tiled 3D Jacobi as text bars, showing the reuse
+// cliff at N = sqrt(C_s/2) (Section 1 of the paper) and the conflict
+// spikes at pathological sizes that padding removes.
+//
+//	go run ./examples/cacheexplorer [-cache 16384] [-line 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+
+	"tiling3d"
+)
+
+func bar(pct float64) string {
+	n := int(pct * 1.5)
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}
+
+func main() {
+	cacheBytes := flag.Int("cache", 16384, "cache capacity (bytes)")
+	lineBytes := flag.Int("line", 32, "cache line size (bytes)")
+	flag.Parse()
+
+	cfg := tiling3d.CacheConfig{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: 1}
+	cs := cfg.Elems(8)
+	boundary := int(math.Sqrt(float64(cs) / 2))
+	fmt.Printf("cache %v holds %d doubles; 3D reuse boundary at N = %d\n\n", cfg, cs, boundary)
+	fmt.Printf("%-6s %-28s %-28s\n", "N", "untiled L1 miss %", "tiled+padded (Pad) L1 miss %")
+
+	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3}
+	coeffs := tiling3d.DefaultCoeffs()
+	simulate := func(n int, plan tiling3d.Plan) float64 {
+		w := tiling3d.NewWorkload(tiling3d.Jacobi, n, 12, plan, coeffs)
+		h := tiling3d.NewHierarchy(cfg)
+		w.RunTrace(h)
+		h.ResetStats()
+		w.RunTrace(h)
+		return h.Level(0).Stats().MissRate()
+	}
+
+	// Sizes spanning the cliff and a few pathological ones beyond it.
+	var sizes []int
+	for n := boundary - 8; n <= boundary+8; n += 4 {
+		sizes = append(sizes, n)
+	}
+	for n := 2 * boundary; n <= 10*boundary; n += 2 * boundary {
+		sizes = append(sizes, n, n+3)
+	}
+	for _, n := range sizes {
+		if n < 6 {
+			continue
+		}
+		orig := simulate(n, tiling3d.Plan{DI: n, DJ: n})
+		tiled := simulate(n, tiling3d.Select(tiling3d.MethodPad, cs, n, n, st))
+		fmt.Printf("%-6d %6.2f %-21s %6.2f %-21s\n", n, orig, bar(orig), tiled, bar(tiled))
+	}
+	fmt.Println("\nuntiled rates jump past the boundary and spike at sizes that divide the")
+	fmt.Println("cache; the Pad transformation keeps the rate low and flat throughout.")
+}

@@ -1,0 +1,65 @@
+// multigrid solves a Poisson problem with the MGRID-style V-cycle solver
+// and demonstrates the paper's Section 4.6 transformation: tiling (and
+// padding) the dominant RESID kernel at the finest grid only.
+//
+// The program solves -A u = v for a smooth right-hand side, reports the
+// residual decay per V-cycle, then reruns with tiled RESID and shows the
+// timing difference and that the iterates are bit-identical.
+//
+//	go run ./examples/multigrid [-lm 6] [-cycles 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"tiling3d"
+)
+
+func main() {
+	lm := flag.Int("lm", 6, "log2 of finest interior size (6 = 66^3 arrays, 7 = SPEC's 130^3)")
+	cycles := flag.Int("cycles", 8, "V-cycles")
+	cacheBytes := flag.Int("cache", 16384, "cache to tile RESID for (bytes)")
+	flag.Parse()
+
+	rhs := func(i, j, k int) float64 {
+		n := 1 << *lm
+		h := 1.0 / float64(n+1)
+		x, y, z := float64(i)*h, float64(j)*h, float64(k)*h
+		return math.Sin(math.Pi*x) * math.Sin(2*math.Pi*y) * math.Sin(math.Pi*z)
+	}
+
+	solve := func(plan tiling3d.Plan) (*tiling3d.Multigrid, time.Duration) {
+		s := tiling3d.NewMultigrid(tiling3d.MultigridParams{LM: *lm, Plan: plan})
+		s.SetRHS(rhs)
+		start := time.Now()
+		s.Resid()
+		fmt.Printf("  initial residual %.3e\n", s.ResidualNorm())
+		for c := 1; c <= *cycles; c++ {
+			s.VCycle()
+			s.Resid()
+			fmt.Printf("  after cycle %d: %.3e\n", c, s.ResidualNorm())
+		}
+		return s, time.Since(start)
+	}
+
+	fm := (1 << *lm) + 2
+	fmt.Printf("original solver (%d^3 finest grid):\n", fm)
+	orig, dOrig := solve(tiling3d.Plan{})
+
+	plan := tiling3d.Select(tiling3d.MethodGcdPad, *cacheBytes/8, fm, fm,
+		tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3})
+	fmt.Printf("tiled solver (RESID tile %v, finest dims %dx%d):\n", plan.Tile, plan.DI, plan.DJ)
+	tiled, dTiled := solve(plan)
+
+	fmt.Printf("orig %v, tiled %v (%+.1f%%)\n",
+		dOrig.Round(time.Millisecond), dTiled.Round(time.Millisecond),
+		(dOrig.Seconds()/dTiled.Seconds()-1)*100)
+	if d := orig.Finest().MaxAbsDiff(tiled.Finest()); d == 0 {
+		fmt.Println("solutions bit-identical: the transformation changed only the iteration order")
+	} else {
+		fmt.Printf("WARNING: solutions differ by %g\n", d)
+	}
+}

@@ -1,0 +1,3 @@
+module tiling3d
+
+go 1.22

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Golden files pin the exact rendered output of the
+// deterministic simulation, so formatting or simulator regressions show
+// up as diffs.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file;\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func goldenOptions() Options {
+	o := smallOptions()
+	o.Methods = []core.Method{core.Orig, core.MethodGcdPad}
+	return o
+}
+
+func TestGoldenMissSeries(t *testing.T) {
+	opt := goldenOptions()
+	var buf bytes.Buffer
+	if err := WriteMissSeries(&buf, stencil.Jacobi, MissSweep(stencil.Jacobi, opt), opt.Methods, opt); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "miss_series_jacobi", buf.Bytes())
+}
+
+func TestGoldenTable3(t *testing.T) {
+	opt := goldenOptions()
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf, Table3(opt, false), opt.Methods); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3_small", buf.Bytes())
+}
+
+func TestGoldenMemSeries(t *testing.T) {
+	opt := DefaultOptions()
+	opt.NStep = 50
+	methods := []core.Method{core.MethodGcdPad, core.MethodPad}
+	series := map[core.Method][]MemPoint{}
+	for _, m := range methods {
+		series[m] = MemorySeries(stencil.Jacobi, m, 30, opt)
+	}
+	var buf bytes.Buffer
+	if err := WriteMemSeries(&buf, series, methods, opt); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "mem_series", buf.Bytes())
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// MissPoint is one simulated measurement: miss rates (percent) on both
+// cache levels for one problem size.
+type MissPoint struct {
+	N      int
+	L1, L2 float64
+}
+
+// MissSeries simulates the kernel under one transformation across the
+// sweep, producing the per-size curves of Figures 14, 16, 18 and 20.
+// Cells are simulated concurrently (each owns its workload and its
+// simulated caches, so results are deterministic).
+func MissSeries(k stencil.Kernel, m core.Method, opt Options) []MissPoint {
+	sizes := opt.Sizes()
+	out := make([]MissPoint, len(sizes))
+	forEachIndex(len(sizes), func(i int) {
+		out[i] = SimulatePoint(k, m, sizes[i], opt)
+	})
+	return out
+}
+
+// MissSweep runs MissSeries for every configured method.
+func MissSweep(k stencil.Kernel, opt Options) map[core.Method][]MissPoint {
+	out := make(map[core.Method][]MissPoint, len(opt.Methods))
+	for _, m := range opt.Methods {
+		out[m] = MissSeries(k, m, opt)
+	}
+	return out
+}
+
+// forEachIndex runs fn(0..n-1) on up to GOMAXPROCS goroutines. The
+// trace simulations are CPU-bound and independent, so the experiment
+// harness parallelizes at cell granularity.
+func forEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SimResult is the raw outcome of simulating one (kernel, method, size)
+// cell: the per-level statistics of the measured sweeps and the flops
+// they performed. Both the miss-rate figures and the cycle-model
+// performance figures derive from it, so one simulation serves both.
+type SimResult struct {
+	N      int
+	L1, L2 cache.Stats
+	Flops  int64
+}
+
+// MissPoint converts the result to the miss-rate metrics. The L2 rate is
+// normalized to the program's accesses (as the paper plots it: both
+// curves on one percentage axis), not to L2 traffic.
+func (r SimResult) MissPoint() MissPoint {
+	l2Rate := 0.0
+	if a := r.L1.Accesses(); a > 0 {
+		l2Rate = 100 * float64(r.L2.Misses()) / float64(a)
+	}
+	return MissPoint{N: r.N, L1: r.L1.MissRate(), L2: l2Rate}
+}
+
+// SimulateStats simulates one (kernel, method, size) cell: one warm-up
+// sweep, then opt.Sweeps measured sweeps through the two-level hierarchy.
+func SimulateStats(k stencil.Kernel, m core.Method, n int, opt Options) SimResult {
+	plan := opt.Plan(k, m, n)
+	w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+	h := cacheHierarchy(opt)
+	sweeps := opt.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+	w.RunTrace(h) // warm-up: exclude cold misses, as a long run would
+	h.ResetStats()
+	for s := 0; s < sweeps; s++ {
+		w.RunTrace(h)
+	}
+	return SimResult{
+		N:     n,
+		L1:    h.Level(0).Stats(),
+		L2:    h.Level(1).Stats(),
+		Flops: w.Flops() * int64(sweeps),
+	}
+}
+
+// SimulatePoint simulates one cell and returns its miss rates.
+func SimulatePoint(k stencil.Kernel, m core.Method, n int, opt Options) MissPoint {
+	return SimulateStats(k, m, n, opt).MissPoint()
+}
+
+// cacheHierarchy builds the simulated memory system of an options set.
+func cacheHierarchy(opt Options) *cache.Hierarchy {
+	return cache.NewHierarchy(opt.L1, opt.L2)
+}
+
+// AverageMiss returns the mean L1 and L2 miss rates of a series.
+func AverageMiss(s []MissPoint) (l1, l2 float64) {
+	if len(s) == 0 {
+		return 0, 0
+	}
+	for _, p := range s {
+		l1 += p.L1
+		l2 += p.L2
+	}
+	n := float64(len(s))
+	return l1 / n, l2 / n
+}

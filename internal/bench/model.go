@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// CycleModel converts simulated cache statistics into estimated execution
+// time for a simple in-order machine, standing in for the paper's
+// 360 MHz UltraSparc2. Modern hosts hide the paper's effect behind
+// multi-megabyte last-level caches and prefetchers, so the wall-clock
+// MFlops figures (15/17/19/21) are reproduced from the simulator with
+// this model; native timings remain available for comparison.
+//
+// Cost: every access costs AccessCycles; an L1 miss adds L1MissCycles; a
+// miss that also misses L2 adds L2MissCycles more. Arithmetic adds
+// FlopCycles per floating-point operation.
+type CycleModel struct {
+	ClockMHz     float64
+	AccessCycles float64
+	L1MissCycles float64
+	L2MissCycles float64
+	FlopCycles   float64
+}
+
+// UltraSparc2Model approximates the paper's 360 MHz UltraSparc2: single-
+// cycle L1 hits, roughly 8-cycle L1 miss penalty to the on-board E-cache
+// and a 50-cycle memory penalty, with the FPU sustaining about one flop
+// per cycle.
+func UltraSparc2Model() CycleModel {
+	return CycleModel{
+		ClockMHz:     360,
+		AccessCycles: 1,
+		L1MissCycles: 8,
+		L2MissCycles: 50,
+		FlopCycles:   1,
+	}
+}
+
+// UltraSparc2Model450 is the 450 MHz variant used for the paper's larger
+// problem sizes (Figures 20-21).
+func UltraSparc2Model450() CycleModel {
+	m := UltraSparc2Model()
+	m.ClockMHz = 450
+	return m
+}
+
+// MFlops converts per-sweep statistics into sustained MFlops.
+func (m CycleModel) MFlops(flops int64, l1 cache.Stats, l2 cache.Stats) float64 {
+	cycles := m.AccessCycles*float64(l1.Accesses()) +
+		m.L1MissCycles*float64(l1.Misses()) +
+		m.L2MissCycles*float64(l2.Misses()) +
+		m.FlopCycles*float64(flops)
+	seconds := cycles / (m.ClockMHz * 1e6)
+	return float64(flops) / seconds / 1e6
+}
+
+// Estimate converts a simulation result to model-estimated MFlops.
+func (r SimResult) Estimate(model CycleModel) PerfPoint {
+	return PerfPoint{N: r.N, MFlops: model.MFlops(r.Flops, r.L1, r.L2)}
+}
+
+// EstimatePoint simulates one (kernel, method, size) cell and converts it
+// to model-estimated MFlops.
+func EstimatePoint(k stencil.Kernel, m core.Method, n int, opt Options, model CycleModel) PerfPoint {
+	return SimulateStats(k, m, n, opt).Estimate(model)
+}
+
+// EstimateSeries produces the model-estimated MFlops curve across the
+// sweep.
+func EstimateSeries(k stencil.Kernel, m core.Method, opt Options, model CycleModel) []PerfPoint {
+	out := make([]PerfPoint, 0, len(opt.Sizes()))
+	for _, n := range opt.Sizes() {
+		out = append(out, EstimatePoint(k, m, n, opt, model))
+	}
+	return out
+}
+
+// EstimateSweep runs EstimateSeries for every configured method.
+func EstimateSweep(k stencil.Kernel, opt Options, model CycleModel) map[core.Method][]PerfPoint {
+	out := make(map[core.Method][]PerfPoint, len(opt.Methods))
+	for _, m := range opt.Methods {
+		out[m] = EstimateSeries(k, m, opt, model)
+	}
+	return out
+}
+
+// CombinedSweep produces the miss-rate curves and the cycle-model
+// performance curves for every method from a single simulation pass per
+// cell — the figures of the paper come in pairs (miss rates + MFlops)
+// over the same runs. All cells simulate concurrently.
+func CombinedSweep(k stencil.Kernel, opt Options, model CycleModel) (map[core.Method][]MissPoint, map[core.Method][]PerfPoint) {
+	sizes := opt.Sizes()
+	miss := make(map[core.Method][]MissPoint, len(opt.Methods))
+	perf := make(map[core.Method][]PerfPoint, len(opt.Methods))
+	for _, m := range opt.Methods {
+		miss[m] = make([]MissPoint, len(sizes))
+		perf[m] = make([]PerfPoint, len(sizes))
+	}
+	forEachIndex(len(opt.Methods)*len(sizes), func(idx int) {
+		m := opt.Methods[idx/len(sizes)]
+		ni := idx % len(sizes)
+		r := SimulateStats(k, m, sizes[ni], opt)
+		miss[m][ni] = r.MissPoint()
+		perf[m][ni] = r.Estimate(model)
+	})
+	return miss, perf
+}
+
+// MGridEstimate is the simulated view of the Section 4.6 experiment.
+type MGridEstimate struct {
+	// OrigL1 and TiledL1 are the finest-grid RESID L1 miss rates. The
+	// paper notes the 130^3 reference size "encounters a modest L1 miss
+	// rate of only 6.8%", which bounds what tiling can recover there.
+	OrigL1, TiledL1 float64
+	// ResidSpeedup is the cycle-model speedup of the finest-grid RESID.
+	ResidSpeedup float64
+	// AppImprovementPct dilutes it by RESID's share of MGRID run time
+	// (about 60% in the paper).
+	AppImprovementPct float64
+}
+
+// MGridAmdahl estimates the Section 4.6 whole-application improvement on
+// the modeled machine: the cycle-model speedup of the finest-grid RESID
+// (an (2^lm+2)-cubed problem) under method m, diluted by RESID's share of
+// MGRID's execution time.
+func MGridAmdahl(lm int, m core.Method, residShare float64, opt Options, model CycleModel) MGridEstimate {
+	fm := (1 << lm) + 2
+	o := opt
+	o.K = fm
+	orig := SimulateStats(stencil.Resid, core.Orig, fm, o)
+	tiled := SimulateStats(stencil.Resid, m, fm, o)
+	speedup := tiled.Estimate(model).MFlops / orig.Estimate(model).MFlops
+	app := 1 / ((1 - residShare) + residShare/speedup)
+	return MGridEstimate{
+		OrigL1:            orig.MissPoint().L1,
+		TiledL1:           tiled.MissPoint().L1,
+		ResidSpeedup:      speedup,
+		AppImprovementPct: (app - 1) * 100,
+	}
+}

@@ -1,0 +1,82 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 4) from the simulator and the
+// native kernels. Each experiment is a pure function from Options to a
+// result structure; the cmd/ tools and the repository-level benchmarks
+// print them.
+package bench
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// Options configures an experiment sweep. DefaultOptions matches the
+// paper's methodology (Section 4.2): 16K/2M direct-mapped caches,
+// N x N x 30 problems, N from 200 to 400.
+type Options struct {
+	// L1 and L2 are the simulated cache geometries.
+	L1, L2 cache.Config
+	// K is the third array extent (the paper fixes 30 to shorten
+	// measurement; conflicts only arise between planes <= 3 apart).
+	K int
+	// NMin, NMax, NStep define the problem-size sweep over N.
+	NMin, NMax, NStep int
+	// Methods are the transformations to evaluate.
+	Methods []core.Method
+	// Coeffs are the kernel constants.
+	Coeffs stencil.Coeffs
+	// Sweeps is the number of measured kernel sweeps per simulation
+	// point; one warm-up sweep always precedes them and is excluded.
+	Sweeps int
+	// TargetElems overrides the cache size in elements the selection
+	// algorithms target; zero means L1's capacity in doubles (the paper
+	// tiles for the L1 cache).
+	TargetElems int
+}
+
+// DefaultOptions returns the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{
+		L1:      cache.UltraSparc2L1(),
+		L2:      cache.UltraSparc2L2(),
+		K:       30,
+		NMin:    200,
+		NMax:    400,
+		NStep:   8,
+		Methods: core.PaperMethods(),
+		Coeffs:  stencil.DefaultCoeffs(),
+		Sweeps:  1,
+	}
+}
+
+// Sizes expands the sweep range into the list of N values, always
+// including NMax.
+func (o Options) Sizes() []int {
+	step := o.NStep
+	if step <= 0 {
+		step = 1
+	}
+	var out []int
+	for n := o.NMin; n <= o.NMax; n += step {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != o.NMax {
+		out = append(out, o.NMax)
+	}
+	return out
+}
+
+// CacheElems returns the cache size in elements the selection algorithms
+// target.
+func (o Options) CacheElems() int {
+	if o.TargetElems > 0 {
+		return o.TargetElems
+	}
+	return o.L1.Elems(8)
+}
+
+// Plan runs the selection method for one kernel and problem size.
+func (o Options) Plan(k stencil.Kernel, m core.Method, n int) core.Plan {
+	return core.Select(m, o.CacheElems(), n, n, k.Spec())
+}

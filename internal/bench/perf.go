@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"time"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// PerfPoint is one wall-clock measurement: sustained MFlops for one
+// problem size.
+type PerfPoint struct {
+	N      int
+	MFlops float64
+}
+
+// MinMeasureTime is the minimum accumulated kernel time per measurement;
+// sweeps repeat until it is reached so that small problems are not
+// measured from a single noisy run.
+const MinMeasureTime = 30 * time.Millisecond
+
+// PerfSeries measures the kernel natively under one transformation across
+// the sweep, producing the per-size curves of Figures 15, 17, 19 and 21.
+// Absolute MFlops are host-dependent; the comparisons between methods are
+// the reproduced result.
+func PerfSeries(k stencil.Kernel, m core.Method, opt Options) []PerfPoint {
+	out := make([]PerfPoint, 0, len(opt.Sizes()))
+	for _, n := range opt.Sizes() {
+		out = append(out, MeasurePoint(k, m, n, opt))
+	}
+	return out
+}
+
+// PerfSweep runs PerfSeries for every configured method.
+func PerfSweep(k stencil.Kernel, opt Options) map[core.Method][]PerfPoint {
+	out := make(map[core.Method][]PerfPoint, len(opt.Methods))
+	for _, m := range opt.Methods {
+		out[m] = PerfSeries(k, m, opt)
+	}
+	return out
+}
+
+// MeasurePoint times one (kernel, method, size) cell and converts to
+// MFlops.
+func MeasurePoint(k stencil.Kernel, m core.Method, n int, opt Options) PerfPoint {
+	plan := opt.Plan(k, m, n)
+	w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+	w.RunNative() // warm the host caches and the page tables
+	var elapsed time.Duration
+	var sweeps int64
+	for elapsed < MinMeasureTime {
+		start := time.Now()
+		w.RunNative()
+		elapsed += time.Since(start)
+		sweeps++
+	}
+	flops := float64(w.Flops() * sweeps)
+	return PerfPoint{N: n, MFlops: flops / elapsed.Seconds() / 1e6}
+}
+
+// AveragePerfImprovement returns the mean percent improvement of opt over
+// orig, paired by problem size: mean((opt/orig - 1) * 100).
+func AveragePerfImprovement(orig, opt []PerfPoint) float64 {
+	if len(orig) == 0 || len(orig) != len(opt) {
+		return 0
+	}
+	var sum float64
+	for i := range orig {
+		sum += (opt[i].MFlops/orig[i].MFlops - 1) * 100
+	}
+	return sum / float64(len(orig))
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/plot"
+	"tiling3d/internal/stencil"
+)
+
+// Rendering helpers: fixed-width text output for the cmd tools, one
+// writer per paper artifact.
+
+// WriteMissSeries prints the per-size L1 and L2 miss-rate curves for one
+// kernel (the data behind Figures 14/16/18/20), one column pair per
+// method.
+func WriteMissSeries(w io.Writer, k stencil.Kernel, sweep map[core.Method][]MissPoint, methods []core.Method, opt Options) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "# %s cache miss rates (%%), %s + %s\n", k, opt.L1, opt.L2)
+	fmt.Fprint(tw, "N\t")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "%s:L1\t%s:L2\t", m, m)
+	}
+	fmt.Fprintln(tw)
+	for i, n := range opt.Sizes() {
+		fmt.Fprintf(tw, "%d\t", n)
+		for _, m := range methods {
+			s := sweep[m]
+			if i < len(s) {
+				fmt.Fprintf(tw, "%.2f\t%.2f\t", s[i].L1, s[i].L2)
+			} else {
+				fmt.Fprint(tw, "-\t-\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WritePerfSeries prints the per-size MFlops curves for one kernel (the
+// data behind Figures 15/17/19/21). label names the measurement mode,
+// e.g. "cycle-model (360MHz UltraSparc2)" or "native".
+func WritePerfSeries(w io.Writer, k stencil.Kernel, label string, sweep map[core.Method][]PerfPoint, methods []core.Method, opt Options) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "# %s %s performance (MFlops)\n", k, label)
+	fmt.Fprint(tw, "N\t")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "%s\t", m)
+	}
+	fmt.Fprintln(tw)
+	for i, n := range opt.Sizes() {
+		fmt.Fprintf(tw, "%d\t", n)
+		for _, m := range methods {
+			s := sweep[m]
+			if i < len(s) {
+				fmt.Fprintf(tw, "%.1f\t", s[i].MFlops)
+			} else {
+				fmt.Fprint(tw, "-\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteTable3 prints the reproduction of Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row, methods []core.Method) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprint(tw, "Kernel\tOrig L1\tOrig L2\tMetric\t")
+	for _, m := range methods {
+		if m == core.Orig {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t", m)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		metrics := []struct {
+			name string
+			vals map[core.Method]float64
+		}{
+			{"% perf (model)", r.EstImp},
+			{"% perf (native)", r.PerfImp},
+			{"L1 miss rate", r.L1Imp},
+			{"L2 miss rate", r.L2Imp},
+		}
+		first := true
+		for _, metric := range metrics {
+			if metric.vals == nil {
+				continue
+			}
+			if first {
+				fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t", r.Kernel, r.OrigL1, r.OrigL2, metric.name)
+				first = false
+			} else {
+				fmt.Fprintf(tw, "\t\t\t%s\t", metric.name)
+			}
+			for _, m := range methods {
+				if m == core.Orig {
+					continue
+				}
+				fmt.Fprintf(tw, "%.1f\t", metric.vals[m])
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return tw.Flush()
+}
+
+// MissChart converts a miss-rate sweep into an SVG-able chart for cache
+// level 1 or 2 — the rendered counterpart of Figures 14/16/18/20.
+func MissChart(k stencil.Kernel, sweep map[core.Method][]MissPoint, methods []core.Method, level int) plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s: L%d cache miss rate", k, level),
+		XLabel: "problem size N",
+		YLabel: "miss rate (%)",
+	}
+	for _, m := range methods {
+		s := plot.Series{Label: m.String()}
+		for _, p := range sweep[m] {
+			v := p.L1
+			if level == 2 {
+				v = p.L2
+			}
+			s.X = append(s.X, float64(p.N))
+			s.Y = append(s.Y, v)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// PerfChart converts a performance sweep into a chart — the rendered
+// counterpart of Figures 15/17/19/21.
+func PerfChart(k stencil.Kernel, label string, sweep map[core.Method][]PerfPoint, methods []core.Method) plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s: %s performance", k, label),
+		XLabel: "problem size N",
+		YLabel: "MFlops",
+	}
+	for _, m := range methods {
+		s := plot.Series{Label: m.String()}
+		for _, p := range sweep[m] {
+			s.X = append(s.X, float64(p.N))
+			s.Y = append(s.Y, p.MFlops)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// WriteMemSeries prints the Figure 22 padding-overhead curves.
+func WriteMemSeries(w io.Writer, series map[core.Method][]MemPoint, methods []core.Method, opt Options) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "# memory increase from padding (%)")
+	fmt.Fprint(tw, "N\t")
+	for _, m := range methods {
+		fmt.Fprintf(tw, "%s\t", m)
+	}
+	fmt.Fprintln(tw)
+	for i, n := range opt.Sizes() {
+		fmt.Fprintf(tw, "%d\t", n)
+		for _, m := range methods {
+			s := series[m]
+			if i < len(s) {
+				fmt.Fprintf(tw, "%.2f\t", s[i].Percent)
+			} else {
+				fmt.Fprint(tw, "-\t")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, m := range methods {
+		fmt.Fprintf(tw, "avg %s\t%.2f%%\t\n", m, AverageMem(series[m]))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// Table3Row reproduces one row group of the paper's Table 3 for one
+// kernel: the original code's average miss rates, and per transformation
+// the average performance improvement (percent) and the average miss-rate
+// improvements (percentage points, i.e. origRate - optRate, the paper's
+// "a drop from 10 to 8 is an improvement of 2%").
+type Table3Row struct {
+	Kernel         stencil.Kernel
+	OrigL1, OrigL2 float64
+	// PerfImp holds native wall-clock improvements; present only when the
+	// table was built with performance measurement enabled. Host caches
+	// far larger than the paper's machine mute or invert these.
+	PerfImp map[core.Method]float64
+	// EstImp holds the cycle-model performance improvements derived from
+	// the simulation (see CycleModel); always present.
+	EstImp map[core.Method]float64
+	L1Imp  map[core.Method]float64
+	L2Imp  map[core.Method]float64
+}
+
+// Table3 regenerates the full Table 3: simulation averages and native
+// performance averages over the sweep. withPerf=false skips the (slower,
+// host-dependent) wall-clock part, leaving PerfImp nil.
+func Table3(opt Options, withPerf bool) []Table3Row {
+	rows := make([]Table3Row, 0, 3)
+	for _, k := range stencil.Kernels() {
+		rows = append(rows, table3Row(k, opt, withPerf))
+	}
+	return rows
+}
+
+func table3Row(k stencil.Kernel, opt Options, withPerf bool) Table3Row {
+	row := Table3Row{
+		Kernel: k,
+		EstImp: map[core.Method]float64{},
+		L1Imp:  map[core.Method]float64{},
+		L2Imp:  map[core.Method]float64{},
+	}
+	model := UltraSparc2Model()
+	// One concurrent simulation pass serves both metrics for all
+	// methods. Orig is simulated even if absent from opt.Methods.
+	simOpt := opt
+	simOpt.Methods = append([]core.Method{core.Orig}, withoutOrig(opt.Methods)...)
+	miss, est := CombinedSweep(k, simOpt, model)
+	row.OrigL1, row.OrigL2 = AverageMiss(miss[core.Orig])
+
+	var origPerf []PerfPoint
+	if withPerf {
+		row.PerfImp = map[core.Method]float64{}
+		origPerf = PerfSeries(k, core.Orig, opt)
+	}
+	for _, m := range simOpt.Methods {
+		if m == core.Orig {
+			continue
+		}
+		l1, l2 := AverageMiss(miss[m])
+		row.L1Imp[m] = row.OrigL1 - l1
+		row.L2Imp[m] = row.OrigL2 - l2
+		row.EstImp[m] = AveragePerfImprovement(est[core.Orig], est[m])
+		if withPerf {
+			// Wall-clock measurements stay serial: concurrent timing
+			// would perturb itself.
+			row.PerfImp[m] = AveragePerfImprovement(origPerf, PerfSeries(k, m, opt))
+		}
+	}
+	return row
+}
+
+func withoutOrig(ms []core.Method) []core.Method {
+	out := make([]core.Method, 0, len(ms))
+	for _, m := range ms {
+		if m != core.Orig {
+			out = append(out, m)
+		}
+	}
+	return out
+}

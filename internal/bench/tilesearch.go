@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// Empirical validation of the cost model (Section 2.3): the model claims
+// that among non-conflicting tiles, minimizing (TI+m)(TJ+n)/(TI*TJ)
+// minimizes misses. ExhaustiveTileSearch simulates every candidate tile
+// and reports the empirically best one next to the model's choice; the
+// tests assert the model's pick is within a small margin of the best.
+
+// TileCandidate is one simulated tile.
+type TileCandidate struct {
+	Tile core.Tile
+	L1   float64
+}
+
+// ExhaustiveTileSearch simulates the kernel at size n under every
+// trimmed frontier tile (plus the model's own pick), returning the
+// candidates sorted as evaluated, the empirical best, and the cost
+// model's choice.
+func ExhaustiveTileSearch(k stencil.Kernel, n int, opt Options) (cands []TileCandidate, best, model TileCandidate) {
+	st := k.Spec()
+	cs := opt.CacheElems()
+	tiles := map[core.Tile]bool{}
+	for _, e := range core.Frontier(cs, n, n, st.Depth, 0) {
+		t := core.ArrayTile{TI: e.TI, TJ: e.TJ, TK: st.Depth}.Trim(st)
+		if t.Valid() {
+			tiles[t] = true
+		}
+	}
+	modelTile, ok := core.Euc3D(cs, n, n, st)
+	if ok {
+		tiles[modelTile] = true
+	}
+	simulate := func(t core.Tile) float64 {
+		plan := core.Plan{Tile: t, DI: n, DJ: n, Tiled: true}
+		w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+		h := cacheHierarchy(opt)
+		w.RunTrace(h)
+		h.ResetStats()
+		w.RunTrace(h)
+		return h.Level(0).Stats().MissRate()
+	}
+	first := true
+	for t := range tiles {
+		c := TileCandidate{Tile: t, L1: simulate(t)}
+		cands = append(cands, c)
+		if first || c.L1 < best.L1 {
+			best = c
+			first = false
+		}
+		if t == modelTile {
+			model = c
+		}
+	}
+	return cands, best, model
+}

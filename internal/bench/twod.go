@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/stencil"
+)
+
+// The 2D experiment (Section 2.1's "tiling is usually not needed" for 2D
+// stencils): untiled versus tiled 2D Jacobi miss rates across the
+// boundary N = C_s/2. Below it — which covers every realistic 2D problem
+// on even a small cache — tiling buys nothing, because the columns the
+// stencil reuses already stay resident.
+
+// TwoDPoint is one 2D measurement.
+type TwoDPoint struct {
+	N           int
+	Orig, Tiled float64
+}
+
+// TwoDSeries simulates 2D Jacobi, untiled and tiled (tile height C_s/8,
+// a generous conflict-safe choice), over sizes.
+func TwoDSeries(sizes []int, l1 cache.Config, c float64) []TwoDPoint {
+	cs := l1.Elems(grid.ElemSize)
+	out := make([]TwoDPoint, 0, len(sizes))
+	for _, n := range sizes {
+		run := func(tiled bool) float64 {
+			arena := grid.NewArena()
+			a := arena.Place2D(grid.New2D(n, n))
+			b := arena.Place2D(grid.New2D(n, n))
+			h := cache.NewHierarchy(l1)
+			trace := func() {
+				if tiled {
+					stencil.Jacobi2DTiledTrace(a, b, h, cs/8)
+				} else {
+					stencil.Jacobi2DOrigTrace(a, b, h)
+				}
+			}
+			trace()
+			h.ResetStats()
+			trace()
+			return h.Level(0).Stats().MissRate()
+		}
+		out = append(out, TwoDPoint{N: n, Orig: run(false), Tiled: run(true)})
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/stencil"
+)
+
+// TestTwoDTilingUnnecessary verifies the Section 2.1 claim at simulation
+// level: below the 2D reuse boundary, tiling changes the 2D Jacobi miss
+// rate by essentially nothing; the 3D kernel at the same sizes is already
+// far past ITS boundary and tiling helps substantially.
+func TestTwoDTilingUnnecessary(t *testing.T) {
+	l1 := cache.UltraSparc2L1()
+	pts := TwoDSeries([]int{300, 500, 900}, l1, 0.25)
+	for _, p := range pts {
+		diff := p.Orig - p.Tiled
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1.0 {
+			t.Errorf("N=%d: 2D tiling changed the miss rate by %.2fpp (orig %.2f, tiled %.2f)",
+				p.N, diff, p.Orig, p.Tiled)
+		}
+	}
+}
+
+// TestTwoDCliffPast1024: beyond N = C_s/2 = 1024 the untiled 2D code
+// loses the column reuse and its miss rate rises.
+func TestTwoDCliffPast1024(t *testing.T) {
+	l1 := cache.UltraSparc2L1()
+	pts := TwoDSeries([]int{1000, 1100}, l1, 0.25)
+	if pts[1].Orig <= pts[0].Orig+2 {
+		t.Errorf("no 2D cliff: %.2f%% at N=1000, %.2f%% at N=1100", pts[0].Orig, pts[1].Orig)
+	}
+}
+
+func TestJacobi2DTiledMatchesOrig(t *testing.T) {
+	for _, ti := range []int{1, 3, 7, 100} {
+		n := 30
+		mk := func() (*grid.Grid2D, *grid.Grid2D) {
+			a := grid.New2D(n, n)
+			b := grid.New2D(n, n)
+			b.FillFunc(func(i, j int) float64 { return float64(i*31+j) * 0.01 })
+			a.FillFunc(func(i, j int) float64 { return -float64(i + j) })
+			return a, b
+		}
+		a1, b1 := mk()
+		a2, b2 := mk()
+		stencil.Jacobi2DOrig(a1, b1, 0.25)
+		stencil.Jacobi2DTiled(a2, b2, 0.25, ti)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if a1.At(i, j) != a2.At(i, j) {
+					t.Fatalf("ti=%d: (%d,%d) %g vs %g", ti, i, j, a1.At(i, j), a2.At(i, j))
+				}
+			}
+		}
+	}
+}

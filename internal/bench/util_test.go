@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func TestForEachIndexCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 100} {
+		var hits int64
+		seen := make([]int32, n)
+		forEachIndex(n, func(i int) {
+			atomic.AddInt64(&hits, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if hits != int64(n) {
+			t.Errorf("n=%d: %d calls", n, hits)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("n=%d: index %d hit %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestAveragePerfImprovement(t *testing.T) {
+	orig := []PerfPoint{{N: 1, MFlops: 100}, {N: 2, MFlops: 50}}
+	opt := []PerfPoint{{N: 1, MFlops: 120}, {N: 2, MFlops: 60}}
+	if got := AveragePerfImprovement(orig, opt); got < 20-1e-9 || got > 20+1e-9 {
+		t.Errorf("improvement = %g, want 20", got)
+	}
+	if got := AveragePerfImprovement(nil, nil); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	if got := AveragePerfImprovement(orig, opt[:1]); got != 0 {
+		t.Errorf("mismatched lengths = %g", got)
+	}
+}
+
+func TestAverageMiss(t *testing.T) {
+	l1, l2 := AverageMiss([]MissPoint{{L1: 10, L2: 2}, {L1: 30, L2: 4}})
+	if l1 != 20 || l2 != 3 {
+		t.Errorf("averages = %g, %g", l1, l2)
+	}
+	if l1, l2 := AverageMiss(nil); l1 != 0 || l2 != 0 {
+		t.Error("empty averages nonzero")
+	}
+}
+
+func TestOptionsPlanRespectsTarget(t *testing.T) {
+	opt := DefaultOptions()
+	opt.TargetElems = 512
+	p := opt.Plan(stencil.Jacobi, core.MethodGcdPad, 100)
+	at := core.GcdPadArrayTile(512, stencil.Jacobi.Spec())
+	if p.Tile.TI != at.TI-2 || p.Tile.TJ != at.TJ-2 {
+		t.Errorf("plan tile %v does not match 512-element target %v", p.Tile, at)
+	}
+}
+
+func TestCombinedSweepConsistentWithPointwise(t *testing.T) {
+	opt := smallOptions()
+	opt.Methods = []core.Method{core.Orig, core.MethodGcdPad}
+	miss, est := CombinedSweep(stencil.Jacobi, opt, UltraSparc2Model())
+	for _, m := range opt.Methods {
+		for i, n := range opt.Sizes() {
+			want := SimulatePoint(stencil.Jacobi, m, n, opt)
+			if miss[m][i] != want {
+				t.Errorf("%v N=%d: combined %+v, pointwise %+v", m, n, miss[m][i], want)
+			}
+			if est[m][i].MFlops <= 0 {
+				t.Errorf("%v N=%d: estimate %+v", m, n, est[m][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package cache
+
+// TLB support: a TLB is a small, (usually) fully associative cache whose
+// "lines" are pages, so the simulator models it directly. Mitchell et al.
+// (LCPC'97), which the paper builds on for multi-level interactions,
+// showed tile choices trade cache misses against TLB misses: a tall
+// narrow tile walks few pages per plane, a wide one many. TLBConfig plus
+// the ordinary Hierarchy make that measurable here.
+
+// TLB returns a fully associative TLB configuration with the given
+// number of entries and page size (e.g. 64 entries of 8KB pages for the
+// UltraSparc2 data TLB).
+func TLB(entries, pageBytes int) Config {
+	return Config{
+		SizeBytes: entries * pageBytes,
+		LineBytes: pageBytes,
+		Assoc:     entries,
+	}
+}
+
+// UltraSparc2TLB is the 64-entry, 8KB-page data TLB of the paper's
+// machine.
+func UltraSparc2TLB() Config { return TLB(64, 8<<10) }
+
+// MemoryWithTLB drives a cache hierarchy and a TLB from the same address
+// stream: every access probes the TLB (page granularity) and then the
+// caches. It implements Memory.
+type MemoryWithTLB struct {
+	Caches *Hierarchy
+	TLB    *Cache
+}
+
+// NewMemoryWithTLB builds the combined model.
+func NewMemoryWithTLB(h *Hierarchy, tlb Config) *MemoryWithTLB {
+	return &MemoryWithTLB{Caches: h, TLB: New(tlb)}
+}
+
+// Load replays a read through the TLB and the cache hierarchy.
+func (m *MemoryWithTLB) Load(addr int64) {
+	m.TLB.Load(addr)
+	m.Caches.Load(addr)
+}
+
+// Store replays a write. TLB fills happen on stores too (translation is
+// needed regardless of the cache write policy), so the TLB sees it as a
+// load.
+func (m *MemoryWithTLB) Store(addr int64) {
+	m.TLB.Load(addr)
+	m.Caches.Store(addr)
+}
+
+// Reset empties all levels and counters.
+func (m *MemoryWithTLB) Reset() {
+	m.Caches.Reset()
+	m.TLB.Reset()
+}
+
+// ResetStats zeroes counters without emptying state.
+func (m *MemoryWithTLB) ResetStats() {
+	m.Caches.ResetStats()
+	m.TLB.ResetStats()
+}
+
+var _ Memory = (*MemoryWithTLB)(nil)

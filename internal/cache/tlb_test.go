@@ -1,0 +1,76 @@
+package cache
+
+import "testing"
+
+func TestTLBGeometry(t *testing.T) {
+	cfg := UltraSparc2TLB()
+	if cfg.Lines() != 64 || cfg.Sets() != 1 {
+		t.Errorf("TLB lines/sets = %d/%d, want 64/1 (fully associative)", cfg.Lines(), cfg.Sets())
+	}
+}
+
+func TestTLBReachAndEviction(t *testing.T) {
+	tlb := New(TLB(4, 4096))
+	// Touch 4 pages: all resident.
+	for p := 0; p < 4; p++ {
+		tlb.Load(int64(p * 4096))
+	}
+	for p := 0; p < 4; p++ {
+		if !tlb.Contains(int64(p * 4096)) {
+			t.Fatalf("page %d evicted from 4-entry TLB", p)
+		}
+	}
+	// Fifth page evicts the LRU (page 0).
+	tlb.Load(4 * 4096)
+	if tlb.Contains(0) {
+		t.Error("page 0 should be the LRU victim")
+	}
+	// Same-page accesses hit regardless of offset.
+	if !tlb.Load(4*4096 + 123) {
+		t.Error("same-page access missed")
+	}
+}
+
+func TestMemoryWithTLBAccounting(t *testing.T) {
+	m := NewMemoryWithTLB(NewHierarchy(UltraSparc2L1()), TLB(2, 4096))
+	m.Load(0)
+	m.Store(8192)
+	m.Load(4096) // evicts page 0 in a 2-entry TLB? LRU is page 0
+	m.Load(0)    // page 0: miss again
+	s := m.TLB.Stats()
+	if s.Loads != 4 {
+		t.Errorf("TLB probes = %d, want 4 (stores translate too)", s.Loads)
+	}
+	if s.LoadMisses != 4 {
+		t.Errorf("TLB misses = %d, want 4", s.LoadMisses)
+	}
+	cs := m.Caches.Level(0).Stats()
+	if cs.Loads != 3 || cs.Stores != 1 {
+		t.Errorf("cache saw %d loads, %d stores", cs.Loads, cs.Stores)
+	}
+}
+
+// TestTLBPrefersTallTiles demonstrates the Mitchell et al. trade-off:
+// for a fixed-volume tile, a wide tile (many short columns) touches more
+// pages per plane sweep than a tall one, missing more in a small TLB.
+func TestTLBPrefersTallTiles(t *testing.T) {
+	const n = 512 // column of 512 doubles = 4KB = one page
+	pages := func(ti, tj int) uint64 {
+		tlb := New(TLB(8, 4096))
+		// Sweep the tile's columns across 30 planes, as the K loop does.
+		for k := 0; k < 30; k++ {
+			for j := 0; j < tj; j++ {
+				for i := 0; i < ti; i += 512 / 8 { // one probe per page of the column segment
+					addr := int64((j*n + k*n*n + i) * 8)
+					tlb.Load(addr)
+				}
+			}
+		}
+		return tlb.Stats().LoadMisses
+	}
+	tall := pages(256, 4) // 4 columns, half a page each
+	wide := pages(4, 256) // 256 tiny column segments
+	if wide <= tall {
+		t.Errorf("wide tile TLB misses %d not above tall tile %d", wide, tall)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "math"
+
+// SquareTile is the paper's "Tile" transformation (Table 2): a fixed
+// square-ish array tile whose volume equals the cache size, optimal under
+// the cost model for a fully associative cache but oblivious to conflicts
+// in a real direct-mapped cache. Comparing it against Euc3D/GcdPad/Pad
+// isolates the impact of conflict misses on tiled 3D stencils.
+func SquareTile(cs int, st Stencil) Plan {
+	st.validate()
+	side := int(math.Sqrt(float64(cs) / float64(st.Depth)))
+	if side < 1 {
+		side = 1
+	}
+	t := ArrayTile{TI: side, TJ: side, TK: st.Depth}.Trim(st)
+	if !t.Valid() {
+		t = Tile{TI: 1, TJ: 1}
+	}
+	return Plan{Tile: t, Tiled: true, Cost: Cost(t, st)}
+}
+
+// LRW computes the Lam-Rothberg-Wolf square tile (ASPLOS'91): the largest
+// s such that an s x s x Depth array tile does not self-interfere for the
+// given array dimensions. It is the classical 2D-era baseline the paper
+// contrasts Euc3D's O(log cs) running time against; extended here to 3D
+// depth so it is applicable to the same nests.
+func LRW(cs, di, dj int, st Stencil) Plan {
+	st.validate()
+	maxSide := int(math.Sqrt(float64(cs) / float64(st.Depth)))
+	for s := maxSide; s >= 1; s-- {
+		if !SelfConflicts(cs, di, dj, s, s, st.Depth) {
+			t := ArrayTile{TI: s, TJ: s, TK: st.Depth}.Trim(st)
+			if !t.Valid() {
+				break
+			}
+			return Plan{Tile: t, Tiled: true, Cost: Cost(t, st)}
+		}
+	}
+	return Plan{Tile: Tile{TI: 1, TJ: 1}, Tiled: true, Cost: Cost(Tile{TI: 1, TJ: 1}, st)}
+}
+
+// EffCache is the effective-cache-size heuristic (Section 3.2): choose a
+// square tile targeting only a fraction of the cache (empirically ~10% for
+// tiled codes) so that conflicts are unlikely without analyzing them. It
+// under-utilizes the cache, which is the disadvantage the paper notes.
+func EffCache(cs int, frac float64, st Stencil) Plan {
+	st.validate()
+	if frac <= 0 || frac > 1 {
+		panic("core: EffCache fraction must be in (0, 1]")
+	}
+	return SquareTile(int(float64(cs)*frac), st)
+}

@@ -1,0 +1,33 @@
+// Package core implements the tile-size selection and array-padding
+// algorithms that are the contribution of Rivera & Tseng, "Tiling
+// Optimizations for 3D Scientific Computations" (SC 2000):
+//
+//   - the tile cost model Cost(TI,TJ) = (TI+m)(TJ+n)/(TI*TJ) (Section 2.3),
+//   - Euc3D, which computes non-self-interfering 3D array tiles for a
+//     direct-mapped cache and selects the minimum-cost one (Section 3.3),
+//   - GcdPad, which fixes a power-of-two tile and pads the array's lower
+//     dimensions so the tile is conflict-free (Section 3.4.1),
+//   - Pad, which searches pad amounts bounded by GcdPad's and reruns Euc3D
+//     to find smaller pads of equal tile quality (Section 3.4.2),
+//
+// together with the comparison baselines evaluated in the paper (square
+// Tile selection, padding without tiling, the Lam-Rothberg-Wolf square
+// tile, and the effective-cache-size heuristic) and a brute-force conflict
+// checker used as ground truth by the tests.
+//
+// # Conventions
+//
+// All sizes are in array elements, following the paper: a 16KB cache
+// holding double-precision values has C_s = 2048. Arrays are column-major
+// with allocated dimensions DI x DJ x M; element (i,j,k) lives at flat
+// offset i + j*DI + k*DI*DJ. An array tile TI x TJ x TK is the set of
+// elements {(i,j,k) : i<TI, j<TJ, k<TK} anchored anywhere in the array; it
+// is non-self-interfering when all its elements map to distinct locations
+// of a direct-mapped cache of C_s elements, which depends only on
+// (C_s, DI, DJ, TI, TJ, TK), not on the anchor.
+//
+// An iteration tile (TI', TJ') is the block of loop iterations executed
+// together; the array tile it touches is larger by the stencil reach:
+// TI = TI' + m, TJ = TJ' + n, TK = ATD (the array-tile depth, e.g. 3 for a
+// +/-1 stencil in K). Stencil captures (m, n, ATD).
+package core

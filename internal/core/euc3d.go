@@ -1,0 +1,49 @@
+package core
+
+// Euc3D computes the minimum-cost non-conflicting iteration tile for a
+// 3D stencil nest over a column-major DI x DJ x M array in a direct-mapped
+// cache of cs elements (Figure 9 of the paper).
+//
+// It enumerates non-conflicting array tiles of depth st.Depth (the array
+// tile depth ATD), trims each by the stencil reach to get the iteration
+// tile it supports, and keeps the one minimizing the cost model. Array
+// tiles that trim to a non-positive extent cost +Inf and are discarded.
+//
+// The paper's pseudocode also examines depths beyond ATD; those tiles are
+// dominated (any tile conflict-free at depth d is conflict-free at depth
+// ATD < d with at least the same TI for each TJ), so scanning depth ATD
+// alone yields the same or a better minimum. TestEuc3DDepthDomination
+// checks this property against brute force.
+//
+// The second return value reports whether any valid tile exists; when it
+// is false the cache cannot hold even a 1x1 iteration tile's footprint
+// without conflicts (or the plane offsets collide) and the caller should
+// fall back to padding or to not tiling.
+func Euc3D(cs, di, dj int, st Stencil) (Tile, bool) {
+	st.validate()
+	if cs <= 0 || di <= 0 || dj <= 0 {
+		panic("core: Euc3D requires positive cs, di, dj")
+	}
+	best := Tile{}
+	bestCost := Cost(best, st) // +Inf
+	for _, e := range Frontier(cs, di, dj, st.Depth, 0) {
+		t := ArrayTile{TI: e.TI, TJ: e.TJ, TK: st.Depth}.Trim(st)
+		if c := Cost(t, st); c < bestCost {
+			best, bestCost = t, c
+		}
+	}
+	return best, best.Valid()
+}
+
+// Euc3DArrayTiles returns the non-conflicting array tiles Euc3D selects
+// from, for depths 1..maxDepth. This is the enumeration behind the paper's
+// Table 1 (cs=2048, 200x200 array, depths 1..4 and beyond).
+func Euc3DArrayTiles(cs, di, dj, maxDepth int) []ArrayTile {
+	var out []ArrayTile
+	for tk := 1; tk <= maxDepth; tk++ {
+		for _, e := range Frontier(cs, di, dj, tk, 0) {
+			out = append(out, ArrayTile{TI: e.TI, TJ: e.TJ, TK: tk})
+		}
+	}
+	return out
+}

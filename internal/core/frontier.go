@@ -1,0 +1,205 @@
+package core
+
+import "math/bits"
+
+// This file computes, for a direct-mapped cache of cs elements and a
+// column-major DI x DJ x M array, the frontier of maximal non-conflicting
+// array tiles at a given depth TK: the pairs (TJ, TI) such that a tile
+// TI x TJ x TK is non-self-interfering and neither extent can be increased
+// without shrinking the other.
+//
+// Characterization: the tile's TJ*TK column segments start at cache
+// offsets {(j*DI + k*DI*DJ) mod cs}. The tile is conflict-free iff those
+// offsets are pairwise distinct and every circular gap between consecutive
+// sorted offsets is at least TI (a segment of TI contiguous elements fits
+// in each gap). So TI_max(TJ) = the minimum circular gap of the offset
+// set, which only decreases as TJ grows; the frontier records the TJ
+// values where it decreases. For TK=1 this reduces to the classical
+// Euclidean-remainder sequence (see euc2d.go), which is how the paper's
+// Euc/Euc3D recurrences arise.
+
+// offsetSet is an ordered set over the universe [0, cs) supporting insert
+// with predecessor/successor queries, built as a two-level bitmap. It makes
+// the incremental min-gap computation near-linear in the number of offsets.
+type offsetSet struct {
+	cs      int
+	words   []uint64 // bit per offset
+	summary []uint64 // bit per word with any bit set
+	size    int
+}
+
+func newOffsetSet(cs int) *offsetSet {
+	nw := (cs + 63) / 64
+	return &offsetSet{
+		cs:      cs,
+		words:   make([]uint64, nw),
+		summary: make([]uint64, (nw+63)/64),
+	}
+}
+
+func (s *offsetSet) contains(x int) bool {
+	return s.words[x>>6]&(1<<uint(x&63)) != 0
+}
+
+// insert adds x; it must not already be present.
+func (s *offsetSet) insert(x int) {
+	w := x >> 6
+	s.words[w] |= 1 << uint(x&63)
+	s.summary[w>>6] |= 1 << uint(w&63)
+	s.size++
+}
+
+// succ returns the smallest element >= x, or -1 if none.
+func (s *offsetSet) succ(x int) int {
+	w := x >> 6
+	if m := s.words[w] >> uint(x&63); m != 0 {
+		return x + bits.TrailingZeros64(m)
+	}
+	for sw := (w + 1) >> 6; sw < len(s.summary); sw++ {
+		m := s.summary[sw]
+		if sw == (w+1)>>6 {
+			m &= ^uint64(0) << uint((w+1)&63)
+		}
+		if m != 0 {
+			word := sw<<6 + bits.TrailingZeros64(m)
+			return word<<6 + bits.TrailingZeros64(s.words[word])
+		}
+	}
+	return -1
+}
+
+// pred returns the largest element <= x, or -1 if none.
+func (s *offsetSet) pred(x int) int {
+	w := x >> 6
+	if m := s.words[w] << uint(63-x&63); m != 0 {
+		return x - bits.LeadingZeros64(m)
+	}
+	for sw := (w - 1) >> 6; sw >= 0; sw-- {
+		m := s.summary[sw]
+		if sw == (w-1)>>6 && (w-1)&63 != 63 {
+			shift := uint(63 - (w-1)&63)
+			m = m << shift >> shift
+		}
+		if m != 0 {
+			word := sw<<6 + 63 - bits.LeadingZeros64(m)
+			return word<<6 + 63 - bits.LeadingZeros64(s.words[word])
+		}
+	}
+	return -1
+}
+
+// insertGaps inserts x and returns the two circular gaps x forms with its
+// neighbors. ok is false (and nothing is inserted) when x is already
+// present, i.e. two tile elements share a cache location.
+func (s *offsetSet) insertGaps(x int) (before, after int, ok bool) {
+	if s.contains(x) {
+		return 0, 0, false
+	}
+	if s.size == 0 {
+		s.insert(x)
+		return s.cs, s.cs, true
+	}
+	p := s.pred(x)
+	if p == -1 {
+		p = s.pred(s.cs - 1) // wrap to the maximum element
+	}
+	n := s.succ(x)
+	if n == -1 {
+		n = s.succ(0) // wrap to the minimum element
+	}
+	s.insert(x)
+	before = x - p
+	if before <= 0 {
+		before += s.cs
+	}
+	after = n - x
+	if after <= 0 {
+		after += s.cs
+	}
+	return before, after, true
+}
+
+// FrontierEntry is one maximal non-conflicting array tile shape at a fixed
+// depth: with TJ columns per plane, column segments up to TI elements tall
+// never conflict, and TJ is the largest column count for which that TI
+// holds.
+type FrontierEntry struct {
+	TJ, TI int
+}
+
+// Frontier computes the non-conflicting tile frontier for depth tk on a
+// DI x DJ x M array in a direct-mapped cache of cs elements. Entries are
+// ordered by increasing TJ (and strictly decreasing TI). An empty result
+// means no tile of depth tk is conflict-free (the plane offsets themselves
+// collide). maxTJ bounds the search; pass 0 for no bound (up to cs).
+//
+// For the paper's running example (cs=2048, 200x200 array) the union of
+// Frontier(…, tk, 0) for tk=1..4 contains every tile of Table 1.
+func Frontier(cs, di, dj, tk, maxTJ int) []FrontierEntry {
+	if cs <= 0 || di <= 0 || dj <= 0 || tk <= 0 {
+		panic("core: Frontier requires positive cs, di, dj, tk")
+	}
+	if maxTJ <= 0 || maxTJ > cs {
+		maxTJ = cs
+	}
+	planeStride := mulMod(di%cs, dj%cs, cs)
+	colStride := di % cs
+	set := newOffsetSet(cs)
+	minGap := cs
+
+	// addColumn inserts the tk plane offsets of the column starting at
+	// colOff, updating minGap. It reports false if any offset duplicates
+	// an existing one (the column cannot be added conflict-free).
+	addColumn := func(colOff int) bool {
+		off := colOff
+		for k := 0; k < tk; k++ {
+			wasEmpty := set.size == 0
+			b, a, ok := set.insertGaps(off)
+			if !ok {
+				return false
+			}
+			if !wasEmpty {
+				if b < minGap {
+					minGap = b
+				}
+				if a < minGap {
+					minGap = a
+				}
+			}
+			off += planeStride
+			if off >= cs {
+				off -= cs
+			}
+		}
+		return true
+	}
+
+	var out []FrontierEntry
+	colOff := 0
+	prevGap := 0
+	completed := 0
+	for tj := 1; tj <= maxTJ; tj++ {
+		if !addColumn(colOff) {
+			break
+		}
+		completed = tj
+		if tj > 1 && minGap < prevGap {
+			// tj-1 was the maximal column count for prevGap.
+			out = append(out, FrontierEntry{TJ: tj - 1, TI: prevGap})
+		}
+		prevGap = minGap
+		colOff += colStride
+		if colOff >= cs {
+			colOff -= cs
+		}
+	}
+	if completed >= 1 && prevGap > 0 {
+		out = append(out, FrontierEntry{TJ: completed, TI: prevGap})
+	}
+	return out
+}
+
+// mulMod returns (a*b) mod m without overflow for m up to 2^31.
+func mulMod(a, b, m int) int {
+	return int(int64(a) * int64(b) % int64(m))
+}

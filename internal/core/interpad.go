@@ -1,0 +1,48 @@
+package core
+
+// Cross-interference (Section 3.5): kernels touching several arrays
+// (RESID reads U and V, writes R) suffer conflicts *between* arrays that
+// tile-shape selection alone cannot remove. The paper's second strategy
+// partitions the conflict-free array tile among the arrays and applies
+// inter-variable padding so each array's accesses map to its own portion
+// of the cache footprint. These helpers implement that strategy; the
+// workload constructor accepts the resulting inter-array gaps.
+
+// PartitionTile splits a tile's J extent among nArrays so the combined
+// footprint of all arrays' tiles stays within the original conflict-free
+// array tile (the paper's "reducing one tile dimension" step). The I
+// extent is kept: shrinking J costs less reuse per the cost model when
+// TI <= TJ and keeps whole columns contiguous.
+func PartitionTile(t Tile, nArrays int) Tile {
+	if nArrays <= 1 {
+		return t
+	}
+	tj := t.TJ / nArrays
+	if tj < 1 {
+		tj = 1
+	}
+	return Tile{TI: t.TI, TJ: tj}
+}
+
+// CrossPlacement computes inter-variable padding: gaps (in elements) to
+// insert before each of nArrays consecutive allocations of the given
+// sizes so that array i's base address is congruent to i*cs/nArrays
+// modulo the cache size. Each array's tile then occupies its own
+// cache region when the per-array tiles are sized by PartitionTile.
+// gaps[i] is the padding inserted immediately before array i.
+func CrossPlacement(cs int, sizes []int) []int {
+	n := len(sizes)
+	gaps := make([]int, n)
+	next := 0 // running base address in elements
+	for i, sz := range sizes {
+		target := i * cs / n
+		mod := next % cs
+		gap := target - mod
+		if gap < 0 {
+			gap += cs
+		}
+		gaps[i] = gap
+		next += gap + sz
+	}
+	return gaps
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionTile(t *testing.T) {
+	tl := Tile{TI: 30, TJ: 14}
+	if got := PartitionTile(tl, 1); got != tl {
+		t.Errorf("nArrays=1 changed the tile: %v", got)
+	}
+	if got := PartitionTile(tl, 3); got.TJ != 4 || got.TI != 30 {
+		t.Errorf("PartitionTile(30x14, 3) = %v, want (30, 4)", got)
+	}
+	if got := PartitionTile(Tile{TI: 8, TJ: 2}, 5); got.TJ != 1 {
+		t.Errorf("tiny tile partition = %v, want TJ=1", got)
+	}
+}
+
+func TestCrossPlacementTargets(t *testing.T) {
+	cs := 2048
+	sizes := []int{90000, 90000, 90000} // three 300x300xM-ish arrays
+	gaps := CrossPlacement(cs, sizes)
+	base := 0
+	for i := range sizes {
+		base += gaps[i]
+		if got, want := base%cs, i*cs/len(sizes); got != want {
+			t.Errorf("array %d base residue %d, want %d", i, got, want)
+		}
+		base += sizes[i]
+	}
+	for i, g := range gaps {
+		if g < 0 || g >= cs {
+			t.Errorf("gap %d = %d out of [0, cs)", i, g)
+		}
+	}
+}
+
+func TestCrossPlacementQuick(t *testing.T) {
+	f := func(s1, s2, s3 uint16) bool {
+		cs := 1024
+		sizes := []int{int(s1) + 1, int(s2) + 1, int(s3) + 1}
+		gaps := CrossPlacement(cs, sizes)
+		base := 0
+		for i := range sizes {
+			base += gaps[i]
+			if base%cs != i*cs/3 {
+				return false
+			}
+			base += sizes[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

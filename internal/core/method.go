@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// Method identifies one of the program transformations evaluated in the
+// paper (Table 2), plus the extra baselines this library implements.
+type Method int
+
+const (
+	// Orig is the untransformed code: no tiling, no padding.
+	Orig Method = iota
+	// MethodTile tiles with a square cache-sized tile (conflict-oblivious).
+	MethodTile
+	// MethodEuc3D tiles with the Euc3D non-conflicting tile.
+	MethodEuc3D
+	// MethodGcdPad tiles with a fixed power-of-two tile and GCD padding.
+	MethodGcdPad
+	// MethodPad tiles with Euc3D-selected tiles over a bounded pad search.
+	MethodPad
+	// MethodGcdPadNT applies GcdPad's padding without tiling.
+	MethodGcdPadNT
+	// MethodLRW tiles with the Lam-Rothberg-Wolf square tile.
+	MethodLRW
+	// MethodEffCache tiles with a square tile sized to 10% of the cache.
+	MethodEffCache
+)
+
+// PaperMethods are the transformations of Table 2, in the paper's column
+// order (Orig first).
+func PaperMethods() []Method {
+	return []Method{Orig, MethodTile, MethodEuc3D, MethodGcdPad, MethodPad, MethodGcdPadNT}
+}
+
+// AllMethods additionally includes the related-work baselines.
+func AllMethods() []Method {
+	return append(PaperMethods(), MethodLRW, MethodEffCache)
+}
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case Orig:
+		return "Orig"
+	case MethodTile:
+		return "Tile"
+	case MethodEuc3D:
+		return "Euc3D"
+	case MethodGcdPad:
+		return "GcdPad"
+	case MethodPad:
+		return "Pad"
+	case MethodGcdPadNT:
+		return "GcdPadNT"
+	case MethodLRW:
+		return "LRW"
+	case MethodEffCache:
+		return "EffCache"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a name (as printed by String, case-sensitive) back
+// to a Method.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range AllMethods() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return Orig, fmt.Errorf("core: unknown method %q", s)
+}
+
+// Select runs method m for an array with lower dimensions (di, dj) and a
+// direct-mapped cache of cs elements, returning the tile and padded
+// dimensions to use. This is the single entry point the kernels, the
+// transformation engine, and the experiment harness share.
+func Select(m Method, cs, di, dj int, st Stencil) Plan {
+	switch m {
+	case Orig:
+		return Plan{DI: di, DJ: dj}
+	case MethodTile:
+		p := SquareTile(cs, st)
+		p.DI, p.DJ = di, dj
+		return p
+	case MethodEuc3D:
+		t, ok := Euc3D(cs, di, dj, st)
+		if !ok {
+			// No conflict-free tile exists for these dimensions; run
+			// untiled, which is what a compiler would emit.
+			return Plan{DI: di, DJ: dj}
+		}
+		return Plan{Tile: t, DI: di, DJ: dj, Tiled: true, Cost: Cost(t, st)}
+	case MethodGcdPad:
+		return GcdPad(cs, di, dj, st)
+	case MethodPad:
+		return Pad(cs, di, dj, st)
+	case MethodGcdPadNT:
+		return GcdPadNT(cs, di, dj, st)
+	case MethodLRW:
+		p := LRW(cs, di, dj, st)
+		p.DI, p.DJ = di, dj
+		return p
+	case MethodEffCache:
+		p := EffCache(cs, 0.10, st)
+		p.DI, p.DJ = di, dj
+		return p
+	default:
+		panic(fmt.Sprintf("core: unknown method %d", int(m)))
+	}
+}

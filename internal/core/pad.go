@@ -1,0 +1,34 @@
+package core
+
+// Pad implements padding with tile-size selection (Section 3.4.2,
+// Figure 11). It first runs GcdPad to obtain an upper bound on the padded
+// dimensions and a cost threshold Cost* (the cost of the GcdPad tile),
+// then searches pad amounts DI_p in [DI, DI_gcd], DJ_p in [DJ, DJ_gcd] in
+// increasing order, running Euc3D on each padded shape, and returns the
+// first tile whose cost is <= Cost*. The search always terminates with a
+// hit because the GcdPad dimensions themselves produce a tile of cost
+// Cost* (or better: Euc3D on the padded array sees every non-conflicting
+// shape, including GcdPad's).
+//
+// The padding Pad applies is therefore never larger than GcdPad's, and is
+// usually much smaller (Figure 22: 4.7% vs 14.7% average overhead for
+// JACOBI with K=30).
+func Pad(cs, di, dj int, st Stencil) Plan {
+	st.validate()
+	g := GcdPad(cs, di, dj, st)
+	costStar := g.Cost
+	for dip := di; dip <= g.DI; dip++ {
+		for djp := dj; djp <= g.DJ; djp++ {
+			t, ok := Euc3D(cs, dip, djp, st)
+			if !ok {
+				continue
+			}
+			if c := Cost(t, st); c <= costStar {
+				return Plan{Tile: t, DI: dip, DJ: djp, Tiled: true, Cost: c}
+			}
+		}
+	}
+	// Unreachable when GcdPad's invariant holds; fall back to GcdPad so
+	// callers always get a working plan.
+	return g
+}

@@ -1,0 +1,199 @@
+package core
+
+// Tests in this file pin the implementation to the concrete numbers the
+// paper reports: Table 1 (non-conflicting array tiles), the Section 3.3
+// Euc3D selection example, and the Section 3.4.1 GcdPad example.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1 reproduces Table 1: non-conflicting array tiles for a
+// 200x200xM array of doubles and a 16K cache (cs = 2048 elements).
+//
+// The paper's enumeration lists, per depth TK, a subset of the exact
+// frontier (it omits, e.g., the thin tiles (TJ=1,TI=128) at TK=3). Every
+// tile the paper lists must appear in our frontier with exactly the listed
+// extents; our frontier may contain additional — equally conflict-free —
+// shapes, which only improve the later cost selection.
+func TestTable1(t *testing.T) {
+	const cs = 2048
+	paper := map[int][]FrontierEntry{
+		1: {{1, 2048}, {10, 200}, {41, 48}, {256, 8}},
+		2: {{1, 960}, {4, 200}, {5, 160}, {15, 40}},
+		3: {{5, 72}, {11, 40}, {15, 24}},
+		4: {{4, 72}, {15, 16}, {56, 8}},
+	}
+	for tk, want := range paper {
+		got := Frontier(cs, 200, 200, tk, 0)
+		have := make(map[FrontierEntry]bool, len(got))
+		for _, e := range got {
+			have[e] = true
+		}
+		for _, w := range want {
+			if !have[w] {
+				t.Errorf("TK=%d: Table 1 tile (TJ=%d, TI=%d) missing from frontier %v", tk, w.TJ, w.TI, got)
+			}
+		}
+	}
+	// The exact TK=1 and TK=2 frontiers (beyond thin TJ=1 entries the
+	// paper includes) match Table 1 row for row.
+	if got := Frontier(cs, 200, 200, 1, 0); len(got) != 4 ||
+		got[0] != (FrontierEntry{1, 2048}) || got[1] != (FrontierEntry{10, 200}) ||
+		got[2] != (FrontierEntry{41, 48}) || got[3] != (FrontierEntry{256, 8}) {
+		t.Errorf("TK=1 frontier = %v, want exactly the Table 1 row", got)
+	}
+}
+
+// TestEuc3DSelectionExample reproduces the Section 3.3 example: for the
+// 200x200xM array, cs=2048, a +/-1 stencil (trim 2, ATD 3), Euc3D selects
+// iteration tile (22, 13), originating from array tile (TI=24, TJ=15,
+// TK=3).
+func TestEuc3DSelectionExample(t *testing.T) {
+	tile, ok := Euc3D(2048, 200, 200, Jacobi6pt())
+	if !ok {
+		t.Fatal("Euc3D found no tile")
+	}
+	if tile.TI != 22 || tile.TJ != 13 {
+		t.Fatalf("Euc3D(2048, 200, 200) = %v, want (TI=22, TJ=13)", tile)
+	}
+	// Its cost must equal the paper's (24*15)/(22*13).
+	want := 24.0 * 15.0 / (22.0 * 13.0)
+	if got := Cost(tile, Jacobi6pt()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+}
+
+// TestEuc3DPathological341 checks the Section 3.4 motivating example: for
+// a 341x341xM array the best non-conflicting tile is pathologically thin —
+// the paper reports (110, 4).
+func TestEuc3DPathological341(t *testing.T) {
+	tile, ok := Euc3D(2048, 341, 341, Jacobi6pt())
+	if !ok {
+		t.Fatal("Euc3D found no tile")
+	}
+	if tile.TJ > 6 {
+		t.Errorf("Euc3D(2048, 341, 341) = %v; paper reports a pathologically thin tile (110, 4)", tile)
+	}
+	// The selected tile must never beat the dense tiles available after
+	// padding: GcdPad's cost bounds it from below.
+	g := GcdPad(2048, 341, 341, Jacobi6pt())
+	if Cost(tile, Jacobi6pt()) <= g.Cost {
+		t.Errorf("341x341 unpadded tile %v cost %.4f unexpectedly beats GcdPad cost %.4f",
+			tile, Cost(tile, Jacobi6pt()), g.Cost)
+	}
+}
+
+// TestGcdPadExample reproduces the Section 3.4.1 example: cs=2048 gives
+// array tile (TI,TJ,TK) = (32,16,4), pads bounded by 63 and 31, and the
+// interval behaviour 224 < DI <= 288 -> 288, 288 < DI <= 352 -> 352.
+func TestGcdPadExample(t *testing.T) {
+	at := GcdPadArrayTile(2048, Jacobi6pt())
+	if at != (ArrayTile{TI: 32, TJ: 16, TK: 4}) {
+		t.Fatalf("GcdPadArrayTile(2048) = %v, want (32, 16, 4)", at)
+	}
+	for di := 225; di <= 288; di++ {
+		if got := padToOddMultiple(di, 32); got != 288 {
+			t.Errorf("padToOddMultiple(%d, 32) = %d, want 288", di, got)
+		}
+	}
+	for di := 289; di <= 352; di++ {
+		if got := padToOddMultiple(di, 32); got != 352 {
+			t.Errorf("padToOddMultiple(%d, 32) = %d, want 352", di, got)
+		}
+	}
+	// Pad amounts are bounded by 2*TI-1 and 2*TJ-1.
+	for di := 1; di <= 1000; di++ {
+		p := padToOddMultiple(di, 32)
+		if p < di || p-di > 63 {
+			t.Fatalf("padToOddMultiple(%d, 32) = %d: pad out of [0, 63]", di, p)
+		}
+		if p/32%2 != 1 || p%32 != 0 {
+			t.Fatalf("padToOddMultiple(%d, 32) = %d: not an odd multiple of 32", di, p)
+		}
+	}
+}
+
+// TestGcdPadTileConflictFree verifies GcdPad's central claim: after
+// padding, the fixed array tile never self-interferes, for every array
+// dimension in the paper's sweep range.
+func TestGcdPadTileConflictFree(t *testing.T) {
+	const cs = 2048
+	st := Jacobi6pt()
+	at := GcdPadArrayTile(cs, st)
+	for d := 200; d <= 400; d += 3 {
+		p := GcdPad(cs, d, d+1, st)
+		if SelfConflicts(cs, p.DI, p.DJ, at.TI, at.TJ, at.TK) {
+			t.Errorf("GcdPad dims (%d,%d) for input (%d,%d): tile %v conflicts", p.DI, p.DJ, d, d+1, at)
+		}
+		if p.Tile.TI != at.TI-st.TrimI || p.Tile.TJ != at.TJ-st.TrimJ {
+			t.Errorf("GcdPad tile = %v, want trimmed %v", p.Tile, at)
+		}
+	}
+}
+
+// TestPadProperties verifies the Figure 11 contract: Pad's padded
+// dimensions never exceed GcdPad's, its tile cost never exceeds GcdPad's,
+// and the array tile implied by its selection is conflict-free on the
+// padded dimensions.
+func TestPadProperties(t *testing.T) {
+	const cs = 2048
+	st := Jacobi6pt()
+	for d := 200; d <= 400; d += 7 {
+		g := GcdPad(cs, d, d, st)
+		p := Pad(cs, d, d, st)
+		if p.DI < d || p.DI > g.DI || p.DJ < d || p.DJ > g.DJ {
+			t.Errorf("d=%d: Pad dims (%d,%d) outside [orig, GcdPad] = [(%d,%d),(%d,%d)]",
+				d, p.DI, p.DJ, d, d, g.DI, g.DJ)
+		}
+		if p.Cost > g.Cost+1e-12 {
+			t.Errorf("d=%d: Pad cost %.4f exceeds GcdPad cost %.4f", d, p.Cost, g.Cost)
+		}
+		at := ArrayTile{TI: p.Tile.TI + st.TrimI, TJ: p.Tile.TJ + st.TrimJ, TK: st.Depth}
+		if SelfConflicts(cs, p.DI, p.DJ, at.TI, at.TJ, at.TK) {
+			t.Errorf("d=%d: Pad tile %v conflicts on padded dims (%d,%d)", d, p.Tile, p.DI, p.DJ)
+		}
+	}
+}
+
+// TestPadOverheadSmallerThanGcdPad quantifies Figure 22's qualitative
+// claim on the paper's sweep: total padding overhead of Pad is below
+// GcdPad's.
+func TestPadOverheadSmallerThanGcdPad(t *testing.T) {
+	const cs = 2048
+	st := Jacobi6pt()
+	var padTotal, gcdTotal int
+	for d := 200; d <= 400; d += 10 {
+		g := GcdPad(cs, d, d, st)
+		p := Pad(cs, d, d, st)
+		gcdTotal += (g.DI - d) + (g.DJ - d)
+		padTotal += (p.DI - d) + (p.DJ - d)
+	}
+	if padTotal > gcdTotal {
+		t.Errorf("total Pad padding %d exceeds GcdPad %d", padTotal, gcdTotal)
+	}
+}
+
+// TestEuc3DDepthDomination confirms the design note in Euc3D's doc
+// comment: deeper array tiles never unlock a cheaper iteration tile than
+// the ATD-depth frontier provides.
+func TestEuc3DDepthDomination(t *testing.T) {
+	st := Jacobi6pt()
+	for _, c := range []struct{ cs, di, dj int }{
+		{2048, 200, 200}, {2048, 341, 341}, {1024, 123, 321}, {2048, 256, 300},
+	} {
+		tile, ok := Euc3D(c.cs, c.di, c.dj, st)
+		base := Cost(tile, st)
+		_ = ok
+		for tk := st.Depth + 1; tk <= st.Depth+3; tk++ {
+			for _, e := range Frontier(c.cs, c.di, c.dj, tk, 0) {
+				deep := Cost(ArrayTile{TI: e.TI, TJ: e.TJ, TK: tk}.Trim(st), st)
+				if deep < base-1e-12 {
+					t.Errorf("cs=%d di=%d dj=%d: depth-%d tile %v cost %.4f beats ATD cost %.4f",
+						c.cs, c.di, c.dj, tk, e, deep, base)
+				}
+			}
+		}
+	}
+}

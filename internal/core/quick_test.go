@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests: the selection algorithms' contracts must hold for
+// arbitrary cache geometries and array shapes, not just the paper's
+// examples.
+
+// TestQuickGcdPadAlwaysConflictFree: for any power-of-two cache and any
+// array shape, the GcdPad tile on the padded dimensions never
+// self-interferes, and pads respect the 2*TI-1 / 2*TJ-1 bounds.
+func TestQuickGcdPadAlwaysConflictFree(t *testing.T) {
+	st := Jacobi6pt()
+	f := func(csExp uint8, di16, dj16 uint16) bool {
+		cs := 1 << (7 + csExp%6) // 128..4096 elements
+		di := int(di16)%900 + 16
+		dj := int(dj16)%900 + 16
+		p := GcdPad(cs, di, dj, st)
+		at := GcdPadArrayTile(cs, st)
+		if p.DI < di || p.DI-di >= 2*at.TI {
+			return false
+		}
+		if p.DJ < dj || p.DJ-dj >= 2*at.TJ {
+			return false
+		}
+		return !SelfConflicts(cs, p.DI, p.DJ, at.TI, at.TJ, at.TK)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEuc3DAlwaysConflictFree: any tile Euc3D selects, re-inflated
+// by the stencil trims, is non-self-interfering for the given shape.
+func TestQuickEuc3DAlwaysConflictFree(t *testing.T) {
+	st := Jacobi6pt()
+	f := func(csExp uint8, di16, dj16 uint16) bool {
+		cs := 1 << (7 + csExp%6)
+		di := int(di16)%900 + 16
+		dj := int(dj16)%900 + 16
+		tile, ok := Euc3D(cs, di, dj, st)
+		if !ok {
+			return true // no valid tile is an acceptable outcome
+		}
+		return !SelfConflicts(cs, di, dj, tile.TI+st.TrimI, tile.TJ+st.TrimJ, st.Depth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPadDominatesGcdPad: Pad's plan never pads more than GcdPad and
+// never costs more.
+func TestQuickPadDominatesGcdPad(t *testing.T) {
+	st := Resid27pt()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		cs := 1 << (8 + rng.Intn(4))
+		di := 50 + rng.Intn(400)
+		dj := 50 + rng.Intn(400)
+		g := GcdPad(cs, di, dj, st)
+		p := Pad(cs, di, dj, st)
+		if p.DI > g.DI || p.DJ > g.DJ {
+			t.Fatalf("cs=%d d=(%d,%d): Pad dims (%d,%d) exceed GcdPad (%d,%d)",
+				cs, di, dj, p.DI, p.DJ, g.DI, g.DJ)
+		}
+		if p.Cost > g.Cost+1e-12 {
+			t.Fatalf("cs=%d d=(%d,%d): Pad cost %.4f > GcdPad %.4f", cs, di, dj, p.Cost, g.Cost)
+		}
+		at := ArrayTile{TI: p.Tile.TI + st.TrimI, TJ: p.Tile.TJ + st.TrimJ, TK: st.Depth}
+		if SelfConflicts(cs, p.DI, p.DJ, at.TI, at.TJ, at.TK) {
+			t.Fatalf("cs=%d d=(%d,%d): Pad tile conflicts", cs, di, dj)
+		}
+	}
+}
+
+// TestQuickCostProperties: the cost model is minimized by square tiles
+// at fixed volume and decreases with volume at fixed aspect.
+func TestQuickCostProperties(t *testing.T) {
+	st := Jacobi6pt()
+	f := func(a8, b8 uint8) bool {
+		a := int(a8)%60 + 2
+		b := int(b8)%60 + 2
+		sq := (a + b) / 2
+		// Same-or-larger-volume square never costs more than a thin
+		// rectangle of that volume.
+		if sq*sq >= a*b && Cost(Tile{TI: sq, TJ: sq}, st) > Cost(Tile{TI: a, TJ: b}, st)+1e-12 &&
+			a != b {
+			return false
+		}
+		// Doubling both extents strictly reduces cost.
+		return Cost(Tile{TI: 2 * a, TJ: 2 * b}, st) < Cost(Tile{TI: a, TJ: b}, st)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLRWNeverConflicts: the LRW baseline's square tile is
+// conflict-free by construction.
+func TestQuickLRWNeverConflicts(t *testing.T) {
+	st := Jacobi6pt()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		cs := 1 << (7 + rng.Intn(5))
+		di := 16 + rng.Intn(500)
+		dj := 16 + rng.Intn(500)
+		p := LRW(cs, di, dj, st)
+		s := p.Tile.TI + st.TrimI
+		if p.Tile.TI != p.Tile.TJ {
+			t.Fatalf("LRW tile not square: %v", p.Tile)
+		}
+		if s*s*st.Depth <= cs && SelfConflicts(cs, di, dj, s, s, st.Depth) {
+			// A 1x1 fallback may conflict only if even the smallest
+			// tile does; anything larger must be conflict-free.
+			if p.Tile.TI > 1 {
+				t.Fatalf("cs=%d d=(%d,%d): LRW tile %v conflicts", cs, di, dj, p.Tile)
+			}
+		}
+	}
+}

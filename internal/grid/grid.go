@@ -1,0 +1,174 @@
+// Package grid provides Fortran-style column-major 2D and 3D arrays of
+// float64 with explicitly padded leading dimensions.
+//
+// The paper's transformations (GcdPad, Pad) work by enlarging the allocated
+// leading dimensions of an array while the computation touches only the
+// logical extent. Grid3D therefore distinguishes the logical extents
+// (NI, NJ, NK) from the allocated dimensions (DI, DJ): element (i, j, k)
+// lives at flat index i + j*DI + k*DI*DJ, exactly the address arithmetic a
+// Fortran compiler would emit for A(DI, DJ, *). Keeping the arithmetic
+// explicit lets the cache simulator observe the same address stream the
+// paper's simulated machine saw.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// ElemSize is the size in bytes of one array element (double precision).
+const ElemSize = 8
+
+// Grid3D is a 3D array of float64 stored in column-major order with padded
+// leading dimensions. The zero value is not usable; construct with New3D or
+// New3DPadded, or place one inside an Arena.
+type Grid3D struct {
+	// NI, NJ, NK are the logical extents: the computation indexes
+	// 0 <= i < NI, 0 <= j < NJ, 0 <= k < NK.
+	NI, NJ, NK int
+	// DI, DJ are the allocated leading dimensions (DI >= NI, DJ >= NJ).
+	// Padding an array means DI > NI and/or DJ > NJ.
+	DI, DJ int
+	// Data holds DI*DJ*NK elements.
+	Data []float64
+	// base is the element offset of element (0,0,0) from the start of the
+	// arena this grid lives in (zero for standalone grids). It feeds the
+	// cache simulator so that distinct arrays occupy distinct, realistic
+	// address ranges.
+	base int64
+}
+
+// New3D allocates an unpadded NI x NJ x NK grid.
+func New3D(ni, nj, nk int) *Grid3D {
+	return New3DPadded(ni, nj, nk, ni, nj)
+}
+
+// New3DPadded allocates an NI x NJ x NK grid with allocated leading
+// dimensions DI x DJ. It panics if the padded dimensions are smaller than
+// the logical extents or any extent is non-positive.
+func New3DPadded(ni, nj, nk, di, dj int) *Grid3D {
+	if ni <= 0 || nj <= 0 || nk <= 0 {
+		panic(fmt.Sprintf("grid: non-positive extent %dx%dx%d", ni, nj, nk))
+	}
+	if di < ni || dj < nj {
+		panic(fmt.Sprintf("grid: padded dims %dx%d smaller than logical %dx%d", di, dj, ni, nj))
+	}
+	return &Grid3D{
+		NI: ni, NJ: nj, NK: nk,
+		DI: di, DJ: dj,
+		Data: make([]float64, di*dj*nk),
+	}
+}
+
+// Index returns the flat index of element (i, j, k).
+func (g *Grid3D) Index(i, j, k int) int {
+	return i + g.DI*(j+g.DJ*k)
+}
+
+// Addr returns the element address of (i, j, k) relative to the arena the
+// grid lives in. Multiply by ElemSize for a byte address.
+func (g *Grid3D) Addr(i, j, k int) int64 {
+	return g.base + int64(g.Index(i, j, k))
+}
+
+// Base returns the element offset of the grid within its arena.
+func (g *Grid3D) Base() int64 { return g.base }
+
+// At returns element (i, j, k).
+func (g *Grid3D) At(i, j, k int) float64 { return g.Data[g.Index(i, j, k)] }
+
+// Set stores v into element (i, j, k).
+func (g *Grid3D) Set(i, j, k int, v float64) { g.Data[g.Index(i, j, k)] = v }
+
+// Elems returns the number of allocated elements, including padding.
+func (g *Grid3D) Elems() int { return g.DI * g.DJ * g.NK }
+
+// LogicalElems returns the number of elements in the logical extent.
+func (g *Grid3D) LogicalElems() int { return g.NI * g.NJ * g.NK }
+
+// Bytes returns the allocated size in bytes, including padding.
+func (g *Grid3D) Bytes() int64 { return int64(g.Elems()) * ElemSize }
+
+// PadOverhead returns the fraction of allocated memory that is padding:
+// (allocated - logical) / logical.
+func (g *Grid3D) PadOverhead() float64 {
+	l := g.LogicalElems()
+	return float64(g.Elems()-l) / float64(l)
+}
+
+// Fill sets every allocated element (padding included) to v.
+func (g *Grid3D) Fill(v float64) {
+	for idx := range g.Data {
+		g.Data[idx] = v
+	}
+}
+
+// FillFunc sets every logical element to f(i, j, k). Padding elements are
+// left untouched.
+func (g *Grid3D) FillFunc(f func(i, j, k int) float64) {
+	for k := 0; k < g.NK; k++ {
+		for j := 0; j < g.NJ; j++ {
+			row := g.Index(0, j, k)
+			for i := 0; i < g.NI; i++ {
+				g.Data[row+i] = f(i, j, k)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the grid, preserving padding and arena base.
+func (g *Grid3D) Clone() *Grid3D {
+	c := *g
+	c.Data = make([]float64, len(g.Data))
+	copy(c.Data, g.Data)
+	return &c
+}
+
+// CopyLogical copies the logical extent of src into g. The two grids must
+// have identical logical extents; paddings may differ. This is how a
+// padded "optimized" array is initialized from an unpadded "original" one.
+func (g *Grid3D) CopyLogical(src *Grid3D) {
+	if g.NI != src.NI || g.NJ != src.NJ || g.NK != src.NK {
+		panic(fmt.Sprintf("grid: logical extent mismatch %dx%dx%d vs %dx%dx%d",
+			g.NI, g.NJ, g.NK, src.NI, src.NJ, src.NK))
+	}
+	for k := 0; k < g.NK; k++ {
+		for j := 0; j < g.NJ; j++ {
+			d := g.Index(0, j, k)
+			s := src.Index(0, j, k)
+			copy(g.Data[d:d+g.NI], src.Data[s:s+src.NI])
+		}
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute difference between the logical
+// elements of g and other, which must have identical logical extents.
+func (g *Grid3D) MaxAbsDiff(other *Grid3D) float64 {
+	if g.NI != other.NI || g.NJ != other.NJ || g.NK != other.NK {
+		panic("grid: logical extent mismatch")
+	}
+	var m float64
+	for k := 0; k < g.NK; k++ {
+		for j := 0; j < g.NJ; j++ {
+			for i := 0; i < g.NI; i++ {
+				d := math.Abs(g.At(i, j, k) - other.At(i, j, k))
+				if d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// EqualApprox reports whether all logical elements of g and other agree to
+// within tol.
+func (g *Grid3D) EqualApprox(other *Grid3D, tol float64) bool {
+	return g.MaxAbsDiff(other) <= tol
+}
+
+// String describes the grid's shape.
+func (g *Grid3D) String() string {
+	return fmt.Sprintf("Grid3D %dx%dx%d (alloc %dx%dx%d, base %d)",
+		g.NI, g.NJ, g.NK, g.DI, g.DJ, g.NK, g.base)
+}

@@ -1,0 +1,72 @@
+package grid
+
+import "fmt"
+
+// Grid2D is a 2D array of float64 stored in column-major order with a
+// padded leading dimension. It backs the paper's Section 1 motivation
+// experiments, which contrast 2D and 3D stencil reuse.
+type Grid2D struct {
+	// NI, NJ are the logical extents.
+	NI, NJ int
+	// DI is the allocated leading dimension (DI >= NI).
+	DI   int
+	Data []float64
+	base int64
+}
+
+// New2D allocates an unpadded NI x NJ grid.
+func New2D(ni, nj int) *Grid2D { return New2DPadded(ni, nj, ni) }
+
+// New2DPadded allocates an NI x NJ grid with leading dimension DI.
+func New2DPadded(ni, nj, di int) *Grid2D {
+	if ni <= 0 || nj <= 0 {
+		panic(fmt.Sprintf("grid: non-positive extent %dx%d", ni, nj))
+	}
+	if di < ni {
+		panic(fmt.Sprintf("grid: padded dim %d smaller than logical %d", di, ni))
+	}
+	return &Grid2D{NI: ni, NJ: nj, DI: di, Data: make([]float64, di*nj)}
+}
+
+// Index returns the flat index of element (i, j).
+func (g *Grid2D) Index(i, j int) int { return i + g.DI*j }
+
+// Addr returns the element address of (i, j) relative to the arena.
+func (g *Grid2D) Addr(i, j int) int64 { return g.base + int64(g.Index(i, j)) }
+
+// Base returns the element offset of the grid within its arena.
+func (g *Grid2D) Base() int64 { return g.base }
+
+// At returns element (i, j).
+func (g *Grid2D) At(i, j int) float64 { return g.Data[g.Index(i, j)] }
+
+// Set stores v into element (i, j).
+func (g *Grid2D) Set(i, j int, v float64) { g.Data[g.Index(i, j)] = v }
+
+// Elems returns the number of allocated elements, including padding.
+func (g *Grid2D) Elems() int { return g.DI * g.NJ }
+
+// Fill sets every allocated element to v.
+func (g *Grid2D) Fill(v float64) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// FillFunc sets every logical element to f(i, j).
+func (g *Grid2D) FillFunc(f func(i, j int) float64) {
+	for j := 0; j < g.NJ; j++ {
+		row := g.Index(0, j)
+		for i := 0; i < g.NI; i++ {
+			g.Data[row+i] = f(i, j)
+		}
+	}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid2D) Clone() *Grid2D {
+	c := *g
+	c.Data = make([]float64, len(g.Data))
+	copy(c.Data, g.Data)
+	return &c
+}

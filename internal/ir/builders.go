@@ -1,0 +1,98 @@
+package ir
+
+// Builders for the paper's kernels as IR nests with compute semantics
+// attached. Subscripts are zero-based with interior 1..n-2, matching the
+// stencil package; the derived Body lists references in the figures'
+// operand order, so the trace cross-checks in internal/trace hold.
+
+// JacobiNest builds the original 3D Jacobi nest (Figure 3) over
+// n x n x depth arrays A and B: A(i,j,k) = C * (6-point sum of B).
+func JacobiNest(n, depth int) *Nest {
+	i, j, k := Var("I", 0), Var("J", 0), Var("K", 0)
+	nest := &Nest{
+		Loops: []Loop{
+			SimpleLoop("K", 1, depth-2),
+			SimpleLoop("J", 1, n-2),
+			SimpleLoop("I", 1, n-2),
+		},
+	}
+	nest.SetCompute(Assign{
+		LHS: Ref{Array: "A", Subs: []Expr{i, j, k}},
+		Terms: []Term{{
+			Coeff: "C",
+			Refs: []Ref{
+				Load("B", i.Plus(-1), j, k),
+				Load("B", i.Plus(1), j, k),
+				Load("B", i, j.Plus(-1), k),
+				Load("B", i, j.Plus(1), k),
+				Load("B", i, j, k.Plus(-1)),
+				Load("B", i, j, k.Plus(1)),
+			},
+		}},
+	})
+	return nest
+}
+
+// Jacobi2DNest builds the 2D Jacobi nest (Figure 1) over n x n arrays.
+// 2D arrays carry no compute semantics (the interpreter is 3D); only the
+// reference body is set.
+func Jacobi2DNest(n int) *Nest {
+	i, j := Var("I", 0), Var("J", 0)
+	return &Nest{
+		Loops: []Loop{
+			SimpleLoop("J", 1, n-2),
+			SimpleLoop("I", 1, n-2),
+		},
+		Body: []Ref{
+			Load("B", i.Plus(-1), j),
+			Load("B", i.Plus(1), j),
+			Load("B", i, j.Plus(-1)),
+			Load("B", i, j.Plus(1)),
+			StoreRef("A", i, j),
+		},
+	}
+}
+
+// ResidNest builds the original RESID nest (Figure 13) over n x n x depth
+// arrays R, V and U: R = V - A0*center - A1*faces - A2*edges - A3*corners,
+// with the subtractions carried by negated terms (bind A0..A3 directly).
+func ResidNest(n, depth int) *Nest {
+	i1, i2, i3 := Var("I1", 0), Var("I2", 0), Var("I3", 0)
+	u := func(d1, d2, d3 int) Ref {
+		return Load("U", i1.Plus(d1), i2.Plus(d2), i3.Plus(d3))
+	}
+	nest := &Nest{
+		Loops: []Loop{
+			SimpleLoop("I3", 1, depth-2),
+			SimpleLoop("I2", 1, n-2),
+			SimpleLoop("I1", 1, n-2),
+		},
+	}
+	nest.SetCompute(Assign{
+		LHS: Ref{Array: "R", Subs: []Expr{i1, i2, i3}},
+		Terms: []Term{
+			{Coeff: "ONE", Refs: []Ref{Load("V", i1, i2, i3)}},
+			{Coeff: "A0", Neg: true, Refs: []Ref{u(0, 0, 0)}},
+			{Coeff: "A1", Neg: true, Refs: []Ref{
+				u(-1, 0, 0), u(1, 0, 0),
+				u(0, -1, 0), u(0, 1, 0),
+				u(0, 0, -1), u(0, 0, 1),
+			}},
+			{Coeff: "A2", Neg: true, Refs: []Ref{
+				u(-1, -1, 0), u(1, -1, 0),
+				u(-1, 1, 0), u(1, 1, 0),
+				u(0, -1, -1), u(0, 1, -1),
+				u(0, -1, 1), u(0, 1, 1),
+				u(-1, 0, -1), u(-1, 0, 1),
+				u(1, 0, -1), u(1, 0, 1),
+			}},
+			{Coeff: "A3", Neg: true, Refs: []Ref{
+				u(-1, -1, -1), u(1, -1, -1),
+				u(-1, 1, -1), u(1, 1, -1),
+				u(-1, -1, 1), u(1, -1, 1),
+				u(-1, 1, 1), u(1, 1, 1),
+			}},
+		},
+	})
+	return nest
+}

@@ -1,0 +1,128 @@
+package ir
+
+import (
+	"fmt"
+
+	"tiling3d/internal/grid"
+)
+
+// Compute semantics: a nest may carry, beyond the plain reference list
+// the trace walkers replay, the actual computation each iteration
+// performs — an assignment of a weighted sum of reference groups:
+//
+//	LHS = sum over terms t of Coeff_t * (sum of refs in t)
+//
+// which covers every kernel in the paper (Jacobi: C * sum of 6; RESID:
+// V - A0*u0 - A1*(faces) - ...). With compute attached, a nest can be
+// interpreted against real grids, so the transformation engine's output
+// is checked not just for address streams but for values, and the code
+// generator can emit a complete Go function.
+
+// Term is one weighted reference group: +/- Coeff * (sum of Refs).
+// Coeff is a named constant bound at interpretation / call time; Neg
+// subtracts the group, as RESID's "- A1*(...)" terms do.
+type Term struct {
+	Coeff string
+	Neg   bool
+	Refs  []Ref
+}
+
+// Assign is LHS = sum of Terms.
+type Assign struct {
+	LHS   Ref
+	Terms []Term
+}
+
+// DeriveBody flattens an assignment into the reference list in execution
+// order: every term's loads left to right, then the store.
+func DeriveBody(a Assign) []Ref {
+	var body []Ref
+	for _, t := range a.Terms {
+		body = append(body, t.Refs...)
+	}
+	lhs := a.LHS
+	lhs.Store = true
+	return append(body, lhs)
+}
+
+// SetCompute attaches an assignment to the nest and regenerates Body from
+// it so walkers and interpreter agree on access order.
+func (n *Nest) SetCompute(a Assign) {
+	n.Compute = &a
+	n.Body = DeriveBody(a)
+}
+
+// Interpret executes the nest's computation over real grids: env binds
+// array names, consts binds coefficient names. The iteration order is the
+// nest's loop structure, so interpreting a transformed nest validates the
+// transformation's semantics, not just its addresses.
+func Interpret(n *Nest, env map[string]*grid.Grid3D, consts map[string]float64) error {
+	if n.Compute == nil {
+		return fmt.Errorf("ir: nest has no compute semantics attached")
+	}
+	a := *n.Compute
+	lhsGrid, ok := env[a.LHS.Array]
+	if !ok {
+		return fmt.Errorf("ir: no grid bound for %q", a.LHS.Array)
+	}
+	if len(a.LHS.Subs) != 3 {
+		return fmt.Errorf("ir: interpreter supports 3D arrays, %q has %d subs", a.LHS.Array, len(a.LHS.Subs))
+	}
+	type boundTerm struct {
+		coeff float64
+		grids []*grid.Grid3D
+		refs  []Ref
+	}
+	terms := make([]boundTerm, 0, len(a.Terms))
+	for _, t := range a.Terms {
+		c, ok := consts[t.Coeff]
+		if !ok {
+			return fmt.Errorf("ir: no value bound for coefficient %q", t.Coeff)
+		}
+		if t.Neg {
+			c = -c
+		}
+		bt := boundTerm{coeff: c, refs: t.Refs}
+		for _, r := range t.Refs {
+			g, ok := env[r.Array]
+			if !ok {
+				return fmt.Errorf("ir: no grid bound for %q", r.Array)
+			}
+			if len(r.Subs) != 3 {
+				return fmt.Errorf("ir: interpreter supports 3D arrays only")
+			}
+			bt.grids = append(bt.grids, g)
+		}
+		terms = append(terms, bt)
+	}
+
+	vars := map[string]int{}
+	var walk func(depth int) error
+	walk = func(depth int) error {
+		if depth == len(n.Loops) {
+			var sum float64
+			for _, t := range terms {
+				var group float64
+				for ri, r := range t.refs {
+					g := t.grids[ri]
+					group += g.At(r.Subs[0].Eval(vars), r.Subs[1].Eval(vars), r.Subs[2].Eval(vars))
+				}
+				sum += t.coeff * group
+			}
+			lhsGrid.Set(a.LHS.Subs[0].Eval(vars), a.LHS.Subs[1].Eval(vars), a.LHS.Subs[2].Eval(vars), sum)
+			return nil
+		}
+		l := n.Loops[depth]
+		lo := l.Lo.EvalMax(vars)
+		hi := l.Hi.EvalMin(vars)
+		for v := lo; v <= hi; v += l.Step {
+			vars[l.Name] = v
+			if err := walk(depth + 1); err != nil {
+				return err
+			}
+		}
+		delete(vars, l.Name)
+		return nil
+	}
+	return walk(0)
+}

@@ -1,0 +1,130 @@
+// Package lang parses a small Fortran-like stencil language — enough to
+// accept the paper's kernel listings (Figures 1, 3, 13) verbatim — into
+// the loop-nest IR, completing the compiler pipeline: parse, analyze
+// (ir.Analyze), select a plan (core), transform (transform.ApplyPlan) and
+// generate Go (transform.GenGo).
+//
+// Grammar (case-insensitive keywords, Fortran continuation not needed —
+// expressions may span lines inside parentheses):
+//
+//	program  := loop
+//	loop     := "do" IDENT "=" bound "," bound [ "," INT ] body
+//	body     := loop | assign
+//	assign   := ref "=" rhs
+//	rhs      := ["-"] term { ("+"|"-") term }
+//	term     := IDENT "*" "(" refsum ")"      weighted reference group
+//	          | ref                           bare reference (coefficient ONE)
+//	refsum   := ref { "+" ref }
+//	ref      := IDENT "(" sub { "," sub } ")"
+//	sub      := IDENT [ ("+"|"-") INT ] | INT
+//	bound    := INT | IDENT [ ("+"|"-") INT ]
+//
+// Loop bounds may reference named parameters (e.g. N) supplied at parse
+// time. Subscripts are translated from the source's 1-based convention
+// to the IR's 0-based one (every subscript and bound is shifted by -1).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokAssign
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return t.text
+	}
+}
+
+// lex tokenizes the source. Comments run from "//" or "!" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '!' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(rune(c)):
+			j := i
+			v := 0
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				v = v*10 + int(src[j]-'0')
+				j++
+			}
+			toks = append(toks, token{kind: tokInt, val: v, line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			kind := tokEOF
+			switch c {
+			case '(':
+				kind = tokLParen
+			case ')':
+				kind = tokRParen
+			case ',':
+				kind = tokComma
+			case '+':
+				kind = tokPlus
+			case '-':
+				kind = tokMinus
+			case '*':
+				kind = tokStar
+			case '=':
+				kind = tokAssign
+			default:
+				return nil, fmt.Errorf("lang: line %d: unexpected character %q", line, c)
+			}
+			toks = append(toks, token{kind: kind, text: string(c), line: line})
+			i++
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// isKeyword reports a case-insensitive keyword match.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,76 @@
+package lang
+
+import "testing"
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexTokens(t *testing.T) {
+	toks, err := lex("do I = 2, N-1\n A(I) = C*(B(I+1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{
+		tokIdent, tokIdent, tokAssign, tokInt, tokComma, tokIdent, tokMinus, tokInt,
+		tokIdent, tokLParen, tokIdent, tokRParen, tokAssign,
+		tokIdent, tokStar, tokLParen, tokIdent, tokLParen, tokIdent, tokPlus, tokInt, tokRParen, tokRParen,
+		tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: kind %d, want %d (%v)", i, got[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex("do I = 1, 5 ! fortran comment\n// go comment\nA(I) = B(I)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks {
+		if tok.kind == tokIdent && (tok.text == "fortran" || tok.text == "go") {
+			t.Errorf("comment text leaked: %v", tok)
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := lex("a\nb\n\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 4, 4}
+	for i, w := range wantLines {
+		if toks[i].line != w {
+			t.Errorf("token %d on line %d, want %d", i, toks[i].line, w)
+		}
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"a & b", "x # y", "A(I) = B[I]"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("%q lexed without error", src)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("12345 007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].val != 12345 || toks[1].val != 7 {
+		t.Errorf("values %d, %d", toks[0].val, toks[1].val)
+	}
+}

@@ -1,0 +1,116 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"tiling3d/internal/ir"
+)
+
+// Program is a parsed stencil program: one or more loop nests, possibly
+// inside a time-step loop — the three patterns of the paper's Figure 5
+// (simplified, realistic, multigrid-step).
+type Program struct {
+	// TimeVar is the time-loop variable name, empty when the program is
+	// a single bare nest.
+	TimeVar string
+	// Steps is the time loop's trip count.
+	Steps int
+	// Nests are the spatial loop nests, in program order.
+	Nests []*ir.Nest
+}
+
+// ParseProgram parses a program that is either a single nest or a
+// time-step loop enclosing one or more nests:
+//
+//	do T = 1, TSTEPS
+//	  do K = 2, N-1 ... (nest 1)
+//	  do K = 2, N-1 ... (nest 2)
+//
+// There is no end-do; the outermost loop is recognized as a time loop by
+// its variable never appearing in an array subscript (true of every
+// stencil time loop, never of a spatial loop).
+func ParseProgram(src string, params map[string]int) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, params: params}
+	if !isKeyword(p.peek(), "do") {
+		return nil, p.errorf("expected a do loop")
+	}
+	// Parse the outermost header, then its body as a sequence of nests.
+	p.next() // "do"
+	name, err := p.expect(tokIdent, "loop variable")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	lo, err := p.bound()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "','"); err != nil {
+		return nil, err
+	}
+	hi, err := p.bound()
+	if err != nil {
+		return nil, err
+	}
+	p.loops = []string{name.text}
+	var nests []*ir.Nest
+	for isKeyword(p.peek(), "do") {
+		n, err := p.loop()
+		if err != nil {
+			return nil, err
+		}
+		nests = append(nests, n)
+	}
+	if len(nests) == 0 {
+		// The outer loop is itself the start of a single bare nest:
+		// reparse the whole source as one nest.
+		nest, err := Parse(src, params)
+		if err != nil {
+			return nil, err
+		}
+		return &Program{Nests: []*ir.Nest{nest}}, nil
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("trailing input after the program")
+	}
+
+	timeVar := strings.ToUpper(name.text)
+	if usesVar(nests, timeVar) {
+		if len(nests) != 1 {
+			return nil, fmt.Errorf("lang: outer variable %s indexes arrays but encloses %d nests", timeVar, len(nests))
+		}
+		// Spatial outer loop around a single nest: fold it in (1-based
+		// to 0-based shift applies).
+		outer := ir.Loop{
+			Name: timeVar,
+			Lo:   ir.BoundOf(ir.Con(lo - 1)),
+			Hi:   ir.BoundOf(ir.Con(hi - 1)),
+			Step: 1,
+		}
+		nests[0].Loops = append([]ir.Loop{outer}, nests[0].Loops...)
+		return &Program{Nests: nests}, nil
+	}
+	return &Program{TimeVar: timeVar, Steps: hi - lo + 1, Nests: nests}, nil
+}
+
+// usesVar reports whether the variable appears in any subscript of any
+// nest.
+func usesVar(nests []*ir.Nest, v string) bool {
+	for _, n := range nests {
+		for _, r := range n.Body {
+			for _, s := range r.Subs {
+				if c, ok := s.Coeff[v]; ok && c != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

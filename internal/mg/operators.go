@@ -1,0 +1,148 @@
+package mg
+
+import "tiling3d/internal/grid"
+
+// psinv applies the 27-point smoother u = u + C r (NAS MG psinv):
+// c0 weights the center, c1 the faces, c2 the edges, c3 the corners.
+func psinv(u, r *grid.Grid3D, c [4]float64) {
+	m := u.NI
+	for k := 1; k <= m-2; k++ {
+		for j := 1; j <= m-2; j++ {
+			psinvRow(u, r, c, 1, m-2, j, k)
+		}
+	}
+}
+
+// psinvTiled is the tiled smoother: the same transformation RESID gets
+// (Section 4.6 expects "additional improvements ... from tiling the
+// remaining subroutines"). Bit-identical to psinv.
+func psinvTiled(u, r *grid.Grid3D, c [4]float64, ti, tj int) {
+	m := u.NI
+	for jj := 1; jj <= m-2; jj += tj {
+		jHi := jj + tj - 1
+		if jHi > m-2 {
+			jHi = m - 2
+		}
+		for ii := 1; ii <= m-2; ii += ti {
+			iHi := ii + ti - 1
+			if iHi > m-2 {
+				iHi = m - 2
+			}
+			for k := 1; k <= m-2; k++ {
+				for j := jj; j <= jHi; j++ {
+					psinvRow(u, r, c, ii, iHi, j, k)
+				}
+			}
+		}
+	}
+}
+
+func psinvRow(u, r *grid.Grid3D, c [4]float64, lo, hi, j, k int) {
+	c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+	rd, udd := r.Data, u.Data
+	c00 := r.Index(0, j, k)
+	cm0 := r.Index(0, j-1, k)
+	cp0 := r.Index(0, j+1, k)
+	c0m := r.Index(0, j, k-1)
+	c0p := r.Index(0, j, k+1)
+	cmm := r.Index(0, j-1, k-1)
+	cpm := r.Index(0, j+1, k-1)
+	cmp := r.Index(0, j-1, k+1)
+	cpp := r.Index(0, j+1, k+1)
+	ru := u.Index(0, j, k)
+	for i := lo; i <= hi; i++ {
+		udd[ru+i] += c0*rd[c00+i] +
+			c1*(rd[c00+i-1]+rd[c00+i+1]+
+				rd[cm0+i]+rd[cp0+i]+
+				rd[c0m+i]+rd[c0p+i]) +
+			c2*(rd[cm0+i-1]+rd[cm0+i+1]+
+				rd[cp0+i-1]+rd[cp0+i+1]+
+				rd[cmm+i]+rd[cpm+i]+
+				rd[cmp+i]+rd[cpp+i]+
+				rd[c0m+i-1]+rd[c0m+i+1]+
+				rd[c0p+i-1]+rd[c0p+i+1]) +
+			c3*(rd[cmm+i-1]+rd[cmm+i+1]+
+				rd[cpm+i-1]+rd[cpm+i+1]+
+				rd[cmp+i-1]+rd[cmp+i+1]+
+				rd[cpp+i-1]+rd[cpp+i+1])
+	}
+}
+
+// rprj3 restricts the fine residual to the coarse grid with NAS MG's
+// full-weighting stencil: coarse point (i,j,k) sits on fine point
+// (2i,2j,2k) and gathers the surrounding 27 fine points with weights
+// 1/2 (center), 1/4 (faces), 1/8 (edges), 1/16 (corners).
+func rprj3(coarse, fine *grid.Grid3D) {
+	mc := coarse.NI
+	fd, cd := fine.Data, coarse.Data
+	for k := 1; k <= mc-2; k++ {
+		fk := 2 * k
+		for j := 1; j <= mc-2; j++ {
+			fj := 2 * j
+			c00 := fine.Index(0, fj, fk)
+			cm0 := fine.Index(0, fj-1, fk)
+			cp0 := fine.Index(0, fj+1, fk)
+			c0m := fine.Index(0, fj, fk-1)
+			c0p := fine.Index(0, fj, fk+1)
+			cmm := fine.Index(0, fj-1, fk-1)
+			cpm := fine.Index(0, fj+1, fk-1)
+			cmp := fine.Index(0, fj-1, fk+1)
+			cpp := fine.Index(0, fj+1, fk+1)
+			rc := coarse.Index(0, j, k)
+			for i := 1; i <= mc-2; i++ {
+				fi := 2 * i
+				cd[rc+i] = 0.5*fd[c00+fi] +
+					0.25*(fd[c00+fi-1]+fd[c00+fi+1]+
+						fd[cm0+fi]+fd[cp0+fi]+
+						fd[c0m+fi]+fd[c0p+fi]) +
+					0.125*(fd[cm0+fi-1]+fd[cm0+fi+1]+
+						fd[cp0+fi-1]+fd[cp0+fi+1]+
+						fd[cmm+fi]+fd[cpm+fi]+
+						fd[cmp+fi]+fd[cpp+fi]+
+						fd[c0m+fi-1]+fd[c0m+fi+1]+
+						fd[c0p+fi-1]+fd[c0p+fi+1]) +
+					0.0625*(fd[cmm+fi-1]+fd[cmm+fi+1]+
+						fd[cpm+fi-1]+fd[cpm+fi+1]+
+						fd[cmp+fi-1]+fd[cmp+fi+1]+
+						fd[cpp+fi-1]+fd[cpp+fi+1])
+			}
+		}
+	}
+}
+
+// interp prolongates the coarse correction onto the fine grid with
+// trilinear interpolation, adding into fine: coincident fine points get
+// the coarse value, midpoints the average of their 2, 4 or 8 coarse
+// neighbors.
+func interp(fine, coarse *grid.Grid3D) {
+	mc := coarse.NI
+	for k := 0; k <= mc-2; k++ {
+		fk := 2 * k
+		for j := 0; j <= mc-2; j++ {
+			fj := 2 * j
+			for i := 0; i <= mc-2; i++ {
+				fi := 2 * i
+				u000 := coarse.At(i, j, k)
+				u100 := coarse.At(i+1, j, k)
+				u010 := coarse.At(i, j+1, k)
+				u110 := coarse.At(i+1, j+1, k)
+				u001 := coarse.At(i, j, k+1)
+				u101 := coarse.At(i+1, j, k+1)
+				u011 := coarse.At(i, j+1, k+1)
+				u111 := coarse.At(i+1, j+1, k+1)
+				add := func(di, dj, dk int, v float64) {
+					idx := fine.Index(fi+di, fj+dj, fk+dk)
+					fine.Data[idx] += v
+				}
+				add(0, 0, 0, u000)
+				add(1, 0, 0, 0.5*(u000+u100))
+				add(0, 1, 0, 0.5*(u000+u010))
+				add(1, 1, 0, 0.25*(u000+u100+u010+u110))
+				add(0, 0, 1, 0.5*(u000+u001))
+				add(1, 0, 1, 0.25*(u000+u100+u001+u101))
+				add(0, 1, 1, 0.25*(u000+u010+u001+u011))
+				add(1, 1, 1, 0.125*(u000+u100+u010+u110+u001+u101+u011+u111))
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package mg
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/stencil"
+)
+
+// TraceVCycle replays one V-cycle's complete address stream — every
+// restriction, smoothing, prolongation and residual on every level —
+// into mem, honoring the solver's tiling plan exactly as VCycle does.
+// This turns Section 4.6 into an end-to-end simulation: the whole
+// application's miss rate with and without the transformation.
+func (s *Solver) TraceVCycle(mem cache.Memory) {
+	lm := s.p.LM
+	for l := lm; l >= 2; l-- {
+		rprj3Trace(s.r[l-1], s.r[l], mem)
+	}
+	fillTrace(s.u[1], mem)
+	psinvTrace(s.u[1], s.r[1], mem, 0, 0, false)
+	for l := 2; l < lm; l++ {
+		fillTrace(s.u[l], mem)
+		interpTrace(s.u[l], s.u[l-1], mem)
+		s.traceResidLevel(l, s.r[l], mem)
+		psinvTrace(s.u[l], s.r[l], mem, 0, 0, false)
+	}
+	if lm >= 2 {
+		interpTrace(s.u[lm], s.u[lm-1], mem)
+	}
+	s.traceResidLevel(lm, s.v, mem)
+	if s.p.TileSmoother && s.p.Plan.Tiled {
+		psinvTrace(s.u[lm], s.r[lm], mem, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ, true)
+	} else {
+		psinvTrace(s.u[lm], s.r[lm], mem, 0, 0, false)
+	}
+}
+
+// TraceResid replays the finest-level residual, tiled per the plan.
+func (s *Solver) TraceResid(mem cache.Memory) {
+	s.traceResidLevel(s.p.LM, s.v, mem)
+}
+
+func (s *Solver) traceResidLevel(l int, v *grid.Grid3D, mem cache.Memory) {
+	if l == s.p.LM && s.p.Plan.Tiled {
+		stencil.ResidTiledTrace(s.r[l], v, s.u[l], mem, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
+		return
+	}
+	stencil.ResidOrigTrace(s.r[l], v, s.u[l], mem)
+}
+
+// SimulatedExperiment replays a full V-cycle (plus the finest residual,
+// as Iterate performs) for the original and the transformed solver on
+// the given hierarchy geometry and reports L1 miss rates and the
+// cycle-model improvement — the simulated counterpart of RunExperiment.
+type SimulatedExperiment struct {
+	OrigL1, TiledL1 float64
+	// ImprovementPct is the cycle-model whole-V-cycle improvement, with
+	// memory access and miss costs from the model (flop costs cancel in
+	// the comparison only if flops match, which they do: the
+	// transformation reorders, never adds work).
+	ImprovementPct float64
+}
+
+// RunSimulatedExperiment builds both solvers and replays one V-cycle
+// each through a fresh hierarchy (one warm-up cycle excluded).
+// accessCycles/l1Miss/l2Miss parameterize the time model.
+func RunSimulatedExperiment(lm, cs int, m core.Method, l1, l2 cache.Config, accessCycles, l1Miss, l2Miss float64) SimulatedExperiment {
+	fm := (1 << lm) + 2
+	plan := core.Select(m, cs, fm, fm, stencil.Resid.Spec())
+
+	cycles := func(p core.Plan) (float64, float64) {
+		s := New(Params{LM: lm, Plan: p})
+		h := cache.NewHierarchy(l1, l2)
+		s.TraceVCycle(h)
+		s.TraceResid(h)
+		h.ResetStats()
+		s.TraceVCycle(h)
+		s.TraceResid(h)
+		s1 := h.Level(0).Stats()
+		s2 := h.Level(1).Stats()
+		c := accessCycles*float64(s1.Accesses()) +
+			l1Miss*float64(s1.Misses()) +
+			l2Miss*float64(s2.Misses())
+		return c, s1.MissRate()
+	}
+	origCycles, origL1 := cycles(core.Plan{})
+	tiledCycles, tiledL1 := cycles(plan)
+	return SimulatedExperiment{
+		OrigL1:         origL1,
+		TiledL1:        tiledL1,
+		ImprovementPct: (origCycles/tiledCycles - 1) * 100,
+	}
+}

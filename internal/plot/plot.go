@@ -1,0 +1,145 @@
+// Package plot renders simple SVG line charts with the standard library
+// only, so the experiment tools can regenerate the paper's figures as
+// images as well as tables. The output is intentionally minimal: axes
+// with tick labels, one polyline per series, and a legend.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart is a line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels; zero selects 640x400.
+	Width, Height int
+	// YMin/YMax fix the y range; both zero means auto.
+	YMin, YMax float64
+}
+
+// palette holds visually distinct stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+const (
+	marginL = 60
+	marginR = 20
+	marginT = 36
+	marginB = 46
+)
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 400
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		yMin, yMax = c.YMin, c.YMax
+	} else {
+		yMin = math.Min(yMin, 0)
+		yMax += (yMax - yMin) * 0.05
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+		marginL, py(yMin), px(xMax), py(yMin))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%d" y2="%v" stroke="black"/>`+"\n",
+		marginL, py(yMin), marginL, py(yMax))
+
+	// Ticks: five per axis.
+	for t := 0; t <= 4; t++ {
+		xv := xMin + (xMax-xMin)*float64(t)/4
+		yv := yMin + (yMax-yMin)*float64(t)/4
+		fmt.Fprintf(&b, `<text x="%v" y="%v" text-anchor="middle">%s</text>`+"\n",
+			px(xv), float64(height-marginB+18), fmtTick(xv))
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="#ccc"/>`+"\n",
+			px(xMin), py(yv), px(xMax), py(yv))
+		fmt.Fprintf(&b, `<text x="%v" y="%v" text-anchor="end">%s</text>`+"\n",
+			float64(marginL-6), py(yv)+4, fmtTick(yv))
+	}
+	fmt.Fprintf(&b, `<text x="%v" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%v" text-anchor="middle" transform="rotate(-90 14 %v)">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := marginT + 14 + si*16
+		fmt.Fprintf(&b, `<line x1="%v" y1="%d" x2="%v" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			plotW+marginL-110, ly-4, plotW+marginL-86, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%v" y="%d">%s</text>`+"\n", plotW+marginL-80, ly, esc(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

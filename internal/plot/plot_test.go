@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "JACOBI: L1 miss rate",
+		XLabel: "problem size N",
+		YLabel: "miss rate (%)",
+		Series: []Series{
+			{Label: "Orig", X: []float64{200, 300, 400}, Y: []float64{32, 34, 30}},
+			{Label: "GcdPad", X: []float64{200, 300, 400}, Y: []float64{20, 19, 21}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "Orig", "GcdPad", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).WriteSVG(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := sampleChart()
+	c.Series[0].Y = c.Series[0].Y[:1]
+	if err := c.WriteSVG(&buf); err == nil {
+		t.Error("mismatched series lengths accepted")
+	}
+}
+
+func TestWriteSVGEscapes(t *testing.T) {
+	c := sampleChart()
+	c.Title = "a < b & c"
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "a < b & c") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(buf.String(), "a &lt; b &amp; c") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatalf("degenerate ranges: %v", err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("degenerate ranges produced NaN/Inf coordinates")
+	}
+}

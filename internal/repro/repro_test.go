@@ -1,0 +1,31 @@
+package repro
+
+import "testing"
+
+// TestAllClaimsReproduce runs the whole claim suite; this is the
+// repository's reproduction badge.
+func TestAllClaimsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claim suite simulates full-size problems")
+	}
+	for _, r := range RunAll() {
+		if !r.Pass {
+			t.Errorf("%s: %s — got %s", r.ID, r.Claim, r.Got)
+		} else {
+			t.Logf("%s: %s", r.ID, r.Got)
+		}
+	}
+}
+
+func TestCheckIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checks() {
+		if seen[c.ID] {
+			t.Errorf("duplicate check ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Claim == "" || c.Run == nil {
+			t.Errorf("check %q incomplete", c.ID)
+		}
+	}
+}

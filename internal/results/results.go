@@ -1,0 +1,140 @@
+// Package results persists experiment outcomes as JSON and compares runs
+// against a stored baseline — regression tracking for the reproduction:
+// after a change to the simulator or the selection algorithms, rerun and
+// diff against the committed numbers instead of eyeballing tables.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// Snapshot captures the headline numbers of a full run.
+type Snapshot struct {
+	// Label is free-form provenance (host, date, flags).
+	Label string
+	// Table3 maps kernel -> metric -> method -> value, with metrics
+	// "origL1", "origL2", "estImp", "l1Imp", "l2Imp".
+	Table3 map[string]map[string]map[string]float64
+	// MemOverhead maps method -> average Figure 22 overhead percent.
+	MemOverhead map[string]float64
+	// Boundaries holds the Section 1 reuse boundaries.
+	Boundaries [3]int
+}
+
+// Capture runs the simulation side of the headline experiments.
+func Capture(label string, opt bench.Options) *Snapshot {
+	s := &Snapshot{
+		Label:       label,
+		Table3:      map[string]map[string]map[string]float64{},
+		MemOverhead: map[string]float64{},
+	}
+	for _, row := range bench.Table3(opt, false) {
+		k := row.Kernel.String()
+		s.Table3[k] = map[string]map[string]float64{
+			"orig":   {"L1": row.OrigL1, "L2": row.OrigL2},
+			"estImp": methodMap(row.EstImp),
+			"l1Imp":  methodMap(row.L1Imp),
+			"l2Imp":  methodMap(row.L2Imp),
+		}
+	}
+	for _, m := range []core.Method{core.MethodGcdPad, core.MethodPad} {
+		s.MemOverhead[m.String()] = bench.AverageMem(bench.MemorySeries(stencil.Jacobi, m, opt.K, opt))
+	}
+	s.Boundaries = [3]int{
+		bench.MaxN2D(opt.L1),
+		bench.MaxN3D(opt.L1),
+		bench.MaxN3D(opt.L2),
+	}
+	return s
+}
+
+func methodMap(in map[core.Method]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for m, v := range in {
+		out[m.String()] = v
+	}
+	return out
+}
+
+// Save writes the snapshot as indented JSON.
+func Save(path string, s *Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a snapshot.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("results: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Diff is one deviation between runs.
+type Diff struct {
+	Path     string
+	Old, New float64
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s: %.3f -> %.3f", d.Path, d.Old, d.New)
+}
+
+// Compare returns every numeric field of the two snapshots differing by
+// more than tol (absolute, in the field's own unit — percentage points
+// for rates and improvements).
+func Compare(old, new *Snapshot, tol float64) []Diff {
+	var out []Diff
+	add := func(path string, a, b float64) {
+		if math.Abs(a-b) > tol {
+			out = append(out, Diff{Path: path, Old: a, New: b})
+		}
+	}
+	for k, metrics := range old.Table3 {
+		for metric, vals := range metrics {
+			for m, v := range vals {
+				nv, ok := lookup(new.Table3, k, metric, m)
+				if !ok {
+					out = append(out, Diff{Path: k + "/" + metric + "/" + m, Old: v, New: math.NaN()})
+					continue
+				}
+				add(k+"/"+metric+"/"+m, v, nv)
+			}
+		}
+	}
+	for m, v := range old.MemOverhead {
+		add("mem/"+m, v, new.MemOverhead[m])
+	}
+	for i := range old.Boundaries {
+		add(fmt.Sprintf("boundary/%d", i), float64(old.Boundaries[i]), float64(new.Boundaries[i]))
+	}
+	return out
+}
+
+func lookup(t map[string]map[string]map[string]float64, k, metric, m string) (float64, bool) {
+	mm, ok := t[k]
+	if !ok {
+		return 0, false
+	}
+	vals, ok := mm[metric]
+	if !ok {
+		return 0, false
+	}
+	v, ok := vals[m]
+	return v, ok
+}

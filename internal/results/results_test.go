@@ -1,0 +1,91 @@
+package results
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tiling3d/internal/bench"
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func tinyOptions() bench.Options {
+	return bench.Options{
+		L1:      cache.Config{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 1},
+		L2:      cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 1, WriteAllocate: true},
+		K:       8,
+		NMin:    40,
+		NMax:    60,
+		NStep:   20,
+		Methods: []core.Method{core.Orig, core.MethodGcdPad},
+		Coeffs:  stencil.DefaultCoeffs(),
+	}
+}
+
+func TestCaptureSaveLoadRoundTrip(t *testing.T) {
+	opt := tinyOptions()
+	s := Capture("test-run", opt)
+	if len(s.Table3) != 3 {
+		t.Fatalf("captured %d kernels", len(s.Table3))
+	}
+	if s.Boundaries[0] != 128 { // 256 doubles / 2
+		t.Errorf("2D boundary = %d", s.Boundaries[0])
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(s, got, 1e-9); len(diffs) != 0 {
+		t.Errorf("round trip changed values: %v", diffs)
+	}
+	if got.Label != "test-run" {
+		t.Errorf("label = %q", got.Label)
+	}
+}
+
+func TestCompareDetectsDrift(t *testing.T) {
+	opt := tinyOptions()
+	a := Capture("a", opt)
+	b := Capture("b", opt)
+	if diffs := Compare(a, b, 0.001); len(diffs) != 0 {
+		t.Errorf("deterministic runs differ: %v", diffs)
+	}
+	// Perturb one value.
+	b.Table3["JACOBI"]["orig"]["L1"] += 5
+	diffs := Compare(a, b, 0.5)
+	if len(diffs) != 1 || diffs[0].Path != "JACOBI/orig/L1" {
+		t.Errorf("diffs = %v", diffs)
+	}
+	// Missing entries are reported.
+	delete(b.Table3["RESID"]["estImp"], "GcdPad")
+	if diffs := Compare(a, b, 0.5); len(diffs) != 2 {
+		t.Errorf("missing entry not reported: %v", diffs)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file not reported")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := Save(bad, &Snapshot{Label: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file not reported")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

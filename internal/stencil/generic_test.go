@@ -1,0 +1,141 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+)
+
+func TestShapeValidation(t *testing.T) {
+	if _, err := NewShape(nil); err == nil {
+		t.Error("empty shape accepted")
+	}
+	if _, err := NewShape([]Tap{{0, 0, 0, 1}, {0, 0, 0, 2}}); err == nil {
+		t.Error("duplicate tap accepted")
+	}
+	if _, err := NewShape(Box7(1, 2).Taps); err != nil {
+		t.Errorf("Box7 rejected: %v", err)
+	}
+}
+
+func TestShapeSpecDerivation(t *testing.T) {
+	if got := Box7(1, 1).Spec(); got != core.Jacobi6pt() {
+		t.Errorf("Box7 spec = %+v, want Jacobi's", got)
+	}
+	// An asymmetric shape: offsets i in [-2, 1], j in [0, 3], k in [-1, 0].
+	s := Shape{Taps: []Tap{{-2, 0, 0, 1}, {1, 3, -1, 1}, {0, 0, 0, 1}}}
+	want := core.Stencil{TrimI: 3, TrimJ: 3, Depth: 2}
+	if got := s.Spec(); got != want {
+		t.Errorf("asymmetric spec = %+v, want %+v", got, want)
+	}
+}
+
+// TestShapeMatchesJacobi checks the generic engine reproduces the
+// hand-written Jacobi kernel exactly when given its shape.
+func TestShapeMatchesJacobi(t *testing.T) {
+	n := 14
+	shape := Shape{Taps: []Tap{
+		{-1, 0, 0, 1.0 / 6}, {1, 0, 0, 1.0 / 6},
+		{0, -1, 0, 1.0 / 6}, {0, 1, 0, 1.0 / 6},
+		{0, 0, -1, 1.0 / 6}, {0, 0, 1, 1.0 / 6},
+	}}
+	src := testGrid(n, 8, n, n, 2)
+	want := testGrid(n, 8, n, n, 1)
+	got := want.Clone()
+	JacobiOrig(want, src, 1.0/6)
+	shape.Apply(got, src)
+	// Weights multiply per-tap here (w1*b1 + ... vs c*(b1+...)): compare
+	// within rounding rather than bitwise.
+	if d := want.MaxAbsDiff(got); d > 1e-13 {
+		t.Errorf("generic Jacobi differs by %g", d)
+	}
+}
+
+func TestShapeTiledMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		// Random shape with reach <= 2.
+		var taps []Tap
+		seen := map[[3]int]bool{}
+		for len(taps) < 5+rng.Intn(10) {
+			o := [3]int{rng.Intn(5) - 2, rng.Intn(5) - 2, rng.Intn(5) - 2}
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			taps = append(taps, Tap{o[0], o[1], o[2], rng.NormFloat64()})
+		}
+		shape := Shape{Taps: taps}
+		n := 16
+		src := testGrid(n, 10, n, n, float64(trial))
+		a := src.Clone()
+		b := src.Clone()
+		shape.Apply(a, src)
+		shape.ApplyTiled(b, src, 1+rng.Intn(8), 1+rng.Intn(8))
+		if d := a.MaxAbsDiff(b); d != 0 {
+			t.Errorf("trial %d: tiled shape differs by %g", trial, d)
+		}
+	}
+}
+
+func TestShapeTraceCountsAndPermutation(t *testing.T) {
+	n := 12
+	shape := Box7(-6, 1)
+	arena := grid.NewArena()
+	src := arena.Place(grid.New3D(n, n, 8))
+	dst := arena.Place(grid.New3D(n, n, 8))
+	var orig, tiled cache.Recorder
+	shape.Trace(dst, src, &orig, core.Plan{})
+	shape.Trace(dst, src, &tiled, core.Plan{Tiled: true, Tile: core.Tile{TI: 3, TJ: 4}})
+	if len(orig.Ops) != len(tiled.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(orig.Ops), len(tiled.Ops))
+	}
+	points := (n - 2) * (n - 2) * (8 - 2)
+	if want := points * (len(shape.Taps) + 1); len(orig.Ops) != want {
+		t.Errorf("ops = %d, want %d", len(orig.Ops), want)
+	}
+	a, b := sortedOps(orig.Ops), sortedOps(tiled.Ops)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tiled trace is not a permutation at %d", i)
+		}
+	}
+}
+
+// TestShapeSelectionRoundTrip: derive the spec from a user shape, select
+// a plan, run tiled on padded grids, compare against the untiled result.
+func TestShapeSelectionRoundTrip(t *testing.T) {
+	shape := Box7(0.4, 0.1)
+	st := shape.Spec()
+	n := 40
+	plan := core.Select(core.MethodPad, 512, n, n, st)
+	src := grid.New3DPadded(n, n, 10, plan.DI, plan.DJ)
+	src.FillFunc(func(i, j, k int) float64 { return float64(i*j) - float64(k*k) })
+	dst := src.Clone()
+	refSrc := grid.New3D(n, n, 10)
+	refSrc.CopyLogical(src)
+	refDst := refSrc.Clone()
+	shape.Apply(refDst, refSrc)
+	shape.ApplyTiled(dst, src, plan.Tile.TI, plan.Tile.TJ)
+	// Compare interiors (boundary untouched in both).
+	var maxd float64
+	for k := 1; k <= 8; k++ {
+		for j := 1; j <= n-2; j++ {
+			for i := 1; i <= n-2; i++ {
+				d := dst.At(i, j, k) - refDst.At(i, j, k)
+				if d < 0 {
+					d = -d
+				}
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+	}
+	if maxd != 0 {
+		t.Errorf("padded tiled shape differs by %g", maxd)
+	}
+}

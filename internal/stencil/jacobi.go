@@ -1,0 +1,99 @@
+package stencil
+
+import "tiling3d/internal/grid"
+
+// JacobiOrig performs one sweep of the original 3D Jacobi nest
+// (Figure 3): a(i,j,k) = c * (6-point sum of b) over the interior.
+func JacobiOrig(a, b *grid.Grid3D, c float64) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for k := 1; k <= n3-2; k++ {
+		for j := 1; j <= n2-2; j++ {
+			jacobiRow(a, b, c, 1, n1-2, j, k)
+		}
+	}
+}
+
+// JacobiTiled performs one sweep of the tiled 3D Jacobi nest (Figure 6):
+// the J and I loops are strip-mined by (tj, ti) and the tile-controlling
+// loops are moved outermost, so the K loop sweeps all planes within a
+// TI x TJ column block.
+func JacobiTiled(a, b *grid.Grid3D, c float64, ti, tj int) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for jj := 1; jj <= n2-2; jj += tj {
+		jHi := min(jj+tj-1, n2-2)
+		for ii := 1; ii <= n1-2; ii += ti {
+			iHi := min(ii+ti-1, n1-2)
+			for k := 1; k <= n3-2; k++ {
+				for j := jj; j <= jHi; j++ {
+					jacobiRow(a, b, c, ii, iHi, j, k)
+				}
+			}
+		}
+	}
+}
+
+// jacobiRow updates a(iLo..iHi, j, k). Factoring the innermost loop keeps
+// the original and tiled variants bit-identical and lets the compiler hoist
+// the row base addresses.
+func jacobiRow(a, b *grid.Grid3D, c float64, iLo, iHi, j, k int) {
+	bd := b.Data
+	ad := a.Data
+	r0 := b.Index(0, j, k)
+	rjm := b.Index(0, j-1, k)
+	rjp := b.Index(0, j+1, k)
+	rkm := b.Index(0, j, k-1)
+	rkp := b.Index(0, j, k+1)
+	ra := a.Index(0, j, k)
+	for i := iLo; i <= iHi; i++ {
+		ad[ra+i] = c * (bd[r0+i-1] + bd[r0+i+1] +
+			bd[rjm+i] + bd[rjp+i] +
+			bd[rkm+i] + bd[rkp+i])
+	}
+}
+
+// Jacobi2DOrig performs one sweep of the 2D Jacobi nest (Figure 1), used
+// by the Section 1 motivation experiment contrasting 2D and 3D reuse.
+func Jacobi2DOrig(a, b *grid.Grid2D, c float64) {
+	for j := 1; j <= a.NJ-2; j++ {
+		jacobi2DRow(a, b, c, 1, a.NI-2, j)
+	}
+}
+
+// Jacobi2DTiled performs one sweep of the 2D nest with the I loop
+// strip-mined and the tile loop moved outermost — the transformation the
+// paper shows is pointless in 2D, because a handful of columns already
+// fit in cache for any realistic N (Section 2.1). It exists so the
+// pointlessness is measurable.
+func Jacobi2DTiled(a, b *grid.Grid2D, c float64, ti int) {
+	for ii := 1; ii <= a.NI-2; ii += ti {
+		iHi := min(ii+ti-1, a.NI-2)
+		for j := 1; j <= a.NJ-2; j++ {
+			jacobi2DRow(a, b, c, ii, iHi, j)
+		}
+	}
+}
+
+func jacobi2DRow(a, b *grid.Grid2D, c float64, iLo, iHi, j int) {
+	r0 := b.Index(0, j)
+	rjm := b.Index(0, j-1)
+	rjp := b.Index(0, j+1)
+	ra := a.Index(0, j)
+	for i := iLo; i <= iHi; i++ {
+		a.Data[ra+i] = c * (b.Data[r0+i-1] + b.Data[r0+i+1] +
+			b.Data[rjm+i] + b.Data[rjp+i])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package stencil
+
+// Numerical property tests: the kernels are PDE solvers, so they must
+// satisfy the analytic identities of the operators they discretize.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tiling3d/internal/grid"
+)
+
+// harmonic is a discretely harmonic function: its value equals the average
+// of its six neighbors exactly (linear functions are discretely harmonic).
+func harmonic(i, j, k int) float64 {
+	return 1 + 2*float64(i) + 3*float64(j) - float64(k)
+}
+
+// TestJacobiConvergesToHarmonic iterates Jacobi on a grid with harmonic
+// boundary values and perturbed interior; it must converge to the
+// harmonic function.
+func TestJacobiConvergesToHarmonic(t *testing.T) {
+	n := 10
+	a := grid.New3D(n, n, n)
+	b := grid.New3D(n, n, n)
+	b.FillFunc(func(i, j, k int) float64 {
+		v := harmonic(i, j, k)
+		if i > 0 && i < n-1 && j > 0 && j < n-1 && k > 0 && k < n-1 {
+			v += math.Sin(float64(i*j + k)) // interior perturbation
+		}
+		return v
+	})
+	a.CopyLogical(b)
+	for it := 0; it < 600; it++ {
+		JacobiOrig(a, b, 1.0/6.0)
+		a, b = b, a
+	}
+	want := grid.New3D(n, n, n)
+	want.FillFunc(harmonic)
+	if d := b.MaxAbsDiff(want); d > 1e-8 {
+		t.Errorf("Jacobi did not converge to the harmonic solution: max diff %g", d)
+	}
+}
+
+// TestRedBlackConvergesToHarmonic does the same for SOR, which must
+// converge substantially faster.
+func TestRedBlackConvergesToHarmonic(t *testing.T) {
+	n := 10
+	a := grid.New3D(n, n, n)
+	a.FillFunc(func(i, j, k int) float64 {
+		v := harmonic(i, j, k)
+		if i > 0 && i < n-1 && j > 0 && j < n-1 && k > 0 && k < n-1 {
+			v += math.Cos(float64(i + j*k))
+		}
+		return v
+	})
+	const omega = 1.5
+	for it := 0; it < 200; it++ {
+		RedBlackTiled(a, 1-omega, omega/6, 4, 4)
+	}
+	want := grid.New3D(n, n, n)
+	want.FillFunc(harmonic)
+	if d := a.MaxAbsDiff(want); d > 1e-8 {
+		t.Errorf("red-black SOR did not converge: max diff %g", d)
+	}
+}
+
+// TestResidAnnihilatesLinear checks that the NAS residual operator
+// annihilates linear functions (its coefficient sums per shell are a
+// discrete Laplacian-like operator with zero row sum): r = v - A(u) = v
+// when u is linear.
+func TestResidAnnihilatesLinear(t *testing.T) {
+	n := 12
+	cfg := func(alpha, beta, gamma float64) {
+		u := grid.New3D(n, n, n)
+		v := grid.New3D(n, n, n)
+		r := grid.New3D(n, n, n)
+		u.FillFunc(func(i, j, k int) float64 {
+			return alpha*float64(i) + beta*float64(j) + gamma*float64(k)
+		})
+		v.FillFunc(func(i, j, k int) float64 { return float64(i*j) - float64(k) })
+		ResidOrig(r, v, u, DefaultCoeffs().ResidA)
+		for k := 1; k <= n-2; k++ {
+			for j := 1; j <= n-2; j++ {
+				for i := 1; i <= n-2; i++ {
+					if d := math.Abs(r.At(i, j, k) - v.At(i, j, k)); d > 1e-9 {
+						t.Fatalf("(%d,%d,%d): |r - v| = %g for linear u", i, j, k, d)
+					}
+				}
+			}
+		}
+	}
+	cfg(1, 0, 0)
+	cfg(0, 1, 0)
+	cfg(0, 0, 1)
+	cfg(2, -3, 0.5)
+}
+
+// TestResidLinearityQuick property-checks linearity of the residual
+// operator: resid(v, u1+u2) + a0-term cancellation implies
+// r(v, u1+u2) - r(v, u1) - r(0, u2) == -v elementwise... simpler and
+// exact: r(v1+v2, u1+u2) == r(v1, u1) + r(v2, u2).
+func TestResidLinearityQuick(t *testing.T) {
+	n := 8
+	a := DefaultCoeffs().ResidA
+	f := func(s1, s2 int64) bool {
+		mk := func(seed int64) (*grid.Grid3D, *grid.Grid3D) {
+			u := grid.New3D(n, n, n)
+			v := grid.New3D(n, n, n)
+			x := seed
+			next := func() float64 {
+				x = x*6364136223846793005 + 1442695040888963407
+				return float64(x%1000) / 250
+			}
+			u.FillFunc(func(i, j, k int) float64 { return next() })
+			v.FillFunc(func(i, j, k int) float64 { return next() })
+			return u, v
+		}
+		u1, v1 := mk(s1)
+		u2, v2 := mk(s2)
+		uSum := grid.New3D(n, n, n)
+		vSum := grid.New3D(n, n, n)
+		uSum.FillFunc(func(i, j, k int) float64 { return u1.At(i, j, k) + u2.At(i, j, k) })
+		vSum.FillFunc(func(i, j, k int) float64 { return v1.At(i, j, k) + v2.At(i, j, k) })
+		r1 := grid.New3D(n, n, n)
+		r2 := grid.New3D(n, n, n)
+		rs := grid.New3D(n, n, n)
+		ResidOrig(r1, v1, u1, a)
+		ResidOrig(r2, v2, u2, a)
+		ResidOrig(rs, vSum, uSum, a)
+		for k := 1; k <= n-2; k++ {
+			for j := 1; j <= n-2; j++ {
+				for i := 1; i <= n-2; i++ {
+					if math.Abs(rs.At(i, j, k)-r1.At(i, j, k)-r2.At(i, j, k)) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRedBlackFixedPoint checks that a harmonic grid is a fixed point of
+// the SOR sweep: c1*a + c2*sum = (1-w)*a + w*a = a exactly up to rounding.
+func TestRedBlackFixedPoint(t *testing.T) {
+	n := 9
+	a := grid.New3D(n, n, n)
+	a.FillFunc(harmonic)
+	ref := a.Clone()
+	RedBlackNaive(a, -0.25, 1.25/6)
+	if d := a.MaxAbsDiff(ref); d > 1e-10 {
+		t.Errorf("harmonic grid not a fixed point: moved by %g", d)
+	}
+}

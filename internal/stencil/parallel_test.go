@@ -1,0 +1,67 @@
+package stencil
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestJacobiTiledParallelMatchesOrig(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		for _, tc := range tileCases {
+			n := 25
+			aOrig := testGrid(n, 9, n, n, 1)
+			bOrig := testGrid(n, 9, n, n, 2)
+			aPar := aOrig.Clone()
+			bPar := bOrig.Clone()
+			JacobiOrig(aOrig, bOrig, 1.0/6.0)
+			JacobiTiledParallel(aPar, bPar, 1.0/6.0, tc.ti, tc.tj, workers)
+			if d := aOrig.MaxAbsDiff(aPar); d != 0 {
+				t.Errorf("workers=%d tile=%v: parallel Jacobi differs by %g", workers, tc, d)
+			}
+		}
+	}
+}
+
+func TestResidTiledParallelMatchesOrig(t *testing.T) {
+	a := [4]float64{-8.0 / 3, 0.25, 1.0 / 6, 1.0 / 12}
+	for _, workers := range []int{1, 3, 0} {
+		n := 22
+		u := testGrid(n, 8, n, n, 1)
+		v := testGrid(n, 8, n, n, 2)
+		rOrig := testGrid(n, 8, n, n, 0)
+		rPar := rOrig.Clone()
+		ResidOrig(rOrig, v, u, a)
+		ResidTiledParallel(rPar, v, u, a, 6, 5, workers)
+		if d := rOrig.MaxAbsDiff(rPar); d != 0 {
+			t.Errorf("workers=%d: parallel RESID differs by %g", workers, d)
+		}
+	}
+}
+
+// TestParallelRace runs the parallel kernels under the race detector's
+// eye (go test -race) with overlapping-looking tiles that must in fact
+// partition the space.
+func TestParallelRace(t *testing.T) {
+	n := 33
+	a := testGrid(n, 9, n, n, 1)
+	b := testGrid(n, 9, n, n, 2)
+	for s := 0; s < 3; s++ {
+		JacobiTiledParallel(a, b, 1.0/6.0, 7, 5, 8)
+		a, b = b, a
+	}
+}
+
+func BenchmarkJacobiParallelScaling(b *testing.B) {
+	n := 128
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			a := testGrid(n, 32, n, n, 1)
+			bb := testGrid(n, 32, n, n, 2)
+			b.SetBytes(int64(n-2) * int64(n-2) * 30 * 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				JacobiTiledParallel(a, bb, 1.0/6.0, 32, 16, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package stencil
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+)
+
+// Cache-oblivious recursion, the related-work alternative to explicit
+// tiling (Gatlin & Carter; Yi, Adve & Kennedy — Section 5): instead of
+// computing tile sizes for a known cache, recursively halve the I and J
+// extents until blocks are small, running the full K sweep on each leaf.
+// The recursion fits every level of the hierarchy without knowing any of
+// them — but it cannot avoid conflict misses the way padding does, which
+// is what BenchmarkAblationRecursive measures against GcdPad.
+
+// JacobiRecursive computes one Jacobi sweep with cache-oblivious
+// divide and conquer; leaf blocks have extent at most leaf in both I and
+// J. Results are bit-identical to JacobiOrig.
+func JacobiRecursive(a, b *grid.Grid3D, c float64, leaf int) {
+	if leaf < 1 {
+		leaf = 1
+	}
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	var rec func(iLo, iHi, jLo, jHi int)
+	rec = func(iLo, iHi, jLo, jHi int) {
+		if iHi-iLo >= jHi-jLo && iHi-iLo+1 > leaf {
+			mid := (iLo + iHi) / 2
+			rec(iLo, mid, jLo, jHi)
+			rec(mid+1, iHi, jLo, jHi)
+			return
+		}
+		if jHi-jLo+1 > leaf {
+			mid := (jLo + jHi) / 2
+			rec(iLo, iHi, jLo, mid)
+			rec(iLo, iHi, mid+1, jHi)
+			return
+		}
+		for k := 1; k <= n3-2; k++ {
+			for j := jLo; j <= jHi; j++ {
+				jacobiRow(a, b, c, iLo, iHi, j, k)
+			}
+		}
+	}
+	rec(1, n1-2, 1, n2-2)
+}
+
+// JacobiRecursiveTrace replays the recursive variant's address stream.
+func JacobiRecursiveTrace(a, b *grid.Grid3D, mem cache.Memory, leaf int) {
+	if leaf < 1 {
+		leaf = 1
+	}
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	var rec func(iLo, iHi, jLo, jHi int)
+	rec = func(iLo, iHi, jLo, jHi int) {
+		if iHi-iLo >= jHi-jLo && iHi-iLo+1 > leaf {
+			mid := (iLo + iHi) / 2
+			rec(iLo, mid, jLo, jHi)
+			rec(mid+1, iHi, jLo, jHi)
+			return
+		}
+		if jHi-jLo+1 > leaf {
+			mid := (jLo + jHi) / 2
+			rec(iLo, iHi, jLo, mid)
+			rec(iLo, iHi, mid+1, jHi)
+			return
+		}
+		for k := 1; k <= n3-2; k++ {
+			for j := jLo; j <= jHi; j++ {
+				jacobiRowTrace(a, b, mem, iLo, iHi, j, k)
+			}
+		}
+	}
+	rec(1, n1-2, 1, n2-2)
+}

@@ -1,0 +1,69 @@
+package stencil
+
+import "tiling3d/internal/grid"
+
+// ResidOrig computes the residual r = v - A(u) with the 27-point stencil
+// of the RESID subroutine from MGRID (Figure 13): a0 weights the center,
+// a1 the 6 faces, a2 the 12 edges, a3 the 8 corners.
+func ResidOrig(r, v, u *grid.Grid3D, a [4]float64) {
+	n1, n2, n3 := r.NI, r.NJ, r.NK
+	for i3 := 1; i3 <= n3-2; i3++ {
+		for i2 := 1; i2 <= n2-2; i2++ {
+			residRow(r, v, u, a, 1, n1-2, i2, i3)
+		}
+	}
+}
+
+// ResidTiled computes the same residual with the tiled nest of Figure 13:
+// I2 and I1 are strip-mined by (t2, t1) and the tile loops are outermost,
+// so the I3 loop sweeps all planes within an I1 x I2 block.
+func ResidTiled(r, v, u *grid.Grid3D, a [4]float64, t1, t2 int) {
+	n1, n2, n3 := r.NI, r.NJ, r.NK
+	for ii2 := 1; ii2 <= n2-2; ii2 += t2 {
+		hi2 := min(ii2+t2-1, n2-2)
+		for ii1 := 1; ii1 <= n1-2; ii1 += t1 {
+			hi1 := min(ii1+t1-1, n1-2)
+			for i3 := 1; i3 <= n3-2; i3++ {
+				for i2 := ii2; i2 <= hi2; i2++ {
+					residRow(r, v, u, a, ii1, hi1, i2, i3)
+				}
+			}
+		}
+	}
+}
+
+// residRow updates r(lo..hi, i2, i3). The operand grouping matches the
+// Fortran source exactly so that all variants are bit-identical.
+func residRow(r, v, u *grid.Grid3D, a [4]float64, lo, hi, i2, i3 int) {
+	ud, vd, rd := u.Data, v.Data, r.Data
+	// Row base offsets for the nine (i2, i3) neighbor rows.
+	c00 := u.Index(0, i2, i3)   // (  , i2  , i3  )
+	cm0 := u.Index(0, i2-1, i3) // (  , i2-1, i3  )
+	cp0 := u.Index(0, i2+1, i3)
+	c0m := u.Index(0, i2, i3-1)
+	c0p := u.Index(0, i2, i3+1)
+	cmm := u.Index(0, i2-1, i3-1)
+	cpm := u.Index(0, i2+1, i3-1)
+	cmp := u.Index(0, i2-1, i3+1)
+	cpp := u.Index(0, i2+1, i3+1)
+	rv := v.Index(0, i2, i3)
+	rr := r.Index(0, i2, i3)
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	for i1 := lo; i1 <= hi; i1++ {
+		rd[rr+i1] = vd[rv+i1] -
+			a0*ud[c00+i1] -
+			a1*(ud[c00+i1-1]+ud[c00+i1+1]+
+				ud[cm0+i1]+ud[cp0+i1]+
+				ud[c0m+i1]+ud[c0p+i1]) -
+			a2*(ud[cm0+i1-1]+ud[cm0+i1+1]+
+				ud[cp0+i1-1]+ud[cp0+i1+1]+
+				ud[cmm+i1]+ud[cpm+i1]+
+				ud[cmp+i1]+ud[cpp+i1]+
+				ud[c0m+i1-1]+ud[c0p+i1-1]+
+				ud[c0m+i1+1]+ud[c0p+i1+1]) -
+			a3*(ud[cmm+i1-1]+ud[cmm+i1+1]+
+				ud[cpm+i1-1]+ud[cpm+i1+1]+
+				ud[cmp+i1-1]+ud[cmp+i1+1]+
+				ud[cpp+i1-1]+ud[cpp+i1+1])
+	}
+}

@@ -1,0 +1,111 @@
+package stencil
+
+import "tiling3d/internal/grid"
+
+// Time fusion for the *simplified* stencil pattern (Section 2.1): when
+// the time-step loop directly encloses a single stencil nest, skewing the
+// time dimension against K lets several time steps execute in one sweep
+// of the array — the Song-Li / time-skewing class of optimizations the
+// paper contrasts with (they do not extend to multiple nests or to
+// multigrid; the paper's own tiling does). It is implemented here both as
+// the paper's foil and as its stated future work ("combine our techniques
+// with theirs").
+//
+// JacobiTimeFused runs `steps` Jacobi time steps in a single K sweep by
+// pipelining: while plane p of step 1 is computed from the input, plane
+// p-1 of step 2 is computed from step 1's planes, and so on. Each
+// intermediate step keeps only three planes in a ring buffer, so the
+// working set is 3*steps planes instead of steps full arrays — the
+// time-step reuse the simplified pattern admits.
+
+// planeRing holds the last three computed planes of one pipeline stage.
+type planeRing struct {
+	planes [3][]float64
+	di, dj int
+}
+
+func newPlaneRing(di, dj int) *planeRing {
+	r := &planeRing{di: di, dj: dj}
+	for i := range r.planes {
+		r.planes[i] = make([]float64, di*dj)
+	}
+	return r
+}
+
+func (r *planeRing) plane(k int) []float64 {
+	return r.planes[((k%3)+3)%3]
+}
+
+// JacobiTimeFused computes `steps` Jacobi iterations of the 6-point
+// stencil, reading the initial state from src and writing the final state
+// to dst (boundaries copied through). It produces exactly the result of
+// `steps` successive JacobiOrig sweeps with ping-pong buffers.
+func JacobiTimeFused(dst, src *grid.Grid3D, c float64, steps int) {
+	if steps < 1 {
+		dst.CopyLogical(src)
+		return
+	}
+	if src.DI != src.NI || src.DJ != src.NJ || dst.DI != dst.NI || dst.DJ != dst.NJ {
+		// The plane-slice arithmetic below assumes contiguous planes;
+		// time fusion needs no padding because its ring buffers are
+		// contiguous by construction.
+		panic("stencil: JacobiTimeFused requires unpadded grids")
+	}
+	n1, n2, n3 := src.NI, src.NJ, src.NK
+
+	// rings[s] holds planes of the state after s+1 steps, for
+	// s = 0..steps-2; the final step writes into dst directly.
+	rings := make([]*planeRing, 0, steps-1)
+	for s := 0; s < steps-1; s++ {
+		rings = append(rings, newPlaneRing(n1, n2))
+	}
+
+	// srcPlane returns the stage input plane k: stage 0 reads src; stage
+	// s>0 reads ring s-1. Boundary planes (k=0, k=n3-1) are unchanged by
+	// every step, so they always come from src.
+	srcPlane := func(stage, k int) []float64 {
+		if stage == 0 || k == 0 || k == n3-1 {
+			return src.Data[src.Index(0, 0, k) : src.Index(0, 0, k)+n1*n2]
+		}
+		return rings[stage-1].plane(k)
+	}
+
+	// compute fills out (a full n1 x n2 plane) with one Jacobi update of
+	// plane k from the stage input, copying boundary values through.
+	compute := func(stage, k int, out []float64) {
+		pm := srcPlane(stage, k-1)
+		p0 := srcPlane(stage, k)
+		pp := srcPlane(stage, k+1)
+		copy(out, p0) // boundary rows/columns keep their values
+		for j := 1; j <= n2-2; j++ {
+			row := j * n1
+			rm := row - n1
+			rp := row + n1
+			for i := 1; i <= n1-2; i++ {
+				out[row+i] = c * (p0[row+i-1] + p0[row+i+1] +
+					p0[rm+i] + p0[rp+i] +
+					pm[row+i] + pp[row+i])
+			}
+		}
+	}
+
+	// Copy the boundary planes of the result.
+	dst.CopyLogical(src)
+
+	// The pipeline: when the front stage works on plane p, stage s works
+	// on plane p-s.
+	for p := 1; p <= n3-2+steps-1; p++ {
+		for s := 0; s < steps; s++ {
+			q := p - s
+			if q < 1 || q > n3-2 {
+				continue
+			}
+			if s == steps-1 {
+				out := dst.Data[dst.Index(0, 0, q) : dst.Index(0, 0, q)+n1*n2]
+				compute(s, q, out)
+			} else {
+				compute(s, q, rings[s].plane(q))
+			}
+		}
+	}
+}

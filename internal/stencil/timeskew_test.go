@@ -1,0 +1,82 @@
+package stencil
+
+import (
+	"testing"
+
+	"tiling3d/internal/grid"
+)
+
+// reference computes `steps` Jacobi sweeps with ping-pong buffers.
+func referenceSteps(src *grid.Grid3D, c float64, steps int) *grid.Grid3D {
+	a := src.Clone()
+	b := src.Clone()
+	for s := 0; s < steps; s++ {
+		JacobiOrig(a, b, c)
+		a, b = b, a
+	}
+	return b
+}
+
+func TestJacobiTimeFusedMatchesSequential(t *testing.T) {
+	for _, n := range []int{5, 10, 16} {
+		for _, steps := range []int{1, 2, 3, 5, 9} {
+			src := testGrid(n, n, n, n, 2)
+			want := referenceSteps(src, 1.0/6, steps)
+			dst := grid.New3D(n, n, n)
+			JacobiTimeFused(dst, src, 1.0/6, steps)
+			if d := want.MaxAbsDiff(dst); d != 0 {
+				t.Errorf("n=%d steps=%d: time-fused differs by %g", n, steps, d)
+			}
+		}
+	}
+}
+
+func TestJacobiTimeFusedMoreStepsThanPlanes(t *testing.T) {
+	// The pipeline depth may exceed the number of interior planes.
+	n := 6
+	src := testGrid(n, n, n, n, 1)
+	want := referenceSteps(src, 1.0/6, 12)
+	dst := grid.New3D(n, n, n)
+	JacobiTimeFused(dst, src, 1.0/6, 12)
+	if d := want.MaxAbsDiff(dst); d != 0 {
+		t.Errorf("deep pipeline differs by %g", d)
+	}
+}
+
+func TestJacobiTimeFusedZeroSteps(t *testing.T) {
+	n := 5
+	src := testGrid(n, n, n, n, 3)
+	dst := grid.New3D(n, n, n)
+	JacobiTimeFused(dst, src, 1.0/6, 0)
+	if d := src.MaxAbsDiff(dst); d != 0 {
+		t.Errorf("steps=0 should copy; differs by %g", d)
+	}
+}
+
+func TestJacobiTimeFusedRejectsPadding(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("padded grids not rejected")
+		}
+	}()
+	JacobiTimeFused(grid.New3DPadded(4, 4, 4, 6, 4), grid.New3D(4, 4, 4), 1.0/6, 2)
+}
+
+// BenchmarkTimeFusion measures the memory-traffic advantage: steps
+// sequential sweeps stream the whole array steps times; the fused
+// pipeline streams it once.
+func BenchmarkTimeFusion(b *testing.B) {
+	const n, steps = 160, 4
+	src := testGrid(n, n, n, n, 1)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			referenceSteps(src, 1.0/6, steps)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		dst := grid.New3D(n, n, n)
+		for i := 0; i < b.N; i++ {
+			JacobiTimeFused(dst, src, 1.0/6, steps)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package stencil
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+)
+
+// Trace walkers replay the load/store byte-address stream of each kernel
+// variant into a cache.Memory. They mirror the loop structure of the
+// native compute functions exactly (the tests assert the address multiset
+// per iteration matches the references in the source), but touch no array
+// data, so a simulation over an N x N x K problem allocates no N^3
+// storage — only the simulated cache tags.
+
+// addrBytes converts an element address to a byte address.
+func addrBytes(g *grid.Grid3D, i, j, k int) int64 {
+	return g.Addr(i, j, k) * grid.ElemSize
+}
+
+// JacobiOrigTrace replays the original Jacobi nest (Figure 3).
+func JacobiOrigTrace(a, b *grid.Grid3D, mem cache.Memory) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for k := 1; k <= n3-2; k++ {
+		for j := 1; j <= n2-2; j++ {
+			jacobiRowTrace(a, b, mem, 1, n1-2, j, k)
+		}
+	}
+}
+
+// JacobiTiledTrace replays the tiled Jacobi nest (Figure 6).
+func JacobiTiledTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj int) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for jj := 1; jj <= n2-2; jj += tj {
+		jHi := min(jj+tj-1, n2-2)
+		for ii := 1; ii <= n1-2; ii += ti {
+			iHi := min(ii+ti-1, n1-2)
+			for k := 1; k <= n3-2; k++ {
+				for j := jj; j <= jHi; j++ {
+					jacobiRowTrace(a, b, mem, ii, iHi, j, k)
+				}
+			}
+		}
+	}
+}
+
+func jacobiRowTrace(a, b *grid.Grid3D, mem cache.Memory, iLo, iHi, j, k int) {
+	r0 := b.Addr(0, j, k) * grid.ElemSize
+	rjm := b.Addr(0, j-1, k) * grid.ElemSize
+	rjp := b.Addr(0, j+1, k) * grid.ElemSize
+	rkm := b.Addr(0, j, k-1) * grid.ElemSize
+	rkp := b.Addr(0, j, k+1) * grid.ElemSize
+	ra := a.Addr(0, j, k) * grid.ElemSize
+	for i := iLo; i <= iHi; i++ {
+		o := int64(i) * grid.ElemSize
+		mem.Load(r0 + o - grid.ElemSize)
+		mem.Load(r0 + o + grid.ElemSize)
+		mem.Load(rjm + o)
+		mem.Load(rjp + o)
+		mem.Load(rkm + o)
+		mem.Load(rkp + o)
+		mem.Store(ra + o)
+	}
+}
+
+// Jacobi2DOrigTrace replays the 2D Jacobi nest (Figure 1) for the
+// Section 1 motivation experiment.
+func Jacobi2DOrigTrace(a, b *grid.Grid2D, mem cache.Memory) {
+	for j := 1; j <= a.NJ-2; j++ {
+		jacobi2DRowTrace(a, b, mem, 1, a.NI-2, j)
+	}
+}
+
+// Jacobi2DTiledTrace replays the tiled 2D nest.
+func Jacobi2DTiledTrace(a, b *grid.Grid2D, mem cache.Memory, ti int) {
+	for ii := 1; ii <= a.NI-2; ii += ti {
+		iHi := min(ii+ti-1, a.NI-2)
+		for j := 1; j <= a.NJ-2; j++ {
+			jacobi2DRowTrace(a, b, mem, ii, iHi, j)
+		}
+	}
+}
+
+func jacobi2DRowTrace(a, b *grid.Grid2D, mem cache.Memory, iLo, iHi, j int) {
+	r0 := b.Addr(0, j) * grid.ElemSize
+	rjm := b.Addr(0, j-1) * grid.ElemSize
+	rjp := b.Addr(0, j+1) * grid.ElemSize
+	ra := a.Addr(0, j) * grid.ElemSize
+	for i := iLo; i <= iHi; i++ {
+		o := int64(i) * grid.ElemSize
+		mem.Load(r0 + o - grid.ElemSize)
+		mem.Load(r0 + o + grid.ElemSize)
+		mem.Load(rjm + o)
+		mem.Load(rjp + o)
+		mem.Store(ra + o)
+	}
+}
+
+// RedBlackNaiveTrace replays the naive two-pass red-black nest.
+func RedBlackNaiveTrace(a *grid.Grid3D, mem cache.Memory) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for pass := 0; pass <= 1; pass++ {
+		for k := 1; k <= n3-2; k++ {
+			for j := 1; j <= n2-2; j++ {
+				redBlackRowTrace(a, mem, redStart(j, k, pass), n1-2, j, k)
+			}
+		}
+	}
+}
+
+// RedBlackFusedTrace replays the fused red-black nest.
+func RedBlackFusedTrace(a *grid.Grid3D, mem cache.Memory) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for kk := 0; kk <= n3-2; kk++ {
+		for dk := 1; dk >= 0; dk-- {
+			k := kk + dk
+			if k < 1 || k > n3-2 {
+				continue
+			}
+			for j := 1; j <= n2-2; j++ {
+				iStart := 1
+				if (kk+j)&1 == 0 {
+					iStart = 2
+				}
+				redBlackRowTrace(a, mem, iStart, n1-2, j, k)
+			}
+		}
+	}
+}
+
+// RedBlackTiledTrace replays the tiled fused red-black nest.
+func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for jj := 0; jj <= n2-2; jj += tj {
+		for ii := 0; ii <= n1-2; ii += ti {
+			for kk := 0; kk <= n3-2; kk++ {
+				for dk := 1; dk >= 0; dk-- {
+					k := kk + dk
+					if k < 1 || k > n3-2 {
+						continue
+					}
+					jLo := max(jj+dk, 1)
+					jHi := min(jj+dk+tj-1, n2-2)
+					for j := jLo; j <= jHi; j++ {
+						iStart := ii + dk
+						iStart += (iStart + kk + j) & 1
+						if iStart == 0 {
+							iStart = 2
+						}
+						iHi := min(ii+dk+ti-1, n1-2)
+						redBlackRowTrace(a, mem, iStart, iHi, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func redBlackRowTrace(a *grid.Grid3D, mem cache.Memory, iStart, iHi, j, k int) {
+	r0 := a.Addr(0, j, k) * grid.ElemSize
+	rjm := a.Addr(0, j-1, k) * grid.ElemSize
+	rjp := a.Addr(0, j+1, k) * grid.ElemSize
+	rkm := a.Addr(0, j, k-1) * grid.ElemSize
+	rkp := a.Addr(0, j, k+1) * grid.ElemSize
+	for i := iStart; i <= iHi; i += 2 {
+		o := int64(i) * grid.ElemSize
+		mem.Load(r0 + o)
+		mem.Load(r0 + o - grid.ElemSize)
+		mem.Load(rjm + o)
+		mem.Load(r0 + o + grid.ElemSize)
+		mem.Load(rjp + o)
+		mem.Load(rkm + o)
+		mem.Load(rkp + o)
+		mem.Store(r0 + o)
+	}
+}
+
+// ResidOrigTrace replays the original RESID nest (Figure 13).
+func ResidOrigTrace(r, v, u *grid.Grid3D, mem cache.Memory) {
+	n1, n2, n3 := r.NI, r.NJ, r.NK
+	for i3 := 1; i3 <= n3-2; i3++ {
+		for i2 := 1; i2 <= n2-2; i2++ {
+			residRowTrace(r, v, u, mem, 1, n1-2, i2, i3)
+		}
+	}
+}
+
+// ResidTiledTrace replays the tiled RESID nest (Figure 13, right).
+func ResidTiledTrace(r, v, u *grid.Grid3D, mem cache.Memory, t1, t2 int) {
+	n1, n2, n3 := r.NI, r.NJ, r.NK
+	for ii2 := 1; ii2 <= n2-2; ii2 += t2 {
+		hi2 := min(ii2+t2-1, n2-2)
+		for ii1 := 1; ii1 <= n1-2; ii1 += t1 {
+			hi1 := min(ii1+t1-1, n1-2)
+			for i3 := 1; i3 <= n3-2; i3++ {
+				for i2 := ii2; i2 <= hi2; i2++ {
+					residRowTrace(r, v, u, mem, ii1, hi1, i2, i3)
+				}
+			}
+		}
+	}
+}
+
+func residRowTrace(r, v, u *grid.Grid3D, mem cache.Memory, lo, hi, i2, i3 int) {
+	const e = grid.ElemSize
+	c00 := u.Addr(0, i2, i3) * e
+	cm0 := u.Addr(0, i2-1, i3) * e
+	cp0 := u.Addr(0, i2+1, i3) * e
+	c0m := u.Addr(0, i2, i3-1) * e
+	c0p := u.Addr(0, i2, i3+1) * e
+	cmm := u.Addr(0, i2-1, i3-1) * e
+	cpm := u.Addr(0, i2+1, i3-1) * e
+	cmp := u.Addr(0, i2-1, i3+1) * e
+	cpp := u.Addr(0, i2+1, i3+1) * e
+	rv := v.Addr(0, i2, i3) * e
+	rr := r.Addr(0, i2, i3) * e
+	for i1 := lo; i1 <= hi; i1++ {
+		o := int64(i1) * e
+		mem.Load(rv + o)
+		mem.Load(c00 + o)
+		// a1 group: faces.
+		mem.Load(c00 + o - e)
+		mem.Load(c00 + o + e)
+		mem.Load(cm0 + o)
+		mem.Load(cp0 + o)
+		mem.Load(c0m + o)
+		mem.Load(c0p + o)
+		// a2 group: edges.
+		mem.Load(cm0 + o - e)
+		mem.Load(cm0 + o + e)
+		mem.Load(cp0 + o - e)
+		mem.Load(cp0 + o + e)
+		mem.Load(cmm + o)
+		mem.Load(cpm + o)
+		mem.Load(cmp + o)
+		mem.Load(cpp + o)
+		mem.Load(c0m + o - e)
+		mem.Load(c0p + o - e)
+		mem.Load(c0m + o + e)
+		mem.Load(c0p + o + e)
+		// a3 group: corners.
+		mem.Load(cmm + o - e)
+		mem.Load(cmm + o + e)
+		mem.Load(cpm + o - e)
+		mem.Load(cpm + o + e)
+		mem.Load(cmp + o - e)
+		mem.Load(cmp + o + e)
+		mem.Load(cpp + o - e)
+		mem.Load(cpp + o + e)
+		mem.Store(rr + o)
+	}
+}
+
+// Accesses returns the number of memory accesses one interior point
+// update issues (loads + the store), matching the trace walkers.
+func (k Kernel) Accesses() int {
+	switch k {
+	case Jacobi:
+		return 7
+	case RedBlack:
+		return 8
+	case Resid:
+		return 29
+	default:
+		panic("stencil: unknown kernel")
+	}
+}

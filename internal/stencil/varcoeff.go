@@ -1,0 +1,122 @@
+package stencil
+
+import (
+	"fmt"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+)
+
+// Variable-coefficient stencils: PDEs over heterogeneous media weight
+// each neighbor by a per-point coefficient field instead of a constant
+// (e.g. spatially varying diffusivity). The access pattern gains one
+// coefficient array per tap, increasing cross-interference pressure —
+// exactly the regime where the paper's padding matters most, since every
+// extra array is another stream competing for the same sets.
+
+// VarCoeffStencil couples tap offsets with coefficient fields: dst(p) =
+// sum over taps of W[t](p) * src(p + offset[t]).
+type VarCoeffStencil struct {
+	Offsets [][3]int
+	// W holds one coefficient grid per offset, indexed like dst.
+	W []*grid.Grid3D
+}
+
+// NewVarCoeff validates the shape: offsets and weights must pair up, and
+// every weight grid must cover dst's logical extent.
+func NewVarCoeff(offsets [][3]int, w []*grid.Grid3D) (*VarCoeffStencil, error) {
+	if len(offsets) == 0 || len(offsets) != len(w) {
+		return nil, fmt.Errorf("stencil: %d offsets, %d weight grids", len(offsets), len(w))
+	}
+	for i, g := range w {
+		if g == nil {
+			return nil, fmt.Errorf("stencil: weight grid %d is nil", i)
+		}
+	}
+	return &VarCoeffStencil{Offsets: offsets, W: w}, nil
+}
+
+func (s *VarCoeffStencil) reach() (ri, rj, rk int) {
+	for _, o := range s.Offsets {
+		ri = max(ri, max(o[0], -o[0]))
+		rj = max(rj, max(o[1], -o[1]))
+		rk = max(rk, max(o[2], -o[2]))
+	}
+	return
+}
+
+// Apply computes dst over the interior the offsets permit.
+func (s *VarCoeffStencil) Apply(dst, src *grid.Grid3D) {
+	ri, rj, rk := s.reach()
+	s.applyBlock(dst, src, ri, src.NI-1-ri, rj, src.NJ-1-rj, rk, src.NK-1-rk)
+}
+
+// ApplyTiled computes the same result in the paper's tiled order.
+func (s *VarCoeffStencil) ApplyTiled(dst, src *grid.Grid3D, ti, tj int) {
+	ri, rj, rk := s.reach()
+	loI, hiI := ri, src.NI-1-ri
+	loJ, hiJ := rj, src.NJ-1-rj
+	for jj := loJ; jj <= hiJ; jj += tj {
+		for ii := loI; ii <= hiI; ii += ti {
+			s.applyBlock(dst, src,
+				ii, min(ii+ti-1, hiI),
+				jj, min(jj+tj-1, hiJ),
+				rk, src.NK-1-rk)
+		}
+	}
+}
+
+func (s *VarCoeffStencil) applyBlock(dst, src *grid.Grid3D, loI, hiI, loJ, hiJ, loK, hiK int) {
+	offs := make([]int, len(s.Offsets))
+	for t, o := range s.Offsets {
+		offs[t] = src.Index(o[0], o[1], o[2]) - src.Index(0, 0, 0)
+	}
+	for k := loK; k <= hiK; k++ {
+		for j := loJ; j <= hiJ; j++ {
+			srow := src.Index(0, j, k)
+			drow := dst.Index(0, j, k)
+			for i := loI; i <= hiI; i++ {
+				var v float64
+				for t := range offs {
+					v += s.W[t].At(i, j, k) * src.Data[srow+i+offs[t]]
+				}
+				dst.Data[drow+i] = v
+			}
+		}
+	}
+}
+
+// Trace replays the variable-coefficient access stream: per point, each
+// weight load, each source load, then the store.
+func (s *VarCoeffStencil) Trace(dst, src *grid.Grid3D, mem cache.Memory, ti, tj int, tiled bool) {
+	ri, rj, rk := s.reach()
+	loI, hiI := ri, src.NI-1-ri
+	loJ, hiJ := rj, src.NJ-1-rj
+	block := func(bLoI, bHiI, bLoJ, bHiJ int) {
+		for k := rk; k <= src.NK-1-rk; k++ {
+			for j := bLoJ; j <= bHiJ; j++ {
+				for i := bLoI; i <= bHiI; i++ {
+					for t, o := range s.Offsets {
+						mem.Load(s.W[t].Addr(i, j, k) * grid.ElemSize)
+						mem.Load(src.Addr(i+o[0], j+o[1], k+o[2]) * grid.ElemSize)
+					}
+					mem.Store(dst.Addr(i, j, k) * grid.ElemSize)
+				}
+			}
+		}
+	}
+	if !tiled {
+		block(loI, hiI, loJ, hiJ)
+		return
+	}
+	for jj := loJ; jj <= hiJ; jj += tj {
+		for ii := loI; ii <= hiI; ii += ti {
+			block(ii, min(ii+ti-1, hiI), jj, min(jj+tj-1, hiJ))
+		}
+	}
+}
+
+// ArrayCount returns the number of distinct arrays the stencil streams
+// (weights + source + destination), the input to the Section 3.5
+// cross-interference strategies.
+func (s *VarCoeffStencil) ArrayCount() int { return len(s.W) + 2 }

@@ -1,0 +1,137 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+)
+
+func varCoeff7pt(n, k int) *VarCoeffStencil {
+	offsets := [][3]int{
+		{0, 0, 0},
+		{-1, 0, 0}, {1, 0, 0},
+		{0, -1, 0}, {0, 1, 0},
+		{0, 0, -1}, {0, 0, 1},
+	}
+	w := make([]*grid.Grid3D, len(offsets))
+	for t := range w {
+		w[t] = grid.New3D(n, n, k)
+		tt := t
+		w[t].FillFunc(func(i, j, kk int) float64 {
+			return 0.1 + 0.01*float64(tt) + 0.001*float64(i+j-kk)
+		})
+	}
+	s, err := NewVarCoeff(offsets, w)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestVarCoeffValidation(t *testing.T) {
+	if _, err := NewVarCoeff(nil, nil); err == nil {
+		t.Error("empty stencil accepted")
+	}
+	if _, err := NewVarCoeff([][3]int{{0, 0, 0}}, []*grid.Grid3D{nil}); err == nil {
+		t.Error("nil weight accepted")
+	}
+	if _, err := NewVarCoeff([][3]int{{0, 0, 0}, {1, 0, 0}}, []*grid.Grid3D{grid.New3D(2, 2, 2)}); err == nil {
+		t.Error("offset/weight count mismatch accepted")
+	}
+}
+
+func TestVarCoeffTiledMatchesApply(t *testing.T) {
+	n, k := 18, 9
+	s := varCoeff7pt(n, k)
+	src := testGrid(n, k, n, n, 2)
+	a := src.Clone()
+	b := src.Clone()
+	s.Apply(a, src)
+	for _, tc := range tileCases {
+		got := b.Clone()
+		s.ApplyTiled(got, src, tc.ti, tc.tj)
+		if d := a.MaxAbsDiff(got); d != 0 {
+			t.Errorf("tile %v: differs by %g", tc, d)
+		}
+	}
+}
+
+func TestVarCoeffMatchesConstantCase(t *testing.T) {
+	// With all weights equal to 1/6 on the six faces (center weight 0),
+	// the result equals Jacobi.
+	n, k := 14, 8
+	offsets := [][3]int{
+		{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+	}
+	w := make([]*grid.Grid3D, len(offsets))
+	for t := range w {
+		w[t] = grid.New3D(n, n, k)
+		w[t].Fill(1.0 / 6)
+	}
+	s, err := NewVarCoeff(offsets, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testGrid(n, k, n, n, 1)
+	want := src.Clone()
+	got := src.Clone()
+	JacobiOrig(want, src, 1.0/6)
+	s.Apply(got, src)
+	var maxd float64
+	for kk := 1; kk <= k-2; kk++ {
+		for j := 1; j <= n-2; j++ {
+			for i := 1; i <= n-2; i++ {
+				maxd = math.Max(maxd, math.Abs(want.At(i, j, kk)-got.At(i, j, kk)))
+			}
+		}
+	}
+	if maxd > 1e-13 {
+		t.Errorf("constant-coefficient case differs by %g", maxd)
+	}
+}
+
+func TestVarCoeffTraceCounts(t *testing.T) {
+	n, k := 12, 7
+	s := varCoeff7pt(n, k)
+	arena := grid.NewArena()
+	src := arena.Place(grid.New3D(n, n, k))
+	dst := arena.Place(grid.New3D(n, n, k))
+	for _, w := range s.W {
+		arena.Place(w)
+	}
+	var mem cache.NullMemory
+	s.Trace(dst, src, &mem, 4, 4, false)
+	points := uint64((n - 2) * (n - 2) * (k - 2))
+	if mem.LoadCount != points*14 || mem.StoreCount != points {
+		t.Errorf("loads %d stores %d, want %d / %d", mem.LoadCount, mem.StoreCount, points*14, points)
+	}
+	if s.ArrayCount() != 9 {
+		t.Errorf("ArrayCount = %d", s.ArrayCount())
+	}
+}
+
+// TestVarCoeffTilingStillWins: with nine streaming arrays the pressure is
+// higher, but padding+tiling still beats the original order.
+func TestVarCoeffTilingStillWins(t *testing.T) {
+	n, k := 120, 8
+	s := varCoeff7pt(n, k)
+	arena := grid.NewArena()
+	src := arena.Place(grid.New3D(n, n, k))
+	dst := arena.Place(grid.New3D(n, n, k))
+	for _, w := range s.W {
+		arena.Place(w)
+	}
+	rate := func(tiled bool) float64 {
+		h := cache.NewHierarchy(cache.UltraSparc2L1())
+		s.Trace(dst, src, h, 30, 14, tiled)
+		h.ResetStats()
+		s.Trace(dst, src, h, 30, 14, tiled)
+		return h.Level(0).Stats().MissRate()
+	}
+	orig, tiled := rate(false), rate(true)
+	if tiled >= orig {
+		t.Errorf("tiled %.2f%% not below orig %.2f%%", tiled, orig)
+	}
+}

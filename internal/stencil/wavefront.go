@@ -1,0 +1,63 @@
+package stencil
+
+import (
+	"sync"
+
+	"tiling3d/internal/grid"
+)
+
+// Wavefront-parallel red-black SOR: the skewed tiles of RedBlackTiled
+// depend on their lower neighbors — tile (a, b) in tile-grid coordinates
+// reads boundary values produced by tiles (a-1, b) and (a, b-1) — so
+// tiles on the same anti-diagonal a+b are mutually independent and can
+// run concurrently, diagonal by diagonal. Results are bit-identical to
+// the sequential tiled (and hence naive) kernel.
+func RedBlackTiledWavefront(a *grid.Grid3D, c1, c2 float64, ti, tj, workers int) {
+	n1, n2 := a.NI, a.NJ
+	nTi := (n1 - 1 + ti - 1) / ti // tiles along I (ii = 0, ti, ...)
+	nTj := (n2 - 1 + tj - 1) / tj
+	if workers <= 1 || nTi*nTj == 1 {
+		RedBlackTiled(a, c1, c2, ti, tj)
+		return
+	}
+	for diag := 0; diag <= (nTi-1)+(nTj-1); diag++ {
+		var wg sync.WaitGroup
+		for bj := 0; bj < nTj; bj++ {
+			bi := diag - bj
+			if bi < 0 || bi >= nTi {
+				continue
+			}
+			wg.Add(1)
+			go func(ii, jj int) {
+				defer wg.Done()
+				redBlackTile(a, c1, c2, ii, jj, ti, tj)
+			}(bi*ti, bj*tj)
+		}
+		wg.Wait()
+	}
+}
+
+// redBlackTile executes one skewed tile of the fused red-black nest —
+// the body of RedBlackTiled's ii/jj loops.
+func redBlackTile(a *grid.Grid3D, c1, c2 float64, ii, jj, ti, tj int) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	for kk := 0; kk <= n3-2; kk++ {
+		for dk := 1; dk >= 0; dk-- {
+			k := kk + dk
+			if k < 1 || k > n3-2 {
+				continue
+			}
+			jLo := max(jj+dk, 1)
+			jHi := min(jj+dk+tj-1, n2-2)
+			for j := jLo; j <= jHi; j++ {
+				iStart := ii + dk
+				iStart += (iStart + kk + j) & 1
+				if iStart == 0 {
+					iStart = 2
+				}
+				iHi := min(ii+dk+ti-1, n1-2)
+				redBlackRow(a, c1, c2, iStart, iHi, j, k)
+			}
+		}
+	}
+}

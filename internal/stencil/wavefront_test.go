@@ -1,0 +1,41 @@
+package stencil
+
+import "testing"
+
+func TestRedBlackWavefrontMatchesNaive(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, tc := range tileCases {
+			n := 23
+			ref := testGrid(n, 7, n, n, 3)
+			par := ref.Clone()
+			RedBlackNaive(ref, -0.15, 1.15/6)
+			RedBlackTiledWavefront(par, -0.15, 1.15/6, tc.ti, tc.tj, workers)
+			if d := ref.MaxAbsDiff(par); d != 0 {
+				t.Errorf("workers=%d tile=%v: wavefront red-black differs by %g", workers, tc, d)
+			}
+		}
+	}
+}
+
+func TestRedBlackWavefrontMultiSweep(t *testing.T) {
+	n := 17
+	ref := testGrid(n, 6, n, n, 1)
+	par := ref.Clone()
+	for s := 0; s < 4; s++ {
+		RedBlackNaive(ref, -0.15, 1.15/6)
+		RedBlackTiledWavefront(par, -0.15, 1.15/6, 4, 5, 6)
+	}
+	if d := ref.MaxAbsDiff(par); d != 0 {
+		t.Errorf("multi-sweep wavefront differs by %g", d)
+	}
+}
+
+// TestRedBlackWavefrontRace exists to run under -race: concurrent tiles
+// must touch disjoint data apart from the read-only finished regions.
+func TestRedBlackWavefrontRace(t *testing.T) {
+	n := 33
+	a := testGrid(n, 9, n, n, 2)
+	for s := 0; s < 2; s++ {
+		RedBlackTiledWavefront(a, -0.2, 1.2/6, 6, 7, 8)
+	}
+}

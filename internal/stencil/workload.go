@@ -1,0 +1,146 @@
+package stencil
+
+import (
+	"fmt"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+)
+
+// Workload is one configured kernel instance: a problem size N x N x K,
+// a transformation plan (tile size and padded dimensions), and the arrays
+// laid out consecutively in one simulated address space, the way the
+// paper's Fortran benchmarks declare them.
+type Workload struct {
+	Kernel Kernel
+	// N is the lower (I and J) logical extent; K the third extent (the
+	// paper fixes K=30 for the kernel sweeps to shorten measurement).
+	N, K   int
+	Plan   core.Plan
+	Coeffs Coeffs
+
+	// Grids in kernel order: JACOBI {A, B}, REDBLACK {A},
+	// RESID {R, V, U}.
+	Grids []*grid.Grid3D
+}
+
+// NewWorkload allocates and initializes the arrays for one kernel run.
+// Every array is allocated with the plan's (possibly padded) leading
+// dimensions and placed back to back in a fresh arena.
+func NewWorkload(k Kernel, n, depth int, plan core.Plan, c Coeffs) *Workload {
+	return NewWorkloadPlaced(k, n, depth, plan, c, nil)
+}
+
+// NewWorkloadPlaced is NewWorkload with inter-variable padding: gaps[i]
+// elements are left unused before array i (Section 3.5; compute gaps
+// with core.CrossPlacement). nil gaps means back-to-back placement.
+func NewWorkloadPlaced(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []int) *Workload {
+	if plan.DI < n || plan.DJ < n {
+		panic(fmt.Sprintf("stencil: plan dims (%d,%d) smaller than N=%d", plan.DI, plan.DJ, n))
+	}
+	w := &Workload{Kernel: k, N: n, K: depth, Plan: plan, Coeffs: c}
+	arena := grid.NewArena()
+	for a := 0; a < k.Arrays(); a++ {
+		if a < len(gaps) {
+			arena.Gap(gaps[a])
+		}
+		g := grid.New3DPadded(n, n, depth, plan.DI, plan.DJ)
+		arena.Place(g)
+		w.Grids = append(w.Grids, g)
+	}
+	w.InitDefault()
+	return w
+}
+
+// InitDefault gives the arrays a smooth, nonzero initial state so native
+// runs exercise realistic values (no denormals, no uniform zeros).
+func (w *Workload) InitDefault() {
+	for gi, g := range w.Grids {
+		scale := 1.0 / float64(g.NI+gi)
+		g.FillFunc(func(i, j, k int) float64 {
+			return 1 + scale*float64(i+2*j+3*k+gi)
+		})
+	}
+}
+
+// RunNative performs one kernel sweep on the arrays, tiled or not
+// according to the plan.
+func (w *Workload) RunNative() {
+	p := w.Plan
+	c := w.Coeffs
+	switch w.Kernel {
+	case Jacobi:
+		if p.Tiled {
+			JacobiTiled(w.Grids[0], w.Grids[1], c.JacobiC, p.Tile.TI, p.Tile.TJ)
+		} else {
+			JacobiOrig(w.Grids[0], w.Grids[1], c.JacobiC)
+		}
+	case RedBlack:
+		if p.Tiled {
+			RedBlackTiled(w.Grids[0], c.SorC1, c.SorC2, p.Tile.TI, p.Tile.TJ)
+		} else {
+			RedBlackNaive(w.Grids[0], c.SorC1, c.SorC2)
+		}
+	case Resid:
+		if p.Tiled {
+			ResidTiled(w.Grids[0], w.Grids[1], w.Grids[2], c.ResidA, p.Tile.TI, p.Tile.TJ)
+		} else {
+			ResidOrig(w.Grids[0], w.Grids[1], w.Grids[2], c.ResidA)
+		}
+	default:
+		panic("stencil: unknown kernel")
+	}
+}
+
+// RunTrace replays one kernel sweep's address stream into mem.
+func (w *Workload) RunTrace(mem cache.Memory) {
+	p := w.Plan
+	switch w.Kernel {
+	case Jacobi:
+		if p.Tiled {
+			JacobiTiledTrace(w.Grids[0], w.Grids[1], mem, p.Tile.TI, p.Tile.TJ)
+		} else {
+			JacobiOrigTrace(w.Grids[0], w.Grids[1], mem)
+		}
+	case RedBlack:
+		if p.Tiled {
+			RedBlackTiledTrace(w.Grids[0], mem, p.Tile.TI, p.Tile.TJ)
+		} else {
+			RedBlackNaiveTrace(w.Grids[0], mem)
+		}
+	case Resid:
+		if p.Tiled {
+			ResidTiledTrace(w.Grids[0], w.Grids[1], w.Grids[2], mem, p.Tile.TI, p.Tile.TJ)
+		} else {
+			ResidOrigTrace(w.Grids[0], w.Grids[1], w.Grids[2], mem)
+		}
+	default:
+		panic("stencil: unknown kernel")
+	}
+}
+
+// InteriorPoints returns the number of point updates one sweep performs.
+func (w *Workload) InteriorPoints() int64 {
+	return int64(w.N-2) * int64(w.N-2) * int64(w.K-2)
+}
+
+// Flops returns the floating-point operations one sweep performs.
+func (w *Workload) Flops() int64 {
+	return w.InteriorPoints() * int64(w.Kernel.FlopsPerPoint())
+}
+
+// AccessCount returns the memory accesses one sweep issues (identical for
+// original and tiled variants: the same iterations in a different order).
+func (w *Workload) AccessCount() int64 {
+	return w.InteriorPoints() * int64(w.Kernel.Accesses())
+}
+
+// MemoryBytes returns the total allocated array memory, padding included.
+func (w *Workload) MemoryBytes() int64 {
+	var b int64
+	for _, g := range w.Grids {
+		b += g.Bytes()
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package trace_test
+
+// Randomized cross-validation of the compiled walker: generate random
+// affine nests (random depths, bounds, strip-mine-like min/max bounds,
+// steps and subscripts), run them through trace.Compile/Run, and compare
+// against a naive direct evaluator of the same nest.
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/trace"
+)
+
+// naiveRun evaluates the nest directly from the IR definition.
+func naiveRun(n *ir.Nest, env map[string]trace.Binding, mem cache.Memory) {
+	vars := map[string]int{}
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(n.Loops) {
+			for _, r := range n.Body {
+				b := env[r.Array]
+				addr := b.Base
+				for dim, sub := range r.Subs {
+					addr += int64(sub.Eval(vars)) * b.Strides[dim]
+				}
+				addr *= 8
+				if r.Store {
+					mem.Store(addr)
+				} else {
+					mem.Load(addr)
+				}
+			}
+			return
+		}
+		l := n.Loops[d]
+		lo := l.Lo.EvalMax(vars)
+		hi := l.Hi.EvalMin(vars)
+		for v := lo; v <= hi; v += l.Step {
+			vars[l.Name] = v
+			walk(d + 1)
+		}
+		delete(vars, l.Name)
+	}
+	walk(0)
+}
+
+func randomNest(rng *rand.Rand) (*ir.Nest, map[string]trace.Binding) {
+	depth := 1 + rng.Intn(3)
+	names := []string{"I", "J", "K"}[:depth]
+	n := &ir.Nest{}
+	for d, name := range names {
+		lo := rng.Intn(3)
+		hi := lo + rng.Intn(6)
+		l := ir.Loop{
+			Name: name,
+			Lo:   ir.BoundOf(ir.Con(lo)),
+			Hi:   ir.BoundOf(ir.Con(hi)),
+			Step: 1 + rng.Intn(2),
+		}
+		// Sometimes add a second bound expression referencing an outer
+		// loop, the strip-mined form.
+		if d > 0 && rng.Intn(2) == 0 {
+			outer := names[rng.Intn(d)]
+			l.Hi.Exprs = append(l.Hi.Exprs, ir.Var(outer, 1+rng.Intn(4)))
+		}
+		n.Loops = append(n.Loops, l)
+	}
+	arrays := []string{"A", "B"}
+	env := map[string]trace.Binding{}
+	dims := 1 + rng.Intn(3)
+	for ai, a := range arrays {
+		strides := make([]int64, dims)
+		s := int64(1)
+		for d := 0; d < dims; d++ {
+			strides[d] = s
+			s *= int64(16 + rng.Intn(8))
+		}
+		env[a] = trace.Binding{Base: int64(ai) * 100000, Strides: strides}
+	}
+	nrefs := 1 + rng.Intn(5)
+	for r := 0; r < nrefs; r++ {
+		ref := ir.Ref{Array: arrays[rng.Intn(len(arrays))], Store: rng.Intn(4) == 0}
+		for d := 0; d < dims; d++ {
+			e := ir.Con(rng.Intn(4))
+			if rng.Intn(3) > 0 {
+				e = ir.Var(names[rng.Intn(depth)], rng.Intn(5)-2)
+			}
+			ref.Subs = append(ref.Subs, e)
+		}
+		n.Body = append(n.Body, ref)
+	}
+	return n, env
+}
+
+func TestCompiledWalkerMatchesNaiveOnRandomNests(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		nest, env := randomNest(rng)
+		var want, got cache.Recorder
+		naiveRun(nest, env, &want)
+		if err := trace.Run(nest, env, &got); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		if len(want.Ops) != len(got.Ops) {
+			t.Fatalf("trial %d: naive %d ops, compiled %d ops\n%s", trial, len(want.Ops), len(got.Ops), nest)
+		}
+		for i := range want.Ops {
+			if want.Ops[i] != got.Ops[i] {
+				t.Fatalf("trial %d op %d: naive %+v, compiled %+v\n%s", trial, i, want.Ops[i], got.Ops[i], nest)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace executes a loop nest from internal/ir as a load/store
+// address stream into a cache.Memory — the generic counterpart of the
+// hand-specialized walkers in internal/stencil. The stencil walkers are
+// fast and mirror the paper's figures line by line; this engine runs any
+// nest the transformation package produces, and the tests drive both over
+// the same programs to prove the transformation engine and the
+// hand-written kernels agree access for access.
+package trace
+
+import (
+	"fmt"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+)
+
+// Binding maps an array name to its storage layout: the base element
+// address and the element stride of each array dimension.
+type Binding struct {
+	Base    int64
+	Strides []int64
+}
+
+// Bind3D derives a binding from a grid's layout.
+func Bind3D(g *grid.Grid3D) Binding {
+	return Binding{
+		Base:    g.Base(),
+		Strides: []int64{1, int64(g.DI), int64(g.DI) * int64(g.DJ)},
+	}
+}
+
+// Bind2D derives a binding from a 2D grid's layout.
+func Bind2D(g *grid.Grid2D) Binding {
+	return Binding{Base: g.Base(), Strides: []int64{1, int64(g.DI)}}
+}
+
+// compiledExpr is an affine expression lowered onto loop slots.
+type compiledExpr struct {
+	con    int64
+	coeff  []int64 // per loop slot
+	sparse []int   // slots with nonzero coefficients
+}
+
+func compileExpr(e ir.Expr, slot map[string]int, scale int64) (compiledExpr, error) {
+	c := compiledExpr{con: int64(e.Const) * scale, coeff: make([]int64, len(slot))}
+	for name, k := range e.Coeff {
+		if k == 0 {
+			continue
+		}
+		s, ok := slot[name]
+		if !ok {
+			return compiledExpr{}, fmt.Errorf("trace: expression uses unknown variable %q", name)
+		}
+		c.coeff[s] = int64(k) * scale
+		c.sparse = append(c.sparse, s)
+	}
+	return c, nil
+}
+
+func (c compiledExpr) eval(vars []int64) int64 {
+	v := c.con
+	for _, s := range c.sparse {
+		v += c.coeff[s] * vars[s]
+	}
+	return v
+}
+
+type compiledRef struct {
+	store bool
+	addr  compiledExpr // byte address as one affine expression
+}
+
+type compiledLoop struct {
+	lo, hi []compiledExpr
+	step   int64
+}
+
+// Program is a nest lowered to flat affine address expressions, ready to
+// run repeatedly.
+type Program struct {
+	loops []compiledLoop
+	refs  []compiledRef
+}
+
+// Compile lowers the nest against the array bindings. Every subscript of
+// every reference is folded with the array strides into a single affine
+// byte-address expression per reference.
+func Compile(n *ir.Nest, env map[string]Binding) (*Program, error) {
+	slot := make(map[string]int, len(n.Loops))
+	for i, l := range n.Loops {
+		slot[l.Name] = i
+	}
+	p := &Program{}
+	for _, l := range n.Loops {
+		cl := compiledLoop{step: int64(l.Step)}
+		if cl.step <= 0 {
+			return nil, fmt.Errorf("trace: loop %q has non-positive step %d", l.Name, l.Step)
+		}
+		for _, e := range l.Lo.Exprs {
+			ce, err := compileExpr(e, slot, 1)
+			if err != nil {
+				return nil, err
+			}
+			cl.lo = append(cl.lo, ce)
+		}
+		for _, e := range l.Hi.Exprs {
+			ce, err := compileExpr(e, slot, 1)
+			if err != nil {
+				return nil, err
+			}
+			cl.hi = append(cl.hi, ce)
+		}
+		if len(cl.lo) == 0 || len(cl.hi) == 0 {
+			return nil, fmt.Errorf("trace: loop %q missing bounds", l.Name)
+		}
+		p.loops = append(p.loops, cl)
+	}
+	for _, r := range n.Body {
+		b, ok := env[r.Array]
+		if !ok {
+			return nil, fmt.Errorf("trace: no binding for array %q", r.Array)
+		}
+		if len(b.Strides) != len(r.Subs) {
+			return nil, fmt.Errorf("trace: array %q bound with %d dims, referenced with %d",
+				r.Array, len(b.Strides), len(r.Subs))
+		}
+		// addr = (base + sum(stride_d * sub_d)) * ElemSize
+		acc := compiledExpr{con: b.Base * grid.ElemSize, coeff: make([]int64, len(slot))}
+		for d, sub := range r.Subs {
+			ce, err := compileExpr(sub, slot, b.Strides[d]*grid.ElemSize)
+			if err != nil {
+				return nil, err
+			}
+			acc.con += ce.con
+			for s, k := range ce.coeff {
+				acc.coeff[s] += k
+			}
+		}
+		for s, k := range acc.coeff {
+			if k != 0 {
+				acc.sparse = append(acc.sparse, s)
+			}
+		}
+		p.refs = append(p.refs, compiledRef{store: r.Store, addr: acc})
+	}
+	return p, nil
+}
+
+// Run executes the program once, emitting every reference to mem.
+func (p *Program) Run(mem cache.Memory) {
+	vars := make([]int64, len(p.loops))
+	p.run(0, vars, mem)
+}
+
+func (p *Program) run(depth int, vars []int64, mem cache.Memory) {
+	if depth == len(p.loops) {
+		for i := range p.refs {
+			r := &p.refs[i]
+			a := r.addr.eval(vars)
+			if r.store {
+				mem.Store(a)
+			} else {
+				mem.Load(a)
+			}
+		}
+		return
+	}
+	l := &p.loops[depth]
+	lo := l.lo[0].eval(vars)
+	for _, e := range l.lo[1:] {
+		if v := e.eval(vars); v > lo {
+			lo = v
+		}
+	}
+	hi := l.hi[0].eval(vars)
+	for _, e := range l.hi[1:] {
+		if v := e.eval(vars); v < hi {
+			hi = v
+		}
+	}
+	for v := lo; v <= hi; v += l.step {
+		vars[depth] = v
+		p.run(depth+1, vars, mem)
+	}
+}
+
+// Run compiles and executes a nest in one step.
+func Run(n *ir.Nest, env map[string]Binding, mem cache.Memory) error {
+	p, err := Compile(n, env)
+	if err != nil {
+		return err
+	}
+	p.Run(mem)
+	return nil
+}

@@ -1,0 +1,110 @@
+package transform
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+)
+
+func parseOK(t *testing.T, src string) {
+	t.Helper()
+	full := "package p\n\n" + src
+	if _, err := parser.ParseFile(token.NewFileSet(), "gen.go", full, 0); err != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGenGoJacobiOrig(t *testing.T) {
+	src, err := GenGo(ir.JacobiNest(100, 30), "jacobiGen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseOK(t, src)
+	for _, want := range []string{
+		// Arrays appear in first-use order: the loads of B come first.
+		"func jacobiGen(b []float64, bDI, bDJ int, a []float64, aDI, aDJ int, c float64)",
+		"for K := 1; K <= 28; K++",
+		"a[(I)+aDI*((J)+aDJ*(K))] = c * (",
+		"b[(I-1)+bDI*((J)+bDJ*(K))]",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenGoTiledJacobi(t *testing.T) {
+	nest, err := TileInner2(ir.JacobiNest(60, 20), core.Tile{TI: 8, TJ: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenGo(nest, "jacobiTiledGen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseOK(t, src)
+	for _, want := range []string{
+		"func minInt(a, b int)",
+		"for JJ := 1; JJ <= 58; JJ += 6",
+		"for II := 1; II <= 58; II += 8",
+		"minInt(JJ+5, 58)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("tiled source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGenGoResid(t *testing.T) {
+	src, err := GenGo(ir.ResidNest(50, 20), "residGen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parseOK(t, src)
+	if !strings.Contains(src, "a3*(") || !strings.Contains(src, "one*(") {
+		t.Errorf("resid coefficients missing:\n%s", src)
+	}
+}
+
+func TestGenGoRequiresCompute(t *testing.T) {
+	if _, err := GenGo(ir.Jacobi2DNest(10), "x"); err == nil {
+		t.Error("nest without compute semantics not rejected")
+	}
+}
+
+// TestInterpretTransformedNest validates value semantics end to end:
+// interpreting the tiled nest produces bit-identical results to
+// interpreting the original.
+func TestInterpretTransformedNest(t *testing.T) {
+	n, depth := 14, 9
+	mk := func(seed float64) *grid.Grid3D {
+		g := grid.New3D(n, n, depth)
+		g.FillFunc(func(i, j, k int) float64 {
+			return seed + float64(i) - 0.5*float64(j) + 0.25*float64(k)
+		})
+		return g
+	}
+	envA := map[string]*grid.Grid3D{"A": mk(1), "B": mk(2)}
+	envB := map[string]*grid.Grid3D{"A": mk(1), "B": mk(2)}
+	consts := map[string]float64{"C": 1.0 / 6}
+
+	orig := ir.JacobiNest(n, depth)
+	tiled, err := TileInner2(orig, core.Tile{TI: 4, TJ: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Interpret(orig, envA, consts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Interpret(tiled, envB, consts); err != nil {
+		t.Fatal(err)
+	}
+	if d := envA["A"].MaxAbsDiff(envB["A"]); d != 0 {
+		t.Errorf("tiled interpretation differs by %g", d)
+	}
+}

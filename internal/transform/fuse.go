@@ -1,0 +1,188 @@
+package transform
+
+import (
+	"fmt"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/trace"
+)
+
+// Loop fusion with retiming: the paper's "realistic stencil code"
+// (Figure 5, middle) has two nests inside the time-step loop — compute
+// then copy-back — and its fused red-black (Figure 12) interleaves two
+// color passes shifted by one plane. FuseShifted implements the general
+// transformation: execute, per iteration v of the shared outer loop, the
+// first nest's plane v and then the second nest's plane v-shift. The
+// shift must cover every cross-nest dependence distance or fusion would
+// read overwritten data; MinLegalShift computes the smallest legal value
+// and FuseShifted refuses anything smaller.
+
+// Fused is a fusion of two nests over their common outer loop.
+type Fused struct {
+	First, Second *ir.Nest
+	Shift         int
+}
+
+// MinLegalShift returns the smallest shift that preserves the sequential
+// semantics (first nest entirely before second): the maximum outer-loop
+// dependence distance c2-c1 over all cross-nest reference pairs to the
+// same array where at least one is a store. Both nests must have the
+// same outer loop variable with constant bounds and loopVar+const
+// subscripts in the outer dimension.
+func MinLegalShift(n1, n2 *ir.Nest) (int, error) {
+	outer1, err := outerInfo(n1)
+	if err != nil {
+		return 0, err
+	}
+	outer2, err := outerInfo(n2)
+	if err != nil {
+		return 0, err
+	}
+	if outer1.name != outer2.name {
+		return 0, fmt.Errorf("transform: outer loops differ: %q vs %q", outer1.name, outer2.name)
+	}
+	minShift := 0
+	for _, r1 := range n1.Body {
+		for _, r2 := range n2.Body {
+			if r1.Array != r2.Array || (!r1.Store && !r2.Store) {
+				continue
+			}
+			c1, err := outerOffset(r1, outer1.name)
+			if err != nil {
+				return 0, err
+			}
+			c2, err := outerOffset(r2, outer2.name)
+			if err != nil {
+				return 0, err
+			}
+			if d := c2 - c1; d > minShift {
+				minShift = d
+			}
+		}
+	}
+	return minShift, nil
+}
+
+// FuseShifted fuses the nests with the given shift, refusing shifts
+// smaller than MinLegalShift.
+func FuseShifted(n1, n2 *ir.Nest, shift int) (*Fused, error) {
+	min, err := MinLegalShift(n1, n2)
+	if err != nil {
+		return nil, err
+	}
+	if shift < min {
+		return nil, fmt.Errorf("transform: shift %d below minimum legal shift %d", shift, min)
+	}
+	return &Fused{First: n1.Clone(), Second: n2.Clone(), Shift: shift}, nil
+}
+
+type outerLoop struct {
+	name   string
+	lo, hi int
+}
+
+func outerInfo(n *ir.Nest) (outerLoop, error) {
+	if len(n.Loops) == 0 {
+		return outerLoop{}, fmt.Errorf("transform: empty nest")
+	}
+	l := n.Loops[0]
+	if l.Step != 1 {
+		return outerLoop{}, fmt.Errorf("transform: fusion requires unit-step outer loop")
+	}
+	if len(l.Lo.Exprs) != 1 || len(l.Hi.Exprs) != 1 ||
+		len(l.Lo.Exprs[0].Coeff) != 0 || len(l.Hi.Exprs[0].Coeff) != 0 {
+		return outerLoop{}, fmt.Errorf("transform: fusion requires constant outer bounds")
+	}
+	return outerLoop{name: l.Name, lo: l.Lo.Exprs[0].Const, hi: l.Hi.Exprs[0].Const}, nil
+}
+
+// outerOffset extracts the constant offset of the outer variable in the
+// reference's subscripts; zero if the reference does not use it.
+func outerOffset(r ir.Ref, outer string) (int, error) {
+	for _, s := range r.Subs {
+		if c, ok := s.Coeff[outer]; ok && c != 0 {
+			if c != 1 {
+				return 0, fmt.Errorf("transform: non-unit outer coefficient in %s", r.Array)
+			}
+			return s.Const, nil
+		}
+	}
+	return 0, nil
+}
+
+// OuterRange returns the fused outer iteration range: the union of the
+// first nest's range and the second's shifted range.
+func (f *Fused) OuterRange() (lo, hi int, err error) {
+	o1, err := outerInfo(f.First)
+	if err != nil {
+		return 0, 0, err
+	}
+	o2, err := outerInfo(f.Second)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi = o1.lo, o1.hi
+	if v := o2.lo + f.Shift; v < lo {
+		lo = v
+	}
+	if v := o2.hi + f.Shift; v > hi {
+		hi = v
+	}
+	return lo, hi, nil
+}
+
+// restrictOuter clones the nest with the outer loop pinned to value v.
+func restrictOuter(n *ir.Nest, v int) *ir.Nest {
+	c := n.Clone()
+	c.Loops[0].Lo = ir.BoundOf(ir.Con(v))
+	c.Loops[0].Hi = ir.BoundOf(ir.Con(v))
+	return c
+}
+
+// forEachOuter drives the fused schedule: per outer value, the first
+// nest's plane, then the second's shifted plane, each clamped to its own
+// range.
+func (f *Fused) forEachOuter(fn func(n *ir.Nest, v int) error) error {
+	o1, err := outerInfo(f.First)
+	if err != nil {
+		return err
+	}
+	o2, err := outerInfo(f.Second)
+	if err != nil {
+		return err
+	}
+	lo, hi, err := f.OuterRange()
+	if err != nil {
+		return err
+	}
+	for v := lo; v <= hi; v++ {
+		if v >= o1.lo && v <= o1.hi {
+			if err := fn(f.First, v); err != nil {
+				return err
+			}
+		}
+		if w := v - f.Shift; w >= o2.lo && w <= o2.hi {
+			if err := fn(f.Second, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Interpret executes the fused schedule's computation over real grids.
+// Both nests must carry compute semantics.
+func (f *Fused) Interpret(env map[string]*grid.Grid3D, consts map[string]float64) error {
+	return f.forEachOuter(func(n *ir.Nest, v int) error {
+		return ir.Interpret(restrictOuter(n, v), env, consts)
+	})
+}
+
+// Trace replays the fused schedule's address stream.
+func (f *Fused) Trace(env map[string]trace.Binding, mem cache.Memory) error {
+	return f.forEachOuter(func(n *ir.Nest, v int) error {
+		return trace.Run(restrictOuter(n, v), env, mem)
+	})
+}

@@ -1,0 +1,194 @@
+// Package transform implements the loop transformations the paper's
+// optimization applies to a stencil nest: strip-mining, loop interchange,
+// and the combined tiling transformation of Section 2.2 (strip-mine the
+// two inner loops, move the tile-controlling loops outermost), driven by
+// a tile plan from the selection algorithms in internal/core.
+//
+// Interchange is guarded by the classical dependence-legality test: a
+// permutation is legal when every dependence distance vector remains
+// lexicographically non-negative. The paper's kernels carry no
+// loop-carried dependences within a sweep (they write arrays they do not
+// read), so tiling is always legal there; the check exists so the driver
+// refuses nests where it would not be.
+package transform
+
+import (
+	"fmt"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/ir"
+)
+
+// StripMine splits the named loop into a tile-controlling loop (named
+// tileName) with step = factor and an element loop that walks one tile,
+// clamped to the original bounds: the textbook transformation
+//
+//	do J = lo, hi            do JJ = lo, hi, TJ
+//	  body          =>         do J = JJ, min(JJ+TJ-1, hi)
+//	                             body
+func StripMine(n *ir.Nest, loopName, tileName string, factor int) (*ir.Nest, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("transform: strip-mine factor %d < 1", factor)
+	}
+	idx := n.LoopIndex(loopName)
+	if idx < 0 {
+		return nil, fmt.Errorf("transform: no loop %q", loopName)
+	}
+	if n.LoopIndex(tileName) >= 0 {
+		return nil, fmt.Errorf("transform: loop %q already exists", tileName)
+	}
+	out := n.Clone()
+	orig := out.Loops[idx]
+	if orig.Step != 1 {
+		return nil, fmt.Errorf("transform: strip-mining non-unit-step loop %q", loopName)
+	}
+	tile := ir.Loop{Name: tileName, Lo: orig.Lo, Hi: orig.Hi, Step: factor}
+	elem := ir.Loop{
+		Name: loopName,
+		Lo:   ir.BoundOf(ir.Var(tileName, 0)),
+		Hi:   ir.BoundOf(append([]ir.Expr{ir.Var(tileName, factor-1)}, orig.Hi.Exprs...)...),
+		Step: 1,
+	}
+	loops := make([]ir.Loop, 0, len(out.Loops)+1)
+	loops = append(loops, out.Loops[:idx]...)
+	loops = append(loops, tile, elem)
+	loops = append(loops, out.Loops[idx+1:]...)
+	out.Loops = loops
+	return out, nil
+}
+
+// Interchange reorders the nest's loops into the given permutation of
+// loop names (outermost first), refusing illegal permutations. A loop may
+// only move outside a loop its bounds reference if that loop stays
+// enclosing, so bound variables are validated too.
+func Interchange(n *ir.Nest, order []string) (*ir.Nest, error) {
+	if len(order) != len(n.Loops) {
+		return nil, fmt.Errorf("transform: permutation names %d loops, nest has %d", len(order), len(n.Loops))
+	}
+	perm := make([]int, len(order)) // perm[newPos] = oldPos
+	seen := map[string]bool{}
+	for newPos, name := range order {
+		old := n.LoopIndex(name)
+		if old < 0 {
+			return nil, fmt.Errorf("transform: no loop %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("transform: loop %q repeated", name)
+		}
+		seen[name] = true
+		perm[newPos] = old
+	}
+	if err := checkPermutationLegal(n, perm); err != nil {
+		return nil, err
+	}
+	out := n.Clone()
+	loops := make([]ir.Loop, len(order))
+	for newPos, old := range perm {
+		loops[newPos] = out.Loops[old]
+	}
+	// Bound variables must be defined by enclosing loops.
+	for newPos, l := range loops {
+		enclosing := map[string]bool{}
+		for p := 0; p < newPos; p++ {
+			enclosing[loops[p].Name] = true
+		}
+		for _, e := range append(append([]ir.Expr{}, l.Lo.Exprs...), l.Hi.Exprs...) {
+			for v, c := range e.Coeff {
+				if c != 0 && !enclosing[v] {
+					return nil, fmt.Errorf("transform: loop %q bound uses %q which would no longer enclose it", l.Name, v)
+				}
+			}
+		}
+	}
+	out.Loops = loops
+	return out, nil
+}
+
+// checkPermutationLegal verifies no dependence is reversed: every
+// distance vector must keep its lexicographic sign under the permutation
+// (the vectors are unoriented, so a vector and its negation describe the
+// same dependence; reversing the sign reverses execution order across the
+// dependence).
+func checkPermutationLegal(n *ir.Nest, perm []int) error {
+	dists, err := ir.DependenceDistances(n)
+	if err != nil {
+		return err
+	}
+	for _, d := range dists {
+		before := lexSign(d, nil)
+		after := lexSign(d, perm)
+		if before != 0 && after != before {
+			return fmt.Errorf("transform: permutation reverses dependence %v", d)
+		}
+	}
+	return nil
+}
+
+// lexSign returns the sign of d under the loop order perm (nil = identity).
+func lexSign(d []int, perm []int) int {
+	for pos := range d {
+		idx := pos
+		if perm != nil {
+			idx = perm[pos]
+		}
+		if d[idx] > 0 {
+			return 1
+		}
+		if d[idx] < 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// TileInner2 applies the paper's tiling transformation (Section 2.2,
+// Figure 6) to a 3-deep nest with loops (outer, middle, inner) =
+// (K, J, I): strip-mine J by tile.TJ and I by tile.TI, then move the
+// tile-controlling loops JJ and II outermost, yielding
+// JJ, II, K, J, I. Loop names are taken from the nest.
+func TileInner2(n *ir.Nest, tile core.Tile) (*ir.Nest, error) {
+	if len(n.Loops) != 3 {
+		return nil, fmt.Errorf("transform: TileInner2 needs a 3-deep nest, got %d", len(n.Loops))
+	}
+	if !tile.Valid() {
+		return nil, fmt.Errorf("transform: invalid tile %v", tile)
+	}
+	// Tiling reorders iterations arbitrarily across the JJ/II tile
+	// boundaries, so it is applied only to nests with no loop-carried
+	// dependences at all (true of the paper's kernels, which never read
+	// the array they write within a sweep). Distance vectors over
+	// strip-mined loops are not constant, so the finer-grained
+	// Interchange check cannot be reused here.
+	dists, err := ir.DependenceDistances(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dists {
+		for _, v := range d {
+			if v != 0 {
+				return nil, fmt.Errorf("transform: nest carries dependence %v; tiling refused", d)
+			}
+		}
+	}
+	kName, jName, iName := n.Loops[0].Name, n.Loops[1].Name, n.Loops[2].Name
+	jj, ii := jName+jName, iName+iName
+	out, err := StripMine(n, jName, jj, tile.TJ)
+	if err != nil {
+		return nil, err
+	}
+	out, err = StripMine(out, iName, ii, tile.TI)
+	if err != nil {
+		return nil, err
+	}
+	return Interchange(out, []string{jj, ii, kName, jName, iName})
+}
+
+// ApplyPlan transforms the nest according to a selection plan: the
+// identity for untiled plans, TileInner2 otherwise. (Padding lives in the
+// array layout, not in the nest.)
+func ApplyPlan(n *ir.Nest, plan core.Plan) (*ir.Nest, error) {
+	if !plan.Tiled {
+		return n.Clone(), nil
+	}
+	return TileInner2(n, plan.Tile)
+}

@@ -1,0 +1,24 @@
+package tiling3d
+
+import "tiling3d/internal/mg"
+
+// Multigrid types: a NAS-MG-style V-cycle solver whose finest-grid RESID
+// can be tiled and padded with a Plan (the paper's Section 4.6
+// application).
+type (
+	// Multigrid is the V-cycle solver.
+	Multigrid = mg.Solver
+	// MultigridParams configures a solver.
+	MultigridParams = mg.Params
+	// MGExperimentResult reports the Section 4.6 timing experiment.
+	MGExperimentResult = mg.ExperimentResult
+)
+
+// NewMultigrid builds a solver hierarchy; see MultigridParams.
+func NewMultigrid(p MultigridParams) *Multigrid { return mg.New(p) }
+
+// RunMGExperiment times the solver with original versus transformed
+// RESID (Section 4.6).
+func RunMGExperiment(lm, iterations, cs int, m Method) MGExperimentResult {
+	return mg.RunExperiment(lm, iterations, cs, m)
+}

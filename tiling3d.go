@@ -1,0 +1,163 @@
+// Package tiling3d is the public API of a reproduction of Rivera & Tseng,
+// "Tiling Optimizations for 3D Scientific Computations" (SC 2000): tile
+// size selection and array padding for 3D stencil codes on direct-mapped
+// caches, together with the substrates the paper's evaluation needs — a
+// multi-level cache simulator, the JACOBI/REDBLACK/RESID kernels in
+// original and tiled form, a loop-nest IR with the tiling transformation,
+// and a multigrid solver.
+//
+// # Selecting a tile
+//
+// Describe the stencil (how far it reaches in each dimension and how many
+// array planes must stay cached) and ask a selection method for a plan:
+//
+//	st := tiling3d.Stencil{TrimI: 2, TrimJ: 2, Depth: 3} // +/-1 stencil
+//	plan := tiling3d.Select(tiling3d.MethodPad, 2048, n, n, st)
+//	// plan.Tile is the iteration tile; plan.DI, plan.DJ the padded dims.
+//
+// The methods are those of the paper's Table 2: Euc3D (non-conflicting
+// tile selection), GcdPad (fixed tile, GCD padding), Pad (padding with
+// tile selection), plus the baselines it compares against.
+//
+// # Applying a plan
+//
+// Allocate arrays with the plan's padded leading dimensions (Grid3D keeps
+// logical extent and allocated dimensions separate) and run the tiled
+// loops with plan.Tile. For the paper's kernels both steps are packaged:
+//
+//	w := tiling3d.NewWorkload(tiling3d.Jacobi, n, 30, plan, tiling3d.DefaultCoeffs())
+//	w.RunNative()
+//
+// The examples/ directory shows complete programs, and internal/bench
+// regenerates every table and figure of the paper's evaluation.
+package tiling3d
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/stencil"
+)
+
+// Core selection types (see internal/core for full documentation).
+type (
+	// Stencil describes a tiled nest's data footprint: trims m, n and
+	// array-tile depth ATD.
+	Stencil = core.Stencil
+	// Tile is an iteration tile (TI, TJ).
+	Tile = core.Tile
+	// ArrayTile is the array footprint of an iteration tile.
+	ArrayTile = core.ArrayTile
+	// Plan is a selection result: tile plus padded array dimensions.
+	Plan = core.Plan
+	// Method identifies a transformation (Table 2).
+	Method = core.Method
+)
+
+// Methods of the paper's Table 2 plus extra baselines.
+const (
+	Orig           = core.Orig
+	MethodTile     = core.MethodTile
+	MethodEuc3D    = core.MethodEuc3D
+	MethodGcdPad   = core.MethodGcdPad
+	MethodPad      = core.MethodPad
+	MethodGcdPadNT = core.MethodGcdPadNT
+	MethodLRW      = core.MethodLRW
+	MethodEffCache = core.MethodEffCache
+)
+
+// Select runs a selection method for an array with lower dimensions
+// (di, dj) targeting a direct-mapped cache of cs elements.
+func Select(m Method, cs, di, dj int, st Stencil) Plan {
+	return core.Select(m, cs, di, dj, st)
+}
+
+// Euc3D returns the minimum-cost non-conflicting iteration tile
+// (Section 3.3).
+func Euc3D(cs, di, dj int, st Stencil) (Tile, bool) { return core.Euc3D(cs, di, dj, st) }
+
+// GcdPad returns the fixed power-of-two tile with GCD padding
+// (Section 3.4.1).
+func GcdPad(cs, di, dj int, st Stencil) Plan { return core.GcdPad(cs, di, dj, st) }
+
+// Pad returns padding with tile-size selection (Section 3.4.2).
+func Pad(cs, di, dj int, st Stencil) Plan { return core.Pad(cs, di, dj, st) }
+
+// Cost evaluates the paper's tile cost model (Section 2.3).
+func Cost(t Tile, st Stencil) float64 { return core.Cost(t, st) }
+
+// SelfConflicts reports whether an array tile self-interferes in a
+// direct-mapped cache of cs elements (ground truth for the selectors).
+func SelfConflicts(cs, di, dj, ti, tj, tk int) bool {
+	return core.SelfConflicts(cs, di, dj, ti, tj, tk)
+}
+
+// Grid and kernel types.
+type (
+	// Grid3D is a column-major 3D array with padded leading dimensions.
+	Grid3D = grid.Grid3D
+	// Kernel identifies one of the paper's benchmarks.
+	Kernel = stencil.Kernel
+	// Coeffs holds kernel constants.
+	Coeffs = stencil.Coeffs
+	// Workload is a configured kernel instance.
+	Workload = stencil.Workload
+)
+
+// The paper's three kernel benchmarks.
+const (
+	Jacobi   = stencil.Jacobi
+	RedBlack = stencil.RedBlack
+	Resid    = stencil.Resid
+)
+
+// NewGrid3D allocates an unpadded grid.
+func NewGrid3D(ni, nj, nk int) *Grid3D { return grid.New3D(ni, nj, nk) }
+
+// NewGrid3DPadded allocates a grid with padded leading dimensions, e.g.
+// from a Plan's DI and DJ.
+func NewGrid3DPadded(ni, nj, nk, di, dj int) *Grid3D {
+	return grid.New3DPadded(ni, nj, nk, di, dj)
+}
+
+// DefaultCoeffs returns convergent kernel constants.
+func DefaultCoeffs() Coeffs { return stencil.DefaultCoeffs() }
+
+// NewWorkload builds a kernel instance with arrays laid out per the plan.
+func NewWorkload(k Kernel, n, depth int, plan Plan, c Coeffs) *Workload {
+	return stencil.NewWorkload(k, n, depth, plan, c)
+}
+
+// User-defined stencils: arbitrary weighted shapes get the same
+// treatment as the paper's kernels — original and tiled execution, trace
+// replay, and selection inputs derived from the taps.
+type (
+	// Tap is one stencil point: neighbor offset and weight.
+	Tap = stencil.Tap
+	// Shape is a user-defined weighted stencil.
+	Shape = stencil.Shape
+)
+
+// NewShape validates a tap list into a Shape.
+func NewShape(taps []Tap) (Shape, error) { return stencil.NewShape(taps) }
+
+// Box7 returns the 7-point star stencil with the given center and face
+// weights.
+func Box7(cw, fw float64) Shape { return stencil.Box7(cw, fw) }
+
+// Cache simulation types.
+type (
+	// CacheConfig describes one simulated cache level.
+	CacheConfig = cache.Config
+	// Hierarchy is a multi-level trace-driven cache simulator.
+	Hierarchy = cache.Hierarchy
+	// CacheStats counts accesses and misses.
+	CacheStats = cache.Stats
+)
+
+// UltraSparc2 builds the paper's simulated memory system (16KB + 2MB
+// direct-mapped).
+func UltraSparc2() *Hierarchy { return cache.UltraSparc2() }
+
+// NewHierarchy builds a cache hierarchy from level configs, L1 first.
+func NewHierarchy(cfgs ...CacheConfig) *Hierarchy { return cache.NewHierarchy(cfgs...) }
