@@ -322,6 +322,66 @@ func BenchmarkCacheSimThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkReplayRuns measures the batched replay engine against the
+// per-access path on the ISSUE's headline microbenchmark: one Jacobi
+// sweep at N=256, K=30, simulated through the UltraSparc2 hierarchy.
+// Orig is the conflict-heavy untiled stream; GcdPad is the padded+tiled
+// stream; GcdPadNT (padding without tiling) has full-row runs, where the
+// per-run setup amortizes over ~64 lines and batching pays off most.
+// Metrics are simulated Maccess/s and ns/access.
+func BenchmarkReplayRuns(b *testing.B) {
+	n, k := 256, 30
+	for _, m := range []core.Method{core.Orig, core.MethodGcdPad, core.MethodGcdPadNT} {
+		plan := core.Select(m, 2048, n, n, stencil.Jacobi.Spec())
+		w := stencil.NewTraceWorkload(stencil.Jacobi, n, k, plan)
+		accesses := float64(w.AccessCount())
+		b.Run(m.String()+"/PerAccess", func(b *testing.B) {
+			h := cache.UltraSparc2()
+			w.RunTrace(h) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RunTrace(h)
+			}
+			reportAccessRate(b, accesses)
+		})
+		b.Run(m.String()+"/Batched", func(b *testing.B) {
+			h := cache.UltraSparc2()
+			w.ReplayTrace(h) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.ReplayTrace(h)
+			}
+			reportAccessRate(b, accesses)
+		})
+	}
+}
+
+func reportAccessRate(b *testing.B, accessesPerOp float64) {
+	b.Helper()
+	secs := b.Elapsed().Seconds()
+	total := accessesPerOp * float64(b.N)
+	if secs > 0 {
+		b.ReportMetric(total/secs/1e6, "Maccess/s")
+		b.ReportMetric(secs*1e9/total, "ns/access")
+	}
+}
+
+// BenchmarkSimFanout measures the worker-pool fan-out over independent
+// sweep cells: the Figure-14 Jacobi GcdPad series, serial versus all
+// cores.
+func BenchmarkSimFanout(b *testing.B) {
+	opt := benchOpt()
+	for _, w := range []int{1, cache.DefaultWorkers()} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			o := opt
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				bench.MissSeries(stencil.Jacobi, core.MethodGcdPad, o)
+			}
+		})
+	}
+}
+
 // BenchmarkNativeKernels times the raw kernels on the host (for
 // reference; the paper's MFlops comparisons use the cycle model).
 func BenchmarkNativeKernels(b *testing.B) {

@@ -38,6 +38,7 @@ func main() {
 		all        = flag.Bool("all", false, "run everything")
 		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		withPerf   = flag.Bool("perf", true, "include native wall-clock measurements")
+		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 	)
 	flag.Parse()
 	if *all {
@@ -50,6 +51,7 @@ func main() {
 	}
 
 	opt := bench.DefaultOptions()
+	opt.Workers = *workers
 	if *quick {
 		opt.NStep = 50
 	}
@@ -58,7 +60,7 @@ func main() {
 		fmt.Println("=== Table 1: non-conflicting array tiles (200x200xM, 16K cache) ===")
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 		fmt.Fprintln(tw, "TK\tTJ\tTI\t")
-		for _, t := range core.Euc3DArrayTiles(2048, 200, 200, 4) {
+		for _, t := range core.Euc3DArrayTilesParallel(2048, 200, 200, 4, *workers) {
 			fmt.Fprintf(tw, "%d\t%d\t%d\t\n", t.TK, t.TJ, t.TI)
 		}
 		tw.Flush()

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"tiling3d/internal/bench"
+	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
 )
@@ -34,6 +35,7 @@ func main() {
 		sweeps     = flag.Int("sweeps", 1, "measured sweeps per point")
 		svgPath    = flag.String("svg", "", "also write SVG charts to <path>-l1.svg and <path>-l2.svg")
 		asJSON     = flag.Bool("json", false, "emit the series as JSON instead of a table")
+		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 	}
 	opt := bench.DefaultOptions()
 	opt.NMin, opt.NMax, opt.NStep, opt.K, opt.Sweeps = *nMin, *nMax, *step, *k, *sweeps
+	opt.Workers = *workers
 	if *methodList != "" {
 		opt.Methods = nil
 		for _, name := range strings.Split(*methodList, ",") {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		depth      = flag.Int("depth", 3, "array tile depth ATD")
 		showTiles  = flag.Bool("tiles", false, "also print the non-conflicting array tiles (Table 1)")
 		maxDepth   = flag.Int("maxdepth", 4, "deepest TK to enumerate with -tiles")
+		workers    = flag.Int("workers", cache.DefaultWorkers(), "goroutines for the tile enumeration")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		fmt.Println("non-conflicting array tiles (cf. Table 1):")
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 		fmt.Fprintln(tw, "TK\tTJ\tTI\t")
-		for _, t := range core.Euc3DArrayTiles(cs, *di, *dj, *maxDepth) {
+		for _, t := range core.Euc3DArrayTilesParallel(cs, *di, *dj, *maxDepth, *workers) {
 			fmt.Fprintf(tw, "%d\t%d\t%d\t\n", t.TK, t.TJ, t.TI)
 		}
 		tw.Flush()

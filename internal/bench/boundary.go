@@ -44,11 +44,11 @@ type BoundaryProbe struct {
 func ProbeBoundary3D(cfg cache.Config, margin int, coeffs stencil.Coeffs) BoundaryProbe {
 	b := MaxN3D(cfg)
 	probe := func(n int) float64 {
-		w := stencil.NewWorkload(stencil.Jacobi, n, 8, core.Plan{DI: n, DJ: n}, coeffs)
+		w := stencil.NewTraceWorkload(stencil.Jacobi, n, 8, core.Plan{DI: n, DJ: n})
 		h := cache.NewHierarchy(cfg)
-		w.RunTrace(h)
+		w.ReplayTrace(h)
 		h.ResetStats()
-		w.RunTrace(h)
+		w.ReplayTrace(h)
 		return h.Level(0).Stats().MissRate()
 	}
 	below, above := b-margin, b+margin

@@ -1,10 +1,6 @@
 package bench
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
@@ -24,7 +20,7 @@ type MissPoint struct {
 func MissSeries(k stencil.Kernel, m core.Method, opt Options) []MissPoint {
 	sizes := opt.Sizes()
 	out := make([]MissPoint, len(sizes))
-	forEachIndex(len(sizes), func(i int) {
+	cache.ForEach(len(sizes), opt.Workers, func(i int) {
 		out[i] = SimulatePoint(k, m, sizes[i], opt)
 	})
 	return out
@@ -37,38 +33,6 @@ func MissSweep(k stencil.Kernel, opt Options) map[core.Method][]MissPoint {
 		out[m] = MissSeries(k, m, opt)
 	}
 	return out
-}
-
-// forEachIndex runs fn(0..n-1) on up to GOMAXPROCS goroutines. The
-// trace simulations are CPU-bound and independent, so the experiment
-// harness parallelizes at cell granularity.
-func forEachIndex(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // SimResult is the raw outcome of simulating one (kernel, method, size)
@@ -94,18 +58,20 @@ func (r SimResult) MissPoint() MissPoint {
 
 // SimulateStats simulates one (kernel, method, size) cell: one warm-up
 // sweep, then opt.Sweeps measured sweeps through the two-level hierarchy.
+// Simulation is trace-only, so the workload carries no element data and
+// the sweeps run on the batched replay engine.
 func SimulateStats(k stencil.Kernel, m core.Method, n int, opt Options) SimResult {
 	plan := opt.Plan(k, m, n)
-	w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+	w := stencil.NewTraceWorkload(k, n, opt.K, plan)
 	h := cacheHierarchy(opt)
 	sweeps := opt.Sweeps
 	if sweeps <= 0 {
 		sweeps = 1
 	}
-	w.RunTrace(h) // warm-up: exclude cold misses, as a long run would
+	w.ReplayTrace(h) // warm-up: exclude cold misses, as a long run would
 	h.ResetStats()
 	for s := 0; s < sweeps; s++ {
-		w.RunTrace(h)
+		w.ReplayTrace(h)
 	}
 	return SimResult{
 		N:     n,

@@ -98,7 +98,7 @@ func CombinedSweep(k stencil.Kernel, opt Options, model CycleModel) (map[core.Me
 		miss[m] = make([]MissPoint, len(sizes))
 		perf[m] = make([]PerfPoint, len(sizes))
 	}
-	forEachIndex(len(opt.Methods)*len(sizes), func(idx int) {
+	cache.ForEach(len(opt.Methods)*len(sizes), opt.Workers, func(idx int) {
 		m := opt.Methods[idx/len(sizes)]
 		ni := idx % len(sizes)
 		r := SimulateStats(k, m, sizes[ni], opt)

@@ -33,6 +33,10 @@ type Options struct {
 	// algorithms target; zero means L1's capacity in doubles (the paper
 	// tiles for the L1 cache).
 	TargetElems int
+	// Workers bounds the goroutines a sweep simulates on; zero or
+	// negative means cache.DefaultWorkers (GOMAXPROCS). Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper's experimental setup.

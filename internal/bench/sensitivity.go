@@ -19,33 +19,35 @@ type AssocPoint struct {
 }
 
 // AssocSensitivity simulates one kernel/size across L1 associativities
-// (same capacity and line size). Per method, a single trace walk feeds
-// every associativity through a cache.Fanout. The interesting output is
-// how much of the untiled code's conflict misses hardware ways absorb,
-// and that the conflict-free GcdPad configuration has nothing left for
-// them to fix.
+// (same capacity and line size). Per method, a single batched trace is
+// recorded once and replayed into every associativity concurrently. The
+// interesting output is how much of the untiled code's conflict misses
+// hardware ways absorb, and that the conflict-free GcdPad configuration
+// has nothing left for them to fix.
 func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []AssocPoint {
 	out := make([]AssocPoint, len(assocs))
 	for i, a := range assocs {
 		out[i].Assoc = a
 	}
+	var rec cache.RunRecorder
 	run := func(m core.Method, set func(p *AssocPoint, rate float64)) {
 		plan := opt.Plan(k, m, n)
-		w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+		w := stencil.NewTraceWorkload(k, n, opt.K, plan)
+		rec.Reset()
+		w.ReplayTrace(&rec)
 		caches := make([]*cache.Cache, len(assocs))
-		sinks := make([]cache.Memory, len(assocs))
+		sinks := make([]cache.RunSink, len(assocs))
 		for i, a := range assocs {
 			cfg := opt.L1
 			cfg.Assoc = a
 			caches[i] = cache.New(cfg)
-			sinks[i] = probeOnly{caches[i]}
+			sinks[i] = caches[i]
 		}
-		fan := cache.NewFanout(sinks...)
-		w.RunTrace(fan)
+		cache.ParallelReplay(rec.Runs, sinks, opt.Workers) // warm-up
 		for _, c := range caches {
 			c.ResetStats()
 		}
-		w.RunTrace(fan)
+		cache.ParallelReplay(rec.Runs, sinks, opt.Workers)
 		for i, c := range caches {
 			set(&out[i], c.Stats().MissRate())
 		}
@@ -55,12 +57,6 @@ func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []Asso
 	run(core.MethodGcdPad, func(p *AssocPoint, r float64) { p.GcdPad = r })
 	return out
 }
-
-// probeOnly adapts a single cache level to the Memory interface.
-type probeOnly struct{ c *cache.Cache }
-
-func (p probeOnly) Load(addr int64)  { p.c.Load(addr) }
-func (p probeOnly) Store(addr int64) { p.c.Store(addr) }
 
 // CrossPoint reports the Section 3.5 cross-interference experiment:
 // tiled RESID L1 miss rates with arrays placed back to back (Default,
@@ -78,12 +74,12 @@ func CrossInterference(n int, opt Options) CrossPoint {
 	plan := opt.Plan(k, core.MethodGcdPad, n)
 	h := func(w *stencil.Workload) float64 {
 		hh := cacheHierarchy(opt)
-		w.RunTrace(hh)
+		w.ReplayTrace(hh)
 		hh.ResetStats()
-		w.RunTrace(hh)
+		w.ReplayTrace(hh)
 		return hh.Level(0).Stats().MissRate()
 	}
-	def := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+	def := stencil.NewTraceWorkload(k, n, opt.K, plan)
 
 	part := plan
 	part.Tile = core.PartitionTile(plan.Tile, k.Arrays())
@@ -92,7 +88,7 @@ func CrossInterference(n int, opt Options) CrossPoint {
 		sizes[i] = part.DI * part.DJ * opt.K
 	}
 	gaps := core.CrossPlacement(opt.CacheElems(), sizes)
-	spread := stencil.NewWorkloadPlaced(k, n, opt.K, part, opt.Coeffs, gaps)
+	spread := stencil.NewTraceWorkloadPlaced(k, n, opt.K, part, gaps)
 
 	return CrossPoint{
 		N:           n,

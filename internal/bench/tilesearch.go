@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"sort"
+
+	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
 )
@@ -19,8 +22,9 @@ type TileCandidate struct {
 
 // ExhaustiveTileSearch simulates the kernel at size n under every
 // trimmed frontier tile (plus the model's own pick), returning the
-// candidates sorted as evaluated, the empirical best, and the cost
-// model's choice.
+// candidates in deterministic (TI, TJ) order, the empirical best, and
+// the cost model's choice. Candidates simulate concurrently on the
+// batched engine.
 func ExhaustiveTileSearch(k stencil.Kernel, n int, opt Options) (cands []TileCandidate, best, model TileCandidate) {
 	st := k.Spec()
 	cs := opt.CacheElems()
@@ -35,24 +39,32 @@ func ExhaustiveTileSearch(k stencil.Kernel, n int, opt Options) (cands []TileCan
 	if ok {
 		tiles[modelTile] = true
 	}
-	simulate := func(t core.Tile) float64 {
-		plan := core.Plan{Tile: t, DI: n, DJ: n, Tiled: true}
-		w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
-		h := cacheHierarchy(opt)
-		w.RunTrace(h)
-		h.ResetStats()
-		w.RunTrace(h)
-		return h.Level(0).Stats().MissRate()
-	}
-	first := true
+	order := make([]core.Tile, 0, len(tiles))
 	for t := range tiles {
-		c := TileCandidate{Tile: t, L1: simulate(t)}
-		cands = append(cands, c)
-		if first || c.L1 < best.L1 {
-			best = c
-			first = false
+		order = append(order, t)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].TI != order[b].TI {
+			return order[a].TI < order[b].TI
 		}
-		if t == modelTile {
+		return order[a].TJ < order[b].TJ
+	})
+	cands = make([]TileCandidate, len(order))
+	cache.ForEach(len(order), opt.Workers, func(i int) {
+		t := order[i]
+		plan := core.Plan{Tile: t, DI: n, DJ: n, Tiled: true}
+		w := stencil.NewTraceWorkload(k, n, opt.K, plan)
+		h := cacheHierarchy(opt)
+		w.ReplayTrace(h)
+		h.ResetStats()
+		w.ReplayTrace(h)
+		cands[i] = TileCandidate{Tile: t, L1: h.Level(0).Stats().MissRate()}
+	})
+	for i, c := range cands {
+		if i == 0 || c.L1 < best.L1 {
+			best = c
+		}
+		if c.Tile == modelTile {
 			model = c
 		}
 	}

@@ -19,11 +19,13 @@ type TwoDPoint struct {
 }
 
 // TwoDSeries simulates 2D Jacobi, untiled and tiled (tile height C_s/8,
-// a generous conflict-safe choice), over sizes.
+// a generous conflict-safe choice), over sizes. Sizes simulate
+// concurrently on the batched engine; each owns its grids and caches.
 func TwoDSeries(sizes []int, l1 cache.Config, c float64) []TwoDPoint {
 	cs := l1.Elems(grid.ElemSize)
-	out := make([]TwoDPoint, 0, len(sizes))
-	for _, n := range sizes {
+	out := make([]TwoDPoint, len(sizes))
+	cache.ForEach(len(sizes), 0, func(i int) {
+		n := sizes[i]
 		run := func(tiled bool) float64 {
 			arena := grid.NewArena()
 			a := arena.Place2D(grid.New2D(n, n))
@@ -31,9 +33,9 @@ func TwoDSeries(sizes []int, l1 cache.Config, c float64) []TwoDPoint {
 			h := cache.NewHierarchy(l1)
 			trace := func() {
 				if tiled {
-					stencil.Jacobi2DTiledTrace(a, b, h, cs/8)
+					stencil.Jacobi2DTiledRuns(a, b, h, cs/8)
 				} else {
-					stencil.Jacobi2DOrigTrace(a, b, h)
+					stencil.Jacobi2DOrigRuns(a, b, h)
 				}
 			}
 			trace()
@@ -41,7 +43,7 @@ func TwoDSeries(sizes []int, l1 cache.Config, c float64) []TwoDPoint {
 			trace()
 			return h.Level(0).Stats().MissRate()
 		}
-		out = append(out, TwoDPoint{N: n, Orig: run(false), Tiled: run(true)})
-	}
+		out[i] = TwoDPoint{N: n, Orig: run(false), Tiled: run(true)}
+	})
 	return out
 }

@@ -1,27 +1,27 @@
 package bench
 
 import (
-	"sync/atomic"
 	"testing"
 
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
 )
 
-func TestForEachIndexCoversAll(t *testing.T) {
-	for _, n := range []int{0, 1, 3, 17, 100} {
-		var hits int64
-		seen := make([]int32, n)
-		forEachIndex(n, func(i int) {
-			atomic.AddInt64(&hits, 1)
-			atomic.AddInt32(&seen[i], 1)
-		})
-		if hits != int64(n) {
-			t.Errorf("n=%d: %d calls", n, hits)
+// TestWorkersDoNotChangeResults pins the -workers contract: a sweep's
+// output is identical for every worker count, serial included.
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	opt := smallOptions()
+	opt.Workers = 1
+	serial := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+	for _, w := range []int{0, 2, 7} {
+		opt.Workers = w
+		got := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d points, serial %d", w, len(got), len(serial))
 		}
-		for i, c := range seen {
-			if c != 1 {
-				t.Errorf("n=%d: index %d hit %d times", n, i, c)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d point %d: %+v, serial %+v", w, i, got[i], serial[i])
 			}
 		}
 	}

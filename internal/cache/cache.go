@@ -173,6 +173,11 @@ type Cache struct {
 	clock uint64
 
 	stats Stats
+
+	// memo caches the batched-replay conflict partition (replay.go);
+	// self lets the single-level ReplayRuns share the hierarchy engine.
+	memo replayMemo
+	self [1]*Cache
 }
 
 // New builds a cache level. It panics on an invalid geometry, which is a

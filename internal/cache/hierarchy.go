@@ -13,6 +13,8 @@ type Memory interface {
 // misses a level is forwarded to the next.
 type Hierarchy struct {
 	levels []*Cache
+	// memo caches the batched-replay conflict partition (replay.go).
+	memo replayMemo
 }
 
 // NewHierarchy builds a hierarchy from level configurations, L1 first.

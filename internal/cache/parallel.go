@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel fan-out. Trace simulations of distinct (kernel, size, tile,
+// cache-config) points are CPU-bound and fully independent — each owns
+// its workload and its simulated caches — so the experiment harness
+// parallelizes at point granularity. Results are written to
+// caller-indexed slots, making output deterministic regardless of worker
+// count or scheduling.
+
+// DefaultWorkers returns the default fan-out width, GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(0..n-1) on up to workers goroutines. workers <= 0
+// means DefaultWorkers. fn must be safe to call concurrently for
+// distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelReplay replays one recorded trace into every sink
+// concurrently — the batched, parallel form of Fanout: walk once, then
+// let each simulated configuration consume the shared read-only trace on
+// its own goroutine.
+func ParallelReplay(runs []Run, sinks []RunSink, workers int) {
+	ForEach(len(sinks), workers, func(i int) {
+		sinks[i].ReplayRuns(runs)
+	})
+}

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Euc3D computes the minimum-cost non-conflicting iteration tile for a
 // 3D stencil nest over a column-major DI x DJ x M array in a direct-mapped
 // cache of cs elements (Figure 9 of the paper).
@@ -44,6 +46,47 @@ func Euc3DArrayTiles(cs, di, dj, maxDepth int) []ArrayTile {
 		for _, e := range Frontier(cs, di, dj, tk, 0) {
 			out = append(out, ArrayTile{TI: e.TI, TJ: e.TJ, TK: tk})
 		}
+	}
+	return out
+}
+
+// Euc3DArrayTilesParallel is Euc3DArrayTiles with the per-depth frontier
+// scans running concurrently (each depth's enumeration is independent).
+// The result is identical to the serial version: per-depth slices are
+// concatenated in depth order. workers <= 0 means one goroutine per
+// depth; the enumeration is cheap enough that finer control isn't worth
+// a dependency, so workers only caps the fan-out.
+func Euc3DArrayTilesParallel(cs, di, dj, maxDepth, workers int) []ArrayTile {
+	if maxDepth <= 1 || workers == 1 {
+		return Euc3DArrayTiles(cs, di, dj, maxDepth)
+	}
+	byDepth := make([][]ArrayTile, maxDepth)
+	if workers <= 0 || workers > maxDepth {
+		workers = maxDepth
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for tk := range next {
+				var tiles []ArrayTile
+				for _, e := range Frontier(cs, di, dj, tk, 0) {
+					tiles = append(tiles, ArrayTile{TI: e.TI, TJ: e.TJ, TK: tk})
+				}
+				byDepth[tk-1] = tiles
+			}
+		}()
+	}
+	for tk := 1; tk <= maxDepth; tk++ {
+		next <- tk
+	}
+	close(next)
+	wg.Wait()
+	var out []ArrayTile
+	for _, tiles := range byDepth {
+		out = append(out, tiles...)
 	}
 	return out
 }

@@ -168,6 +168,21 @@ func TestEuc3DArrayTilesOrdering(t *testing.T) {
 	}
 }
 
+func TestEuc3DArrayTilesParallelMatchesSerial(t *testing.T) {
+	want := Euc3DArrayTiles(2048, 200, 200, 4)
+	for _, workers := range []int{0, 1, 2, 16} {
+		got := Euc3DArrayTilesParallel(2048, 200, 200, 4, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d tiles, serial %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d tile %d: %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestGcdPadNTPlan(t *testing.T) {
 	p := GcdPadNT(2048, 300, 300, Jacobi6pt())
 	g := GcdPad(2048, 300, 300, Jacobi6pt())

@@ -60,6 +60,21 @@ func New3DPadded(ni, nj, nk, di, dj int) *Grid3D {
 	}
 }
 
+// New3DShape builds a grid with layout but no element storage: Addr,
+// Index and arena placement work, Data is nil. Trace-driven simulation
+// only needs the address arithmetic, so shape-only grids let a large
+// sweep cell skip allocating and zeroing N^3 float64s. Accessor methods
+// that touch Data panic.
+func New3DShape(ni, nj, nk, di, dj int) *Grid3D {
+	if ni <= 0 || nj <= 0 || nk <= 0 {
+		panic(fmt.Sprintf("grid: non-positive extent %dx%dx%d", ni, nj, nk))
+	}
+	if di < ni || dj < nj {
+		panic(fmt.Sprintf("grid: padded dims %dx%d smaller than logical %dx%d", di, dj, ni, nj))
+	}
+	return &Grid3D{NI: ni, NJ: nj, NK: nk, DI: di, DJ: dj}
+}
+
 // Index returns the flat index of element (i, j, k).
 func (g *Grid3D) Index(i, j, k int) int {
 	return i + g.DI*(j+g.DJ*k)

@@ -32,8 +32,10 @@ func JacobiTiled3Loop(a, b *grid.Grid3D, c float64, ti, tj, tk int) {
 	}
 }
 
-// JacobiTiled3LoopTrace replays the three-loop-tiled address stream.
-func JacobiTiled3LoopTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj, tk int) {
+// JacobiTiled3LoopRuns replays the three-loop-tiled address stream in
+// batched form.
+func JacobiTiled3LoopRuns(a, b *grid.Grid3D, sink cache.RunSink, ti, tj, tk int) {
+	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for kk := 1; kk <= n3-2; kk += tk {
 		kHi := min(kk+tk-1, n3-2)
@@ -43,10 +45,15 @@ func JacobiTiled3LoopTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj, tk int) 
 				iHi := min(ii+ti-1, n1-2)
 				for k := kk; k <= kHi; k++ {
 					for j := jj; j <= jHi; j++ {
-						jacobiRowTrace(a, b, mem, ii, iHi, j, k)
+						jacobiRowRuns(a, b, sink, buf[:], ii, iHi, j, k)
 					}
 				}
 			}
 		}
 	}
+}
+
+// JacobiTiled3LoopTrace replays the three-loop-tiled address stream.
+func JacobiTiled3LoopTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj, tk int) {
+	JacobiTiled3LoopRuns(a, b, cache.PerAccess{Mem: mem}, ti, tj, tk)
 }

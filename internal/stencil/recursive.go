@@ -44,11 +44,13 @@ func JacobiRecursive(a, b *grid.Grid3D, c float64, leaf int) {
 	rec(1, n1-2, 1, n2-2)
 }
 
-// JacobiRecursiveTrace replays the recursive variant's address stream.
-func JacobiRecursiveTrace(a, b *grid.Grid3D, mem cache.Memory, leaf int) {
+// JacobiRecursiveRuns replays the recursive variant's address stream in
+// batched form.
+func JacobiRecursiveRuns(a, b *grid.Grid3D, sink cache.RunSink, leaf int) {
 	if leaf < 1 {
 		leaf = 1
 	}
+	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	var rec func(iLo, iHi, jLo, jHi int)
 	rec = func(iLo, iHi, jLo, jHi int) {
@@ -66,9 +68,14 @@ func JacobiRecursiveTrace(a, b *grid.Grid3D, mem cache.Memory, leaf int) {
 		}
 		for k := 1; k <= n3-2; k++ {
 			for j := jLo; j <= jHi; j++ {
-				jacobiRowTrace(a, b, mem, iLo, iHi, j, k)
+				jacobiRowRuns(a, b, sink, buf[:], iLo, iHi, j, k)
 			}
 		}
 	}
 	rec(1, n1-2, 1, n2-2)
+}
+
+// JacobiRecursiveTrace replays the recursive variant's address stream.
+func JacobiRecursiveTrace(a, b *grid.Grid3D, mem cache.Memory, leaf int) {
+	JacobiRecursiveRuns(a, b, cache.PerAccess{Mem: mem}, leaf)
 }

@@ -6,29 +6,41 @@ import (
 )
 
 // Trace walkers replay the load/store byte-address stream of each kernel
-// variant into a cache.Memory. They mirror the loop structure of the
-// native compute functions exactly (the tests assert the address multiset
-// per iteration matches the references in the source), but touch no array
-// data, so a simulation over an N x N x K problem allocates no N^3
-// storage — only the simulated cache tags.
+// variant. They mirror the loop structure of the native compute functions
+// exactly (the tests assert the address multiset per iteration matches
+// the references in the source), but touch no array data, so a simulation
+// over an N x N x K problem allocates no N^3 storage — only the simulated
+// cache tags.
+//
+// The walkers emit the stream in batched form: one cache.Run per array
+// reference per row, grouped in lockstep so that expanding the group
+// reproduces the per-access order of the original nest access for
+// access. Each *Runs walker fills a single stack-side run buffer per row
+// and hands it to the sink, so a whole sweep allocates O(1) regardless
+// of problem size. The *Trace variants adapt any per-access cache.Memory
+// through the cache.PerAccess shim.
 
 // addrBytes converts an element address to a byte address.
 func addrBytes(g *grid.Grid3D, i, j, k int) int64 {
 	return g.Addr(i, j, k) * grid.ElemSize
 }
 
-// JacobiOrigTrace replays the original Jacobi nest (Figure 3).
-func JacobiOrigTrace(a, b *grid.Grid3D, mem cache.Memory) {
+// JacobiOrigRuns replays the original Jacobi nest (Figure 3) in batched
+// form.
+func JacobiOrigRuns(a, b *grid.Grid3D, sink cache.RunSink) {
+	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for k := 1; k <= n3-2; k++ {
 		for j := 1; j <= n2-2; j++ {
-			jacobiRowTrace(a, b, mem, 1, n1-2, j, k)
+			jacobiRowRuns(a, b, sink, buf[:], 1, n1-2, j, k)
 		}
 	}
 }
 
-// JacobiTiledTrace replays the tiled Jacobi nest (Figure 6).
-func JacobiTiledTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj int) {
+// JacobiTiledRuns replays the tiled Jacobi nest (Figure 6) in batched
+// form.
+func JacobiTiledRuns(a, b *grid.Grid3D, sink cache.RunSink, ti, tj int) {
+	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for jj := 1; jj <= n2-2; jj += tj {
 		jHi := min(jj+tj-1, n2-2)
@@ -36,79 +48,114 @@ func JacobiTiledTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj int) {
 			iHi := min(ii+ti-1, n1-2)
 			for k := 1; k <= n3-2; k++ {
 				for j := jj; j <= jHi; j++ {
-					jacobiRowTrace(a, b, mem, ii, iHi, j, k)
+					jacobiRowRuns(a, b, sink, buf[:], ii, iHi, j, k)
 				}
 			}
 		}
 	}
 }
 
-func jacobiRowTrace(a, b *grid.Grid3D, mem cache.Memory, iLo, iHi, j, k int) {
-	r0 := b.Addr(0, j, k) * grid.ElemSize
-	rjm := b.Addr(0, j-1, k) * grid.ElemSize
-	rjp := b.Addr(0, j+1, k) * grid.ElemSize
-	rkm := b.Addr(0, j, k-1) * grid.ElemSize
-	rkp := b.Addr(0, j, k+1) * grid.ElemSize
-	ra := a.Addr(0, j, k) * grid.ElemSize
-	for i := iLo; i <= iHi; i++ {
-		o := int64(i) * grid.ElemSize
-		mem.Load(r0 + o - grid.ElemSize)
-		mem.Load(r0 + o + grid.ElemSize)
-		mem.Load(rjm + o)
-		mem.Load(rjp + o)
-		mem.Load(rkm + o)
-		mem.Load(rkp + o)
-		mem.Store(ra + o)
+// jacobiRowRuns emits one row of the Jacobi sweep: per interior point,
+// six loads and the store, in the reference order of the original nest.
+func jacobiRowRuns(a, b *grid.Grid3D, sink cache.RunSink, buf []cache.Run, iLo, iHi, j, k int) {
+	if iHi < iLo {
+		return
 	}
+	const e = grid.ElemSize
+	count := int32(iHi - iLo + 1)
+	o := int64(iLo) * e
+	r0 := b.Addr(0, j, k)*e + o
+	rjm := b.Addr(0, j-1, k)*e + o
+	rjp := b.Addr(0, j+1, k)*e + o
+	rkm := b.Addr(0, j, k-1)*e + o
+	rkp := b.Addr(0, j, k+1)*e + o
+	ra := a.Addr(0, j, k)*e + o
+	buf[0] = cache.Run{Base: r0 - e, Stride: e, Count: count}
+	buf[1] = cache.Run{Base: r0 + e, Stride: e, Count: count, Cont: true}
+	buf[2] = cache.Run{Base: rjm, Stride: e, Count: count, Cont: true}
+	buf[3] = cache.Run{Base: rjp, Stride: e, Count: count, Cont: true}
+	buf[4] = cache.Run{Base: rkm, Stride: e, Count: count, Cont: true}
+	buf[5] = cache.Run{Base: rkp, Stride: e, Count: count, Cont: true}
+	buf[6] = cache.Run{Base: ra, Stride: e, Count: count, Store: true, Cont: true}
+	sink.ReplayRuns(buf[:7])
 }
 
-// Jacobi2DOrigTrace replays the 2D Jacobi nest (Figure 1) for the
-// Section 1 motivation experiment.
-func Jacobi2DOrigTrace(a, b *grid.Grid2D, mem cache.Memory) {
+// JacobiOrigTrace replays the original Jacobi nest (Figure 3).
+func JacobiOrigTrace(a, b *grid.Grid3D, mem cache.Memory) {
+	JacobiOrigRuns(a, b, cache.PerAccess{Mem: mem})
+}
+
+// JacobiTiledTrace replays the tiled Jacobi nest (Figure 6).
+func JacobiTiledTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj int) {
+	JacobiTiledRuns(a, b, cache.PerAccess{Mem: mem}, ti, tj)
+}
+
+// Jacobi2DOrigRuns replays the 2D Jacobi nest (Figure 1) for the
+// Section 1 motivation experiment, in batched form.
+func Jacobi2DOrigRuns(a, b *grid.Grid2D, sink cache.RunSink) {
+	var buf [5]cache.Run
 	for j := 1; j <= a.NJ-2; j++ {
-		jacobi2DRowTrace(a, b, mem, 1, a.NI-2, j)
+		jacobi2DRowRuns(a, b, sink, buf[:], 1, a.NI-2, j)
 	}
 }
 
-// Jacobi2DTiledTrace replays the tiled 2D nest.
-func Jacobi2DTiledTrace(a, b *grid.Grid2D, mem cache.Memory, ti int) {
+// Jacobi2DTiledRuns replays the tiled 2D nest in batched form.
+func Jacobi2DTiledRuns(a, b *grid.Grid2D, sink cache.RunSink, ti int) {
+	var buf [5]cache.Run
 	for ii := 1; ii <= a.NI-2; ii += ti {
 		iHi := min(ii+ti-1, a.NI-2)
 		for j := 1; j <= a.NJ-2; j++ {
-			jacobi2DRowTrace(a, b, mem, ii, iHi, j)
+			jacobi2DRowRuns(a, b, sink, buf[:], ii, iHi, j)
 		}
 	}
 }
 
-func jacobi2DRowTrace(a, b *grid.Grid2D, mem cache.Memory, iLo, iHi, j int) {
-	r0 := b.Addr(0, j) * grid.ElemSize
-	rjm := b.Addr(0, j-1) * grid.ElemSize
-	rjp := b.Addr(0, j+1) * grid.ElemSize
-	ra := a.Addr(0, j) * grid.ElemSize
-	for i := iLo; i <= iHi; i++ {
-		o := int64(i) * grid.ElemSize
-		mem.Load(r0 + o - grid.ElemSize)
-		mem.Load(r0 + o + grid.ElemSize)
-		mem.Load(rjm + o)
-		mem.Load(rjp + o)
-		mem.Store(ra + o)
+func jacobi2DRowRuns(a, b *grid.Grid2D, sink cache.RunSink, buf []cache.Run, iLo, iHi, j int) {
+	if iHi < iLo {
+		return
 	}
+	const e = grid.ElemSize
+	count := int32(iHi - iLo + 1)
+	o := int64(iLo) * e
+	r0 := b.Addr(0, j)*e + o
+	rjm := b.Addr(0, j-1)*e + o
+	rjp := b.Addr(0, j+1)*e + o
+	ra := a.Addr(0, j)*e + o
+	buf[0] = cache.Run{Base: r0 - e, Stride: e, Count: count}
+	buf[1] = cache.Run{Base: r0 + e, Stride: e, Count: count, Cont: true}
+	buf[2] = cache.Run{Base: rjm, Stride: e, Count: count, Cont: true}
+	buf[3] = cache.Run{Base: rjp, Stride: e, Count: count, Cont: true}
+	buf[4] = cache.Run{Base: ra, Stride: e, Count: count, Store: true, Cont: true}
+	sink.ReplayRuns(buf[:5])
 }
 
-// RedBlackNaiveTrace replays the naive two-pass red-black nest.
-func RedBlackNaiveTrace(a *grid.Grid3D, mem cache.Memory) {
+// Jacobi2DOrigTrace replays the 2D Jacobi nest (Figure 1).
+func Jacobi2DOrigTrace(a, b *grid.Grid2D, mem cache.Memory) {
+	Jacobi2DOrigRuns(a, b, cache.PerAccess{Mem: mem})
+}
+
+// Jacobi2DTiledTrace replays the tiled 2D nest.
+func Jacobi2DTiledTrace(a, b *grid.Grid2D, mem cache.Memory, ti int) {
+	Jacobi2DTiledRuns(a, b, cache.PerAccess{Mem: mem}, ti)
+}
+
+// RedBlackNaiveRuns replays the naive two-pass red-black nest in batched
+// form.
+func RedBlackNaiveRuns(a *grid.Grid3D, sink cache.RunSink) {
+	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for pass := 0; pass <= 1; pass++ {
 		for k := 1; k <= n3-2; k++ {
 			for j := 1; j <= n2-2; j++ {
-				redBlackRowTrace(a, mem, redStart(j, k, pass), n1-2, j, k)
+				redBlackRowRuns(a, sink, buf[:], redStart(j, k, pass), n1-2, j, k)
 			}
 		}
 	}
 }
 
-// RedBlackFusedTrace replays the fused red-black nest.
-func RedBlackFusedTrace(a *grid.Grid3D, mem cache.Memory) {
+// RedBlackFusedRuns replays the fused red-black nest in batched form.
+func RedBlackFusedRuns(a *grid.Grid3D, sink cache.RunSink) {
+	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for kk := 0; kk <= n3-2; kk++ {
 		for dk := 1; dk >= 0; dk-- {
@@ -121,14 +168,16 @@ func RedBlackFusedTrace(a *grid.Grid3D, mem cache.Memory) {
 				if (kk+j)&1 == 0 {
 					iStart = 2
 				}
-				redBlackRowTrace(a, mem, iStart, n1-2, j, k)
+				redBlackRowRuns(a, sink, buf[:], iStart, n1-2, j, k)
 			}
 		}
 	}
 }
 
-// RedBlackTiledTrace replays the tiled fused red-black nest.
-func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
+// RedBlackTiledRuns replays the tiled fused red-black nest in batched
+// form.
+func RedBlackTiledRuns(a *grid.Grid3D, sink cache.RunSink, ti, tj int) {
+	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
 	for jj := 0; jj <= n2-2; jj += tj {
 		for ii := 0; ii <= n1-2; ii += ti {
@@ -147,7 +196,7 @@ func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
 							iStart = 2
 						}
 						iHi := min(ii+dk+ti-1, n1-2)
-						redBlackRowTrace(a, mem, iStart, iHi, j, k)
+						redBlackRowRuns(a, sink, buf[:], iStart, iHi, j, k)
 					}
 				}
 			}
@@ -155,37 +204,63 @@ func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
 	}
 }
 
-func redBlackRowTrace(a *grid.Grid3D, mem cache.Memory, iStart, iHi, j, k int) {
-	r0 := a.Addr(0, j, k) * grid.ElemSize
-	rjm := a.Addr(0, j-1, k) * grid.ElemSize
-	rjp := a.Addr(0, j+1, k) * grid.ElemSize
-	rkm := a.Addr(0, j, k-1) * grid.ElemSize
-	rkp := a.Addr(0, j, k+1) * grid.ElemSize
-	for i := iStart; i <= iHi; i += 2 {
-		o := int64(i) * grid.ElemSize
-		mem.Load(r0 + o)
-		mem.Load(r0 + o - grid.ElemSize)
-		mem.Load(rjm + o)
-		mem.Load(r0 + o + grid.ElemSize)
-		mem.Load(rjp + o)
-		mem.Load(rkm + o)
-		mem.Load(rkp + o)
-		mem.Store(r0 + o)
+// redBlackRowRuns emits one color of one row: every other point, seven
+// loads and the store, in the reference order.
+func redBlackRowRuns(a *grid.Grid3D, sink cache.RunSink, buf []cache.Run, iStart, iHi, j, k int) {
+	if iHi < iStart {
+		return
 	}
+	const e = grid.ElemSize
+	count := int32((iHi-iStart)/2 + 1)
+	o := int64(iStart) * e
+	r0 := a.Addr(0, j, k)*e + o
+	rjm := a.Addr(0, j-1, k)*e + o
+	rjp := a.Addr(0, j+1, k)*e + o
+	rkm := a.Addr(0, j, k-1)*e + o
+	rkp := a.Addr(0, j, k+1)*e + o
+	const s = 2 * e
+	buf[0] = cache.Run{Base: r0, Stride: s, Count: count}
+	buf[1] = cache.Run{Base: r0 - e, Stride: s, Count: count, Cont: true}
+	buf[2] = cache.Run{Base: rjm, Stride: s, Count: count, Cont: true}
+	buf[3] = cache.Run{Base: r0 + e, Stride: s, Count: count, Cont: true}
+	buf[4] = cache.Run{Base: rjp, Stride: s, Count: count, Cont: true}
+	buf[5] = cache.Run{Base: rkm, Stride: s, Count: count, Cont: true}
+	buf[6] = cache.Run{Base: rkp, Stride: s, Count: count, Cont: true}
+	buf[7] = cache.Run{Base: r0, Stride: s, Count: count, Store: true, Cont: true}
+	sink.ReplayRuns(buf[:8])
 }
 
-// ResidOrigTrace replays the original RESID nest (Figure 13).
-func ResidOrigTrace(r, v, u *grid.Grid3D, mem cache.Memory) {
+// RedBlackNaiveTrace replays the naive two-pass red-black nest.
+func RedBlackNaiveTrace(a *grid.Grid3D, mem cache.Memory) {
+	RedBlackNaiveRuns(a, cache.PerAccess{Mem: mem})
+}
+
+// RedBlackFusedTrace replays the fused red-black nest.
+func RedBlackFusedTrace(a *grid.Grid3D, mem cache.Memory) {
+	RedBlackFusedRuns(a, cache.PerAccess{Mem: mem})
+}
+
+// RedBlackTiledTrace replays the tiled fused red-black nest.
+func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
+	RedBlackTiledRuns(a, cache.PerAccess{Mem: mem}, ti, tj)
+}
+
+// ResidOrigRuns replays the original RESID nest (Figure 13) in batched
+// form.
+func ResidOrigRuns(r, v, u *grid.Grid3D, sink cache.RunSink) {
+	var buf [29]cache.Run
 	n1, n2, n3 := r.NI, r.NJ, r.NK
 	for i3 := 1; i3 <= n3-2; i3++ {
 		for i2 := 1; i2 <= n2-2; i2++ {
-			residRowTrace(r, v, u, mem, 1, n1-2, i2, i3)
+			residRowRuns(r, v, u, sink, buf[:], 1, n1-2, i2, i3)
 		}
 	}
 }
 
-// ResidTiledTrace replays the tiled RESID nest (Figure 13, right).
-func ResidTiledTrace(r, v, u *grid.Grid3D, mem cache.Memory, t1, t2 int) {
+// ResidTiledRuns replays the tiled RESID nest (Figure 13, right) in
+// batched form.
+func ResidTiledRuns(r, v, u *grid.Grid3D, sink cache.RunSink, t1, t2 int) {
+	var buf [29]cache.Run
 	n1, n2, n3 := r.NI, r.NJ, r.NK
 	for ii2 := 1; ii2 <= n2-2; ii2 += t2 {
 		hi2 := min(ii2+t2-1, n2-2)
@@ -193,61 +268,79 @@ func ResidTiledTrace(r, v, u *grid.Grid3D, mem cache.Memory, t1, t2 int) {
 			hi1 := min(ii1+t1-1, n1-2)
 			for i3 := 1; i3 <= n3-2; i3++ {
 				for i2 := ii2; i2 <= hi2; i2++ {
-					residRowTrace(r, v, u, mem, ii1, hi1, i2, i3)
+					residRowRuns(r, v, u, sink, buf[:], ii1, hi1, i2, i3)
 				}
 			}
 		}
 	}
 }
 
-func residRowTrace(r, v, u *grid.Grid3D, mem cache.Memory, lo, hi, i2, i3 int) {
-	const e = grid.ElemSize
-	c00 := u.Addr(0, i2, i3) * e
-	cm0 := u.Addr(0, i2-1, i3) * e
-	cp0 := u.Addr(0, i2+1, i3) * e
-	c0m := u.Addr(0, i2, i3-1) * e
-	c0p := u.Addr(0, i2, i3+1) * e
-	cmm := u.Addr(0, i2-1, i3-1) * e
-	cpm := u.Addr(0, i2+1, i3-1) * e
-	cmp := u.Addr(0, i2-1, i3+1) * e
-	cpp := u.Addr(0, i2+1, i3+1) * e
-	rv := v.Addr(0, i2, i3) * e
-	rr := r.Addr(0, i2, i3) * e
-	for i1 := lo; i1 <= hi; i1++ {
-		o := int64(i1) * e
-		mem.Load(rv + o)
-		mem.Load(c00 + o)
-		// a1 group: faces.
-		mem.Load(c00 + o - e)
-		mem.Load(c00 + o + e)
-		mem.Load(cm0 + o)
-		mem.Load(cp0 + o)
-		mem.Load(c0m + o)
-		mem.Load(c0p + o)
-		// a2 group: edges.
-		mem.Load(cm0 + o - e)
-		mem.Load(cm0 + o + e)
-		mem.Load(cp0 + o - e)
-		mem.Load(cp0 + o + e)
-		mem.Load(cmm + o)
-		mem.Load(cpm + o)
-		mem.Load(cmp + o)
-		mem.Load(cpp + o)
-		mem.Load(c0m + o - e)
-		mem.Load(c0p + o - e)
-		mem.Load(c0m + o + e)
-		mem.Load(c0p + o + e)
-		// a3 group: corners.
-		mem.Load(cmm + o - e)
-		mem.Load(cmm + o + e)
-		mem.Load(cpm + o - e)
-		mem.Load(cpm + o + e)
-		mem.Load(cmp + o - e)
-		mem.Load(cmp + o + e)
-		mem.Load(cpp + o - e)
-		mem.Load(cpp + o + e)
-		mem.Store(rr + o)
+// residRowRuns emits one row of the 27-point RESID stencil: 28 loads and
+// the store, in the reference order (center, faces, edges, corners).
+func residRowRuns(r, v, u *grid.Grid3D, sink cache.RunSink, buf []cache.Run, lo, hi, i2, i3 int) {
+	if hi < lo {
+		return
 	}
+	const e = grid.ElemSize
+	count := int32(hi - lo + 1)
+	o := int64(lo) * e
+	c00 := u.Addr(0, i2, i3)*e + o
+	cm0 := u.Addr(0, i2-1, i3)*e + o
+	cp0 := u.Addr(0, i2+1, i3)*e + o
+	c0m := u.Addr(0, i2, i3-1)*e + o
+	c0p := u.Addr(0, i2, i3+1)*e + o
+	cmm := u.Addr(0, i2-1, i3-1)*e + o
+	cpm := u.Addr(0, i2+1, i3-1)*e + o
+	cmp := u.Addr(0, i2-1, i3+1)*e + o
+	cpp := u.Addr(0, i2+1, i3+1)*e + o
+	rv := v.Addr(0, i2, i3)*e + o
+	rr := r.Addr(0, i2, i3)*e + o
+	run := func(base int64) cache.Run {
+		return cache.Run{Base: base, Stride: e, Count: count, Cont: true}
+	}
+	buf[0] = cache.Run{Base: rv, Stride: e, Count: count}
+	buf[1] = run(c00)
+	// a1 group: faces.
+	buf[2] = run(c00 - e)
+	buf[3] = run(c00 + e)
+	buf[4] = run(cm0)
+	buf[5] = run(cp0)
+	buf[6] = run(c0m)
+	buf[7] = run(c0p)
+	// a2 group: edges.
+	buf[8] = run(cm0 - e)
+	buf[9] = run(cm0 + e)
+	buf[10] = run(cp0 - e)
+	buf[11] = run(cp0 + e)
+	buf[12] = run(cmm)
+	buf[13] = run(cpm)
+	buf[14] = run(cmp)
+	buf[15] = run(cpp)
+	buf[16] = run(c0m - e)
+	buf[17] = run(c0p - e)
+	buf[18] = run(c0m + e)
+	buf[19] = run(c0p + e)
+	// a3 group: corners.
+	buf[20] = run(cmm - e)
+	buf[21] = run(cmm + e)
+	buf[22] = run(cpm - e)
+	buf[23] = run(cpm + e)
+	buf[24] = run(cmp - e)
+	buf[25] = run(cmp + e)
+	buf[26] = run(cpp - e)
+	buf[27] = run(cpp + e)
+	buf[28] = cache.Run{Base: rr, Stride: e, Count: count, Store: true, Cont: true}
+	sink.ReplayRuns(buf[:29])
+}
+
+// ResidOrigTrace replays the original RESID nest (Figure 13).
+func ResidOrigTrace(r, v, u *grid.Grid3D, mem cache.Memory) {
+	ResidOrigRuns(r, v, u, cache.PerAccess{Mem: mem})
+}
+
+// ResidTiledTrace replays the tiled RESID nest (Figure 13, right).
+func ResidTiledTrace(r, v, u *grid.Grid3D, mem cache.Memory, t1, t2 int) {
+	ResidTiledRuns(r, v, u, cache.PerAccess{Mem: mem}, t1, t2)
 }
 
 // Accesses returns the number of memory accesses one interior point

@@ -36,6 +36,27 @@ func NewWorkload(k Kernel, n, depth int, plan core.Plan, c Coeffs) *Workload {
 // elements are left unused before array i (Section 3.5; compute gaps
 // with core.CrossPlacement). nil gaps means back-to-back placement.
 func NewWorkloadPlaced(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []int) *Workload {
+	w := newWorkloadShaped(k, n, depth, plan, c, gaps, true)
+	w.InitDefault()
+	return w
+}
+
+// NewTraceWorkload builds a simulation-only workload: the grids carry
+// layout (shape, padding, arena placement) but no element storage, so a
+// large sweep cell costs no N^3 allocation or initialization. Trace
+// walkers never touch data; calling RunNative on a trace workload
+// panics.
+func NewTraceWorkload(k Kernel, n, depth int, plan core.Plan) *Workload {
+	return NewTraceWorkloadPlaced(k, n, depth, plan, nil)
+}
+
+// NewTraceWorkloadPlaced is NewTraceWorkload with inter-variable
+// padding gaps, mirroring NewWorkloadPlaced.
+func NewTraceWorkloadPlaced(k Kernel, n, depth int, plan core.Plan, gaps []int) *Workload {
+	return newWorkloadShaped(k, n, depth, plan, Coeffs{}, gaps, false)
+}
+
+func newWorkloadShaped(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []int, backed bool) *Workload {
 	if plan.DI < n || plan.DJ < n {
 		panic(fmt.Sprintf("stencil: plan dims (%d,%d) smaller than N=%d", plan.DI, plan.DJ, n))
 	}
@@ -45,11 +66,15 @@ func NewWorkloadPlaced(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []
 		if a < len(gaps) {
 			arena.Gap(gaps[a])
 		}
-		g := grid.New3DPadded(n, n, depth, plan.DI, plan.DJ)
+		var g *grid.Grid3D
+		if backed {
+			g = grid.New3DPadded(n, n, depth, plan.DI, plan.DJ)
+		} else {
+			g = grid.New3DShape(n, n, depth, plan.DI, plan.DJ)
+		}
 		arena.Place(g)
 		w.Grids = append(w.Grids, g)
 	}
-	w.InitDefault()
 	return w
 }
 
@@ -67,6 +92,9 @@ func (w *Workload) InitDefault() {
 // RunNative performs one kernel sweep on the arrays, tiled or not
 // according to the plan.
 func (w *Workload) RunNative() {
+	if len(w.Grids) > 0 && w.Grids[0].Data == nil {
+		panic("stencil: RunNative on a trace-only workload (built with NewTraceWorkload)")
+	}
 	p := w.Plan
 	c := w.Coeffs
 	switch w.Kernel {
@@ -93,27 +121,34 @@ func (w *Workload) RunNative() {
 	}
 }
 
-// RunTrace replays one kernel sweep's address stream into mem.
+// RunTrace replays one kernel sweep's address stream into a per-access
+// memory — the compatibility shim over the batched walkers.
 func (w *Workload) RunTrace(mem cache.Memory) {
+	w.ReplayTrace(cache.PerAccess{Mem: mem})
+}
+
+// ReplayTrace replays one kernel sweep's address stream in batched form,
+// the hot path of every simulation sweep.
+func (w *Workload) ReplayTrace(sink cache.RunSink) {
 	p := w.Plan
 	switch w.Kernel {
 	case Jacobi:
 		if p.Tiled {
-			JacobiTiledTrace(w.Grids[0], w.Grids[1], mem, p.Tile.TI, p.Tile.TJ)
+			JacobiTiledRuns(w.Grids[0], w.Grids[1], sink, p.Tile.TI, p.Tile.TJ)
 		} else {
-			JacobiOrigTrace(w.Grids[0], w.Grids[1], mem)
+			JacobiOrigRuns(w.Grids[0], w.Grids[1], sink)
 		}
 	case RedBlack:
 		if p.Tiled {
-			RedBlackTiledTrace(w.Grids[0], mem, p.Tile.TI, p.Tile.TJ)
+			RedBlackTiledRuns(w.Grids[0], sink, p.Tile.TI, p.Tile.TJ)
 		} else {
-			RedBlackNaiveTrace(w.Grids[0], mem)
+			RedBlackNaiveRuns(w.Grids[0], sink)
 		}
 	case Resid:
 		if p.Tiled {
-			ResidTiledTrace(w.Grids[0], w.Grids[1], w.Grids[2], mem, p.Tile.TI, p.Tile.TJ)
+			ResidTiledRuns(w.Grids[0], w.Grids[1], w.Grids[2], sink, p.Tile.TI, p.Tile.TJ)
 		} else {
-			ResidOrigTrace(w.Grids[0], w.Grids[1], w.Grids[2], mem)
+			ResidOrigRuns(w.Grids[0], w.Grids[1], w.Grids[2], sink)
 		}
 	default:
 		panic("stencil: unknown kernel")

@@ -50,24 +50,79 @@ func TestIRMatchesJacobiOrig(t *testing.T) {
 
 func TestIRMatchesJacobiTiled(t *testing.T) {
 	n, depth := 17, 8
+	var ref, got cache.Recorder
 	for _, tile := range []core.Tile{{TI: 4, TJ: 5}, {TI: 1, TJ: 1}, {TI: 30, TJ: 3}} {
 		arena := grid.NewArena()
 		a := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
 		b := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
-		var ref cache.Recorder
+		ref.Reset()
 		stencil.JacobiTiledTrace(a, b, &ref, tile.TI, tile.TJ)
 
 		nest, err := transform.TileInner2(ir.JacobiNest(n, depth), tile)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var got cache.Recorder
+		got.Reset()
 		env := map[string]trace.Binding{"A": trace.Bind3D(a), "B": trace.Bind3D(b)}
 		if err := trace.Run(nest, env, &got); err != nil {
 			t.Fatal(err)
 		}
 		opsEqual(t, tile.String(), ref.Ops, got.Ops)
 	}
+}
+
+// TestIRBatchedMatchesKernelBatched drives the batched IR walker and the
+// batched kernel walkers over the same programs and requires the expanded
+// streams to agree op for op — the batched analogue of the per-access
+// crosschecks above. Recorders are reused across cases via Reset.
+func TestIRBatchedMatchesKernelBatched(t *testing.T) {
+	n, depth := 17, 8
+	var ref, got cache.Recorder
+	var rec cache.RunRecorder
+	for _, tile := range []core.Tile{{TI: 4, TJ: 5}, {TI: 1, TJ: 1}, {TI: 30, TJ: 3}} {
+		arena := grid.NewArena()
+		a := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
+		b := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
+		ref.Reset()
+		stencil.JacobiTiledRuns(a, b, &ref, tile.TI, tile.TJ)
+
+		nest, err := transform.TileInner2(ir.JacobiNest(n, depth), tile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Reset()
+		rec.Reset()
+		env := map[string]trace.Binding{"A": trace.Bind3D(a), "B": trace.Bind3D(b)}
+		if err := trace.RunBatchedNest(nest, env, &rec); err != nil {
+			t.Fatal(err)
+		}
+		cache.ExpandRuns(rec.Runs, &got)
+		opsEqual(t, "batched "+tile.String(), ref.Ops, got.Ops)
+	}
+}
+
+// TestIRBatchedMatchesResid covers the 29-reference Resid body, whose
+// batched groups are the widest the kernels emit.
+func TestIRBatchedMatchesResid(t *testing.T) {
+	n, depth := 13, 9
+	tile := core.Tile{TI: 5, TJ: 4}
+	arena := grid.NewArena()
+	r := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
+	v := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
+	u := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
+	var ref cache.Recorder
+	stencil.ResidTiledRuns(r, v, u, &ref, tile.TI, tile.TJ)
+
+	nest, err := transform.ApplyPlan(ir.ResidNest(n, depth), core.Plan{Tile: tile, Tiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got cache.Recorder
+	env := map[string]trace.Binding{"R": trace.Bind3D(r), "V": trace.Bind3D(v), "U": trace.Bind3D(u)}
+	if err := trace.RunBatchedNest(nest, env, &got); err != nil {
+		t.Fatal(err)
+	}
+	opsEqual(t, "resid batched", ref.Ops, got.Ops)
 }
 
 func TestIRMatchesResidTiled(t *testing.T) {

@@ -114,3 +114,34 @@ func TestCompiledWalkerMatchesNaiveOnRandomNests(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedWalkerMatchesPerAccessOnRandomNests proves RunBatched emits a
+// stream whose expansion is exactly the per-access order, over the same
+// random nest population. The recorders are reused across trials via Reset
+// to exercise the allocation-free replay path.
+func TestBatchedWalkerMatchesPerAccessOnRandomNests(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	var want, got cache.Recorder
+	var rec cache.RunRecorder
+	for trial := 0; trial < 200; trial++ {
+		nest, env := randomNest(rng)
+		want.Reset()
+		got.Reset()
+		rec.Reset()
+		if err := trace.Run(nest, env, &want); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		if err := trace.RunBatchedNest(nest, env, &rec); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, nest)
+		}
+		cache.ExpandRuns(rec.Runs, &got)
+		if len(want.Ops) != len(got.Ops) {
+			t.Fatalf("trial %d: per-access %d ops, batched %d ops\n%s", trial, len(want.Ops), len(got.Ops), nest)
+		}
+		for i := range want.Ops {
+			if want.Ops[i] != got.Ops[i] {
+				t.Fatalf("trial %d op %d: per-access %+v, batched %+v\n%s", trial, i, want.Ops[i], got.Ops[i], nest)
+			}
+		}
+	}
+}

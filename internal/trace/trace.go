@@ -185,6 +185,83 @@ func (p *Program) run(depth int, vars []int64, mem cache.Memory) {
 	}
 }
 
+// RunBatched executes the program once, emitting the address stream in
+// batched form: every execution of the innermost loop becomes one
+// lockstep group with a strided Run per reference. Expanding the emitted
+// stream reproduces Run's per-access order exactly; the group buffer is
+// reused across emissions, so a whole nest execution allocates O(refs).
+func (p *Program) RunBatched(sink cache.RunSink) {
+	vars := make([]int64, len(p.loops))
+	buf := make([]cache.Run, len(p.refs))
+	if len(p.loops) == 0 {
+		if len(p.refs) == 0 {
+			return
+		}
+		for i := range p.refs {
+			r := &p.refs[i]
+			buf[i] = cache.Run{Base: r.addr.eval(vars), Count: 1, Store: r.store, Cont: i > 0}
+		}
+		sink.ReplayRuns(buf)
+		return
+	}
+	p.runBatched(0, vars, buf, sink)
+}
+
+func (p *Program) runBatched(depth int, vars []int64, buf []cache.Run, sink cache.RunSink) {
+	l := &p.loops[depth]
+	lo := l.lo[0].eval(vars)
+	for _, e := range l.lo[1:] {
+		if v := e.eval(vars); v > lo {
+			lo = v
+		}
+	}
+	hi := l.hi[0].eval(vars)
+	for _, e := range l.hi[1:] {
+		if v := e.eval(vars); v < hi {
+			hi = v
+		}
+	}
+	if depth == len(p.loops)-1 {
+		if hi < lo {
+			return
+		}
+		count := (hi-lo)/l.step + 1
+		vars[depth] = lo
+		p.emitGroup(vars, buf, depth, count, l.step, sink)
+		return
+	}
+	for v := lo; v <= hi; v += l.step {
+		vars[depth] = v
+		p.runBatched(depth+1, vars, buf, sink)
+	}
+}
+
+// emitGroup emits one lockstep group: count lockstep indices of every
+// reference, with vars holding the innermost variable's first value.
+// Counts beyond the Run field's range are emitted in chunks.
+func (p *Program) emitGroup(vars []int64, buf []cache.Run, innermost int, count, step int64, sink cache.RunSink) {
+	const maxChunk = 1<<31 - 1
+	for count > 0 {
+		chunk := count
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		for i := range p.refs {
+			r := &p.refs[i]
+			buf[i] = cache.Run{
+				Base:   r.addr.eval(vars),
+				Stride: r.addr.coeff[innermost] * step,
+				Count:  int32(chunk),
+				Store:  r.store,
+				Cont:   i > 0,
+			}
+		}
+		sink.ReplayRuns(buf)
+		count -= chunk
+		vars[innermost] += chunk * step
+	}
+}
+
 // Run compiles and executes a nest in one step.
 func Run(n *ir.Nest, env map[string]Binding, mem cache.Memory) error {
 	p, err := Compile(n, env)
@@ -192,5 +269,16 @@ func Run(n *ir.Nest, env map[string]Binding, mem cache.Memory) error {
 		return err
 	}
 	p.Run(mem)
+	return nil
+}
+
+// RunBatchedNest compiles and executes a nest in one step, emitting the
+// batched stream.
+func RunBatchedNest(n *ir.Nest, env map[string]Binding, sink cache.RunSink) error {
+	p, err := Compile(n, env)
+	if err != nil {
+		return err
+	}
+	p.RunBatched(sink)
 	return nil
 }
