@@ -356,6 +356,41 @@ func BenchmarkReplayRuns(b *testing.B) {
 	}
 }
 
+// BenchmarkSteady measures the steady-state plane-cycle engine against
+// full batched simulation on one Jacobi sweep. The warm sweep pays the
+// observation cost (recording per-plane patterns, fingerprinting state);
+// from then on the engine recognises the cycle almost immediately and
+// extrapolates the remaining planes, so steady-state sweeps cost a small
+// fixed number of simulated planes regardless of depth. Results are
+// bit-identical either way (TestSteadyDifferential* prove it).
+func BenchmarkSteady(b *testing.B) {
+	n, k := 300, 30
+	for _, m := range []core.Method{core.Orig, core.MethodGcdPad, core.MethodGcdPadNT} {
+		plan := core.Select(m, 2048, n, n, stencil.Jacobi.Spec())
+		w := stencil.NewTraceWorkload(stencil.Jacobi, n, k, plan)
+		accesses := float64(w.AccessCount())
+		b.Run(m.String()+"/Full", func(b *testing.B) {
+			h := cache.UltraSparc2()
+			w.ReplayTrace(h) // warm
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.ReplayTrace(h)
+			}
+			reportAccessRate(b, accesses)
+		})
+		b.Run(m.String()+"/Steady", func(b *testing.B) {
+			h := cache.UltraSparc2()
+			s := cache.NewSteady(h)
+			w.ReplayTrace(s) // warm: observes, confirms the cycle
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.ReplayTrace(s)
+			}
+			reportAccessRate(b, accesses)
+		})
+	}
+}
+
 func reportAccessRate(b *testing.B, accessesPerOp float64) {
 	b.Helper()
 	secs := b.Elapsed().Seconds()

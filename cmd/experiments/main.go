@@ -17,6 +17,7 @@ import (
 	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/mg"
+	"tiling3d/internal/profiling"
 	"tiling3d/internal/results"
 	"tiling3d/internal/stencil"
 )
@@ -39,8 +40,16 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		withPerf   = flag.Bool("perf", true, "include native wall-clock measurements")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
+		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 	if *all {
 		*doTable1, *doTable3, *doFigures, *doLarge, *doMem, *doBoundary, *doMgrid, *doSens = true, true, true, true, true, true, true, true
 	}
@@ -52,6 +61,7 @@ func main() {
 
 	opt := bench.DefaultOptions()
 	opt.Workers = *workers
+	opt.DisableSteady = !*steady
 	if *quick {
 		opt.NStep = 50
 	}
@@ -74,7 +84,7 @@ func main() {
 			bench.MaxN2D(cache.UltraSparc2L1()))
 		fmt.Printf("3D stencil, 16K L1: up to N = %d (paper: 32)\n", bench.MaxN3D(cache.UltraSparc2L1()))
 		fmt.Printf("3D stencil,  2M L2: up to N = %d (paper: 362)\n", bench.MaxN3D(cache.UltraSparc2L2()))
-		p := bench.ProbeBoundary3D(cache.UltraSparc2L1(), 8, opt.Coeffs)
+		p := bench.ProbeBoundary3D(cache.UltraSparc2L1(), 8, opt)
 		fmt.Printf("simulated cliff at the L1 boundary: %.2f%% at N=%d vs %.2f%% at N=%d\n\n",
 			p.MissBelow, p.NBelow, p.MissAbove, p.NAbove)
 	}
@@ -219,7 +229,7 @@ func sensitivity(opt bench.Options) {
 			p.N, p.Orig, p.Default, p.Partitioned)
 	}
 	fmt.Println("2D Jacobi (tiling unnecessary below N=1024):")
-	for _, p := range bench.TwoDSeries([]int{500, 900, 1000, 1100}, opt.L1, 0.25) {
+	for _, p := range bench.TwoDSeries([]int{500, 900, 1000, 1100}, opt.L1, opt) {
 		fmt.Printf("  N=%d: Orig %6.2f%%  tiled %6.2f%%\n", p.N, p.Orig, p.Tiled)
 	}
 	fmt.Println()

@@ -19,6 +19,7 @@ import (
 
 	"tiling3d/internal/bench"
 	"tiling3d/internal/core"
+	"tiling3d/internal/profiling"
 	"tiling3d/internal/stencil"
 )
 
@@ -34,8 +35,17 @@ func main() {
 		mode       = flag.String("mode", "model", "model: cycle-model MFlops from the simulated UltraSparc2 (reproduces the paper's shapes); native: wall-clock on this host")
 		clock      = flag.Float64("clock", 0, "model clock in MHz (default 360, or 450 when -min >= 400 as in Figures 20-21)")
 		svgPath    = flag.String("svg", "", "also write an SVG chart to this path")
+		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection for simulated paths (identical results)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	kernel, err := stencil.ParseKernel(*kernelName)
 	if err != nil {
@@ -45,6 +55,7 @@ func main() {
 	opt := bench.DefaultOptions()
 	opt.NMin, opt.NMax, opt.NStep, opt.K = *nMin, *nMax, *step, *k
 	opt.TargetElems = *cacheBytes / 8
+	opt.DisableSteady = !*steady
 	if *methodList != "" {
 		opt.Methods = nil
 		for _, name := range strings.Split(*methodList, ",") {

@@ -21,6 +21,7 @@ import (
 	"tiling3d/internal/bench"
 	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
+	"tiling3d/internal/profiling"
 	"tiling3d/internal/stencil"
 )
 
@@ -36,8 +37,17 @@ func main() {
 		svgPath    = flag.String("svg", "", "also write SVG charts to <path>-l1.svg and <path>-l2.svg")
 		asJSON     = flag.Bool("json", false, "emit the series as JSON instead of a table")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
+		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	kernel, err := stencil.ParseKernel(*kernelName)
 	if err != nil {
@@ -47,6 +57,7 @@ func main() {
 	opt := bench.DefaultOptions()
 	opt.NMin, opt.NMax, opt.NStep, opt.K, opt.Sweeps = *nMin, *nMax, *step, *k, *sweeps
 	opt.Workers = *workers
+	opt.DisableSteady = !*steady
 	if *methodList != "" {
 		opt.Methods = nil
 		for _, name := range strings.Split(*methodList, ",") {

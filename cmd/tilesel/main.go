@@ -16,6 +16,7 @@ import (
 
 	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
+	"tiling3d/internal/profiling"
 )
 
 func main() {
@@ -29,8 +30,16 @@ func main() {
 		showTiles  = flag.Bool("tiles", false, "also print the non-conflicting array tiles (Table 1)")
 		maxDepth   = flag.Int("maxdepth", 4, "deepest TK to enumerate with -tiles")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "goroutines for the tile enumeration")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cs := *cacheBytes / *elemSize
 	st := core.Stencil{TrimI: *trim, TrimJ: *trim, Depth: *depth}

@@ -153,7 +153,7 @@ func TestReuseBoundaries(t *testing.T) {
 
 func TestBoundaryProbeShowsCliff(t *testing.T) {
 	cfg := cache.Config{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1}
-	p := ProbeBoundary3D(cfg, 8, stencil.DefaultCoeffs())
+	p := ProbeBoundary3D(cfg, 8, smallOptions())
 	if p.MissAbove <= p.MissBelow {
 		t.Errorf("no reuse cliff: below=%.2f%% (N=%d), above=%.2f%% (N=%d)",
 			p.MissBelow, p.NBelow, p.MissAbove, p.NAbove)

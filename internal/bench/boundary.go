@@ -40,15 +40,17 @@ type BoundaryProbe struct {
 }
 
 // ProbeBoundary3D simulates untiled 3D Jacobi at sizes margin below and
-// above MaxN3D(cfg) on a single-level hierarchy of that geometry.
-func ProbeBoundary3D(cfg cache.Config, margin int, coeffs stencil.Coeffs) BoundaryProbe {
+// above MaxN3D(cfg) on a single-level hierarchy of that geometry. The
+// options carry the simulation engine settings (steady-state on/off).
+func ProbeBoundary3D(cfg cache.Config, margin int, opt Options) BoundaryProbe {
 	b := MaxN3D(cfg)
 	probe := func(n int) float64 {
 		w := stencil.NewTraceWorkload(stencil.Jacobi, n, 8, core.Plan{DI: n, DJ: n})
 		h := cache.NewHierarchy(cfg)
-		w.ReplayTrace(h)
+		sink := opt.simSink(h)
+		w.ReplayTrace(sink)
 		h.ResetStats()
-		w.ReplayTrace(h)
+		w.ReplayTrace(sink)
 		return h.Level(0).Stats().MissRate()
 	}
 	below, above := b-margin, b+margin

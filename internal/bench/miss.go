@@ -64,14 +64,15 @@ func SimulateStats(k stencil.Kernel, m core.Method, n int, opt Options) SimResul
 	plan := opt.Plan(k, m, n)
 	w := stencil.NewTraceWorkload(k, n, opt.K, plan)
 	h := cacheHierarchy(opt)
+	sink := opt.simSink(h)
 	sweeps := opt.Sweeps
 	if sweeps <= 0 {
 		sweeps = 1
 	}
-	w.ReplayTrace(h) // warm-up: exclude cold misses, as a long run would
+	w.ReplayTrace(sink) // warm-up: exclude cold misses, as a long run would
 	h.ResetStats()
 	for s := 0; s < sweeps; s++ {
-		w.ReplayTrace(h)
+		w.ReplayTrace(sink)
 	}
 	return SimResult{
 		N:     n,

@@ -37,6 +37,12 @@ type Options struct {
 	// negative means cache.DefaultWorkers (GOMAXPROCS). Results are
 	// identical for every worker count.
 	Workers int
+	// DisableSteady turns off the steady-state plane-cycle engine,
+	// forcing every plane of every sweep to be simulated in full. The
+	// zero value (steady detection on) is the default; statistics are
+	// bit-identical either way, so the flag exists to time full
+	// simulation and as a safety valve.
+	DisableSteady bool
 }
 
 // DefaultOptions returns the paper's experimental setup.
@@ -83,4 +89,22 @@ func (o Options) CacheElems() int {
 // Plan runs the selection method for one kernel and problem size.
 func (o Options) Plan(k stencil.Kernel, m core.Method, n int) core.Plan {
 	return core.Select(m, o.CacheElems(), n, n, k.Spec())
+}
+
+// simSink wraps a hierarchy in the steady-state engine unless the
+// options disable it. Every simulation path in this package funnels its
+// replay through this helper so -steady=false reaches them all.
+func (o Options) simSink(h *cache.Hierarchy) cache.RunSink {
+	if o.DisableSteady {
+		return h
+	}
+	return cache.NewSteady(h)
+}
+
+// simSinkCache is simSink for a single-level cache.
+func (o Options) simSinkCache(c *cache.Cache) cache.RunSink {
+	if o.DisableSteady {
+		return c
+	}
+	return cache.NewSteadyCache(c)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"sort"
 	"time"
 
 	"tiling3d/internal/core"
@@ -8,10 +9,17 @@ import (
 )
 
 // PerfPoint is one wall-clock measurement: sustained MFlops for one
-// problem size.
+// problem size. MFlops is the headline figure (the best single sweep,
+// the conventional way to report a kernel's capability); Median is the
+// median sweep and exposes host noise as the gap between the two. Model
+// paths (the cycle-model estimates) have no repeats, so their Median is
+// zero.
 type PerfPoint struct {
 	N      int
 	MFlops float64
+	// Median is the median-sweep MFlops of the repeats behind the
+	// measurement, 0 when the point is not a repeated native timing.
+	Median float64
 }
 
 // MinMeasureTime is the minimum accumulated kernel time per measurement;
@@ -41,21 +49,31 @@ func PerfSweep(k stencil.Kernel, opt Options) map[core.Method][]PerfPoint {
 }
 
 // MeasurePoint times one (kernel, method, size) cell and converts to
-// MFlops.
+// MFlops. It keeps every repeat's sweep time so the point carries both
+// the best sweep (headline) and the median (dispersion): on a noisy
+// host the two diverge, which is exactly what Figures 15/17/19/21
+// readers need to see.
 func MeasurePoint(k stencil.Kernel, m core.Method, n int, opt Options) PerfPoint {
 	plan := opt.Plan(k, m, n)
 	w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
 	w.RunNative() // warm the host caches and the page tables
 	var elapsed time.Duration
-	var sweeps int64
+	var times []time.Duration
 	for elapsed < MinMeasureTime {
 		start := time.Now()
 		w.RunNative()
-		elapsed += time.Since(start)
-		sweeps++
+		d := time.Since(start)
+		elapsed += d
+		times = append(times, d)
 	}
-	flops := float64(w.Flops() * sweeps)
-	return PerfPoint{N: n, MFlops: flops / elapsed.Seconds() / 1e6}
+	flops := float64(w.Flops())
+	mflops := func(d time.Duration) float64 { return flops / d.Seconds() / 1e6 }
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return PerfPoint{
+		N:      n,
+		MFlops: mflops(times[0]),
+		Median: mflops(times[len(times)/2]),
+	}
 }
 
 // AveragePerfImprovement returns the mean percent improvement of opt over

@@ -41,7 +41,9 @@ func WriteMissSeries(w io.Writer, k stencil.Kernel, sweep map[core.Method][]Miss
 
 // WritePerfSeries prints the per-size MFlops curves for one kernel (the
 // data behind Figures 15/17/19/21). label names the measurement mode,
-// e.g. "cycle-model (360MHz UltraSparc2)" or "native".
+// e.g. "cycle-model (360MHz UltraSparc2)" or "native". Native points
+// carry a median alongside the best sweep; those print as
+// "best (median)" so host noise is visible in the table.
 func WritePerfSeries(w io.Writer, k stencil.Kernel, label string, sweep map[core.Method][]PerfPoint, methods []core.Method, opt Options) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(tw, "# %s %s performance (MFlops)\n", k, label)
@@ -54,10 +56,13 @@ func WritePerfSeries(w io.Writer, k stencil.Kernel, label string, sweep map[core
 		fmt.Fprintf(tw, "%d\t", n)
 		for _, m := range methods {
 			s := sweep[m]
-			if i < len(s) {
-				fmt.Fprintf(tw, "%.1f\t", s[i].MFlops)
-			} else {
+			switch {
+			case i >= len(s):
 				fmt.Fprint(tw, "-\t")
+			case s[i].Median > 0:
+				fmt.Fprintf(tw, "%.1f (%.1f)\t", s[i].MFlops, s[i].Median)
+			default:
+				fmt.Fprintf(tw, "%.1f\t", s[i].MFlops)
 			}
 		}
 		fmt.Fprintln(tw)
@@ -133,7 +138,9 @@ func MissChart(k stencil.Kernel, sweep map[core.Method][]MissPoint, methods []co
 }
 
 // PerfChart converts a performance sweep into a chart — the rendered
-// counterpart of Figures 15/17/19/21.
+// counterpart of Figures 15/17/19/21. Native points plot their median
+// sweep (the representative figure under host noise); model points have
+// no repeats and plot their single estimate.
 func PerfChart(k stencil.Kernel, label string, sweep map[core.Method][]PerfPoint, methods []core.Method) plot.Chart {
 	c := plot.Chart{
 		Title:  fmt.Sprintf("%s: %s performance", k, label),
@@ -143,8 +150,12 @@ func PerfChart(k stencil.Kernel, label string, sweep map[core.Method][]PerfPoint
 	for _, m := range methods {
 		s := plot.Series{Label: m.String()}
 		for _, p := range sweep[m] {
+			v := p.MFlops
+			if p.Median > 0 {
+				v = p.Median
+			}
 			s.X = append(s.X, float64(p.N))
-			s.Y = append(s.Y, p.MFlops)
+			s.Y = append(s.Y, v)
 		}
 		c.Series = append(c.Series, s)
 	}

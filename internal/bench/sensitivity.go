@@ -19,11 +19,14 @@ type AssocPoint struct {
 }
 
 // AssocSensitivity simulates one kernel/size across L1 associativities
-// (same capacity and line size). Per method, a single batched trace is
-// recorded once and replayed into every associativity concurrently. The
-// interesting output is how much of the untiled code's conflict misses
-// hardware ways absorb, and that the conflict-free GcdPad configuration
-// has nothing left for them to fix.
+// (same capacity and line size). Per method, a single batched trace —
+// with its plane markers — is recorded once and replayed into every
+// associativity concurrently; each associativity gets its own
+// steady-state engine (LRU order is part of the state fingerprint, so
+// set-associative caches detect cycles too). The interesting output is
+// how much of the untiled code's conflict misses hardware ways absorb,
+// and that the conflict-free GcdPad configuration has nothing left for
+// them to fix.
 func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []AssocPoint {
 	out := make([]AssocPoint, len(assocs))
 	for i, a := range assocs {
@@ -41,13 +44,18 @@ func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []Asso
 			cfg := opt.L1
 			cfg.Assoc = a
 			caches[i] = cache.New(cfg)
-			sinks[i] = caches[i]
+			sinks[i] = opt.simSinkCache(caches[i])
 		}
-		cache.ParallelReplay(rec.Runs, sinks, opt.Workers) // warm-up
+		replay := func() {
+			cache.ForEach(len(sinks), opt.Workers, func(i int) {
+				rec.ReplayInto(sinks[i])
+			})
+		}
+		replay() // warm-up
 		for _, c := range caches {
 			c.ResetStats()
 		}
-		cache.ParallelReplay(rec.Runs, sinks, opt.Workers)
+		replay()
 		for i, c := range caches {
 			set(&out[i], c.Stats().MissRate())
 		}
@@ -74,9 +82,10 @@ func CrossInterference(n int, opt Options) CrossPoint {
 	plan := opt.Plan(k, core.MethodGcdPad, n)
 	h := func(w *stencil.Workload) float64 {
 		hh := cacheHierarchy(opt)
-		w.ReplayTrace(hh)
+		sink := opt.simSink(hh)
+		w.ReplayTrace(sink)
 		hh.ResetStats()
-		w.ReplayTrace(hh)
+		w.ReplayTrace(sink)
 		return hh.Level(0).Stats().MissRate()
 	}
 	def := stencil.NewTraceWorkload(k, n, opt.K, plan)

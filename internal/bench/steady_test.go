@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// The steady-state engine is wired through every simulated experiment in
+// this package; these tests pin the wiring end to end: the same Options
+// with DisableSteady flipped must produce identical numbers, not merely
+// close ones. (The engine itself is proven bit-exact against full
+// simulation by the differential tests in internal/stencil.)
+
+func steadyOnOff() (on, off Options) {
+	on = smallOptions()
+	off = on
+	off.DisableSteady = true
+	return on, off
+}
+
+func TestSteadyMissSweepIdentical(t *testing.T) {
+	on, off := steadyOnOff()
+	for _, k := range stencil.Kernels() {
+		a := MissSweep(k, on)
+		b := MissSweep(k, off)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: MissSweep differs between steady and full simulation:\nsteady: %v\nfull:   %v", k, a, b)
+		}
+	}
+}
+
+func TestSteadyTileSearchIdentical(t *testing.T) {
+	on, off := steadyOnOff()
+	candsOn, bestOn, modelOn := ExhaustiveTileSearch(stencil.Jacobi, 48, on)
+	candsOff, bestOff, modelOff := ExhaustiveTileSearch(stencil.Jacobi, 48, off)
+	if !reflect.DeepEqual(candsOn, candsOff) || bestOn != bestOff || modelOn != modelOff {
+		t.Errorf("tile search differs between steady and full simulation")
+	}
+}
+
+func TestSteadyBoundaryAndTwoDIdentical(t *testing.T) {
+	on, off := steadyOnOff()
+	if a, b := ProbeBoundary3D(on.L1, 4, on), ProbeBoundary3D(off.L1, 4, off); a != b {
+		t.Errorf("boundary probe differs: steady %+v, full %+v", a, b)
+	}
+	sizes := []int{60, 120}
+	if a, b := TwoDSeries(sizes, on.L1, on), TwoDSeries(sizes, off.L1, off); !reflect.DeepEqual(a, b) {
+		t.Errorf("2D series differs: steady %v, full %v", a, b)
+	}
+}
+
+func TestSteadyAssocSensitivityIdentical(t *testing.T) {
+	on, off := steadyOnOff()
+	assocs := []int{1, 2, 4}
+	a := AssocSensitivity(stencil.Jacobi, 64, assocs, on)
+	b := AssocSensitivity(stencil.Jacobi, 64, assocs, off)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("assoc sensitivity differs: steady %v, full %v", a, b)
+	}
+	p := CrossInterference(64, on)
+	q := CrossInterference(64, off)
+	if p != q {
+		t.Errorf("cross-interference differs: steady %+v, full %+v", p, q)
+	}
+}
+
+func TestSteadySimulateStatsIdentical(t *testing.T) {
+	on, off := steadyOnOff()
+	for _, m := range []core.Method{core.Orig, core.MethodTile, core.MethodGcdPad} {
+		a := SimulatePoint(stencil.Resid, m, 57, on)
+		b := SimulatePoint(stencil.Resid, m, 57, off)
+		if a != b {
+			t.Errorf("%s: SimulatePoint differs: steady %+v, full %+v", m, a, b)
+		}
+	}
+}

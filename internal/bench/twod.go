@@ -21,21 +21,23 @@ type TwoDPoint struct {
 // TwoDSeries simulates 2D Jacobi, untiled and tiled (tile height C_s/8,
 // a generous conflict-safe choice), over sizes. Sizes simulate
 // concurrently on the batched engine; each owns its grids and caches.
-func TwoDSeries(sizes []int, l1 cache.Config, c float64) []TwoDPoint {
+// The options carry the worker count and simulation engine settings.
+func TwoDSeries(sizes []int, l1 cache.Config, opt Options) []TwoDPoint {
 	cs := l1.Elems(grid.ElemSize)
 	out := make([]TwoDPoint, len(sizes))
-	cache.ForEach(len(sizes), 0, func(i int) {
+	cache.ForEach(len(sizes), opt.Workers, func(i int) {
 		n := sizes[i]
 		run := func(tiled bool) float64 {
 			arena := grid.NewArena()
 			a := arena.Place2D(grid.New2D(n, n))
 			b := arena.Place2D(grid.New2D(n, n))
 			h := cache.NewHierarchy(l1)
+			sink := opt.simSink(h)
 			trace := func() {
 				if tiled {
-					stencil.Jacobi2DTiledRuns(a, b, h, cs/8)
+					stencil.Jacobi2DTiledRuns(a, b, sink, cs/8)
 				} else {
-					stencil.Jacobi2DOrigRuns(a, b, h)
+					stencil.Jacobi2DOrigRuns(a, b, sink)
 				}
 			}
 			trace()

@@ -14,7 +14,7 @@ import (
 // far past ITS boundary and tiling helps substantially.
 func TestTwoDTilingUnnecessary(t *testing.T) {
 	l1 := cache.UltraSparc2L1()
-	pts := TwoDSeries([]int{300, 500, 900}, l1, 0.25)
+	pts := TwoDSeries([]int{300, 500, 900}, l1, smallOptions())
 	for _, p := range pts {
 		diff := p.Orig - p.Tiled
 		if diff < 0 {
@@ -31,7 +31,7 @@ func TestTwoDTilingUnnecessary(t *testing.T) {
 // loses the column reuse and its miss rate rises.
 func TestTwoDCliffPast1024(t *testing.T) {
 	l1 := cache.UltraSparc2L1()
-	pts := TwoDSeries([]int{1000, 1100}, l1, 0.25)
+	pts := TwoDSeries([]int{1000, 1100}, l1, smallOptions())
 	if pts[1].Orig <= pts[0].Orig+2 {
 		t.Errorf("no 2D cliff: %.2f%% at N=1000, %.2f%% at N=1100", pts[0].Orig, pts[1].Orig)
 	}

@@ -87,14 +87,54 @@ func (p PerAccess) ReplayRuns(runs []Run) { ExpandRuns(runs, p.Mem) }
 // replayed into many sinks (cache configurations) afterwards.
 type RunRecorder struct {
 	Runs []Run
+	// Marks records the walker's plane-phase markers with their position
+	// in Runs, so ReplayInto can reproduce the marked stream for sinks
+	// (like the steady-state engine) that exploit phase structure.
+	Marks []RecordedMark
+}
+
+// RecordedMark is a plane marker captured at a position in a recorded
+// run stream.
+type RecordedMark struct {
+	// Pos is the index in Runs the marker was emitted at: all runs
+	// before it belong to the marked unit (or earlier ones).
+	Pos  int
+	Mark PlaneMark
 }
 
 // ReplayRuns appends a copy of the batch.
 func (r *RunRecorder) ReplayRuns(runs []Run) { r.Runs = append(r.Runs, runs...) }
 
+// PlaneMark records the marker at the current stream position.
+func (r *RunRecorder) PlaneMark(m PlaneMark) {
+	r.Marks = append(r.Marks, RecordedMark{Pos: len(r.Runs), Mark: m})
+}
+
+// ReplayInto replays the recorded trace into a sink, re-emitting the
+// recorded plane markers at their original positions.
+func (r *RunRecorder) ReplayInto(sink RunSink) {
+	ps, _ := sink.(PlaneSink)
+	pos := 0
+	for _, m := range r.Marks {
+		if m.Pos > pos {
+			sink.ReplayRuns(r.Runs[pos:m.Pos])
+			pos = m.Pos
+		}
+		if ps != nil {
+			ps.PlaneMark(m.Mark)
+		}
+	}
+	if pos < len(r.Runs) {
+		sink.ReplayRuns(r.Runs[pos:])
+	}
+}
+
 // Reset discards the recorded trace, keeping the backing storage for
 // reuse across sweeps.
-func (r *RunRecorder) Reset() { r.Runs = r.Runs[:0] }
+func (r *RunRecorder) Reset() {
+	r.Runs = r.Runs[:0]
+	r.Marks = r.Marks[:0]
+}
 
 // Accesses returns the total number of accesses the recorded trace
 // encodes.
@@ -117,6 +157,13 @@ type RunFanout struct {
 func (f *RunFanout) ReplayRuns(runs []Run) {
 	for _, s := range f.Sinks {
 		s.ReplayRuns(runs)
+	}
+}
+
+// PlaneMark forwards the marker to every sink that understands markers.
+func (f *RunFanout) PlaneMark(m PlaneMark) {
+	for _, s := range f.Sinks {
+		MarkPlane(s, m)
 	}
 }
 
@@ -157,12 +204,14 @@ func (f *Fanout) ReplayRuns(runs []Run) {
 }
 
 var (
-	_ RunSink = (*Hierarchy)(nil)
-	_ RunSink = (*Cache)(nil)
-	_ RunSink = (*NullMemory)(nil)
-	_ RunSink = (*Recorder)(nil)
-	_ RunSink = (*RunRecorder)(nil)
-	_ RunSink = (*RunFanout)(nil)
-	_ RunSink = (*Fanout)(nil)
-	_ RunSink = PerAccess{}
+	_ RunSink   = (*Hierarchy)(nil)
+	_ RunSink   = (*Cache)(nil)
+	_ RunSink   = (*NullMemory)(nil)
+	_ RunSink   = (*Recorder)(nil)
+	_ RunSink   = (*RunRecorder)(nil)
+	_ RunSink   = (*RunFanout)(nil)
+	_ PlaneSink = (*RunRecorder)(nil)
+	_ PlaneSink = (*RunFanout)(nil)
+	_ RunSink   = (*Fanout)(nil)
+	_ RunSink   = PerAccess{}
 )

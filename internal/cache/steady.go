@@ -1,0 +1,1421 @@
+package cache
+
+// Steady-state plane-cycle detection. The paper's kernels traverse the
+// grid one plane (or tile-row) at a time, and after the startup planes
+// each plane's address stream is an exact translate of the previous one
+// by a constant byte distance Δ (the plane stride). The simulated cache
+// state, *normalized relative to the plane base address*, is therefore
+// eventually periodic in the plane index, and once a period is
+// established the remaining planes' statistics can be extrapolated
+// arithmetically instead of simulated.
+//
+// The walkers cooperate by emitting a PlaneMark after each phase unit
+// (an untiled k-plane, a tile-row, a 2D row ...). The Steady engine sits
+// between a walker and a Hierarchy/Cache as a RunSink and runs a small
+// state machine per phase:
+//
+//   observe   replay every batch and record the unit's runs (the
+//             "pattern", stored absolute, compared under translation),
+//             the unit's per-level stats delta, and — at alignment
+//             multiples t0 — a normalized snapshot of the full cache
+//             state. A cycle candidate is a period T (a multiple of t0)
+//             whose snapshots hash-match; it is confirmed only by
+//             identical per-unit stats deltas, translate-equal unit
+//             patterns, and a FULL normalized state comparison, so a
+//             confirmed cycle is exact by construction, not a lossy
+//             fingerprint match.
+//   skip      no simulation. Each arriving batch is verified against the
+//             recorded pattern ring (translate-equality); whole verified
+//             periods are committed. When the planned periods are all
+//             verified the engine adds (periods x cycle stats) to the
+//             levels and translates the cache state by the skipped
+//             distance, which reproduces the exact final state. Any
+//             deviation (boundary tiles, clamped planes, a surprise
+//             mark) triggers a flush: the committed skip is applied, the
+//             uncommitted verified units are replayed from the ring, and
+//             the engine falls back to live replay.
+//   live      plain replay until the phase ends.
+//   echo      cross-phase skip. Experiments replay the same trace more
+//             than once (a warm sweep then a measured sweep), so the
+//             engine also keeps complete records of recent phases: the
+//             anchor and stats delta of every unit, plus a few "pins" —
+//             order-normalized copies of the cache state at chosen unit
+//             boundaries. When a later phase has matched a record unit
+//             for unit and its live state equals one of the record's
+//             pins (raw equality, no translation: the streams are
+//             identical), the rest of the phase is known exactly: each
+//             remaining unit's stats equal the recorded deltas and the
+//             final state equals the recorded phase's end state. The
+//             engine verifies the remaining stream against the record,
+//             then adds the summed deltas and restores the saved end
+//             state. Echo rescues the phases plane-cycle detection
+//             cannot — pathologically padded strides (t0 too large),
+//             short tiled phases, irregular final tiles — because
+//             cross-phase repetition needs no translation alignment at
+//             all; it also beats detection's warm-up on repeat sweeps
+//             of viable phases, so every recorded phase pins.
+//
+// Exactness argument: the full normalized state comparison establishes
+// S_q == translate(S_p, TΔ) for p = q-T, and the per-batch verification
+// establishes that every later unit's stream is the translate of the
+// unit T before it. By induction each verified unit behaves identically
+// (same hits, misses, evictions) to the unit one period earlier, so each
+// whole period contributes exactly the measured cycle stats and
+// translates the state by TΔ. Normalization is only possible when the
+// translation distance is line-aligned at every level (and page-aligned
+// when a TLB is attached): the engine snapshots only at unit indices
+// divisible by t0 = max over levels of lineBytes/gcd(Δ, lineBytes) and
+// refuses steadiness (falls back to full replay) when t0 exceeds
+// MaxPeriod — the "pathological padding" case — when Δ is not constant
+// across arrays (the walkers emit Δ=0 then), or when a phase unit's
+// work is too small to amortize the snapshots.
+
+const steadyInvalidEnc = -1 << 63
+
+// PlaneMark is the phase marker a walker emits after each phase unit
+// (plane). Delta is the byte translation between consecutive units'
+// address streams (0 when the walker cannot guarantee a uniform
+// translation, e.g. arrays with mixed strides); Index is the 0-based
+// ordinal of the unit just completed; Planes is the total number of
+// units in the phase. Index==Planes-1 ends the phase.
+type PlaneMark struct {
+	Delta  int64
+	Index  int
+	Planes int
+}
+
+// PlaneSink is a RunSink that also understands plane-phase markers.
+type PlaneSink interface {
+	RunSink
+	PlaneMark(m PlaneMark)
+}
+
+// MarkPlane delivers a plane marker to sinks that understand them and is
+// a no-op for every other sink, so walkers can emit markers
+// unconditionally.
+func MarkPlane(sink RunSink, m PlaneMark) {
+	if ps, ok := sink.(PlaneSink); ok {
+		ps.PlaneMark(m)
+	}
+}
+
+type steadyMode int
+
+const (
+	steadyIdle steadyMode = iota
+	steadyObserve
+	steadySkip
+	steadyEcho
+	steadyLive
+)
+
+// steadyAnchor is one distinct unit pattern, stored with absolute
+// addresses. Units whose streams are translates of an anchor reference
+// it instead of storing their runs, so a phase keeps one copy per
+// distinct pattern shape (untiled sweeps have one, red-black two, tiled
+// sweeps one plus clamped boundary shapes) no matter how many units it
+// observes. Two units have translate-equal patterns iff they reference
+// the same anchor: a unit only becomes a new anchor when it matches no
+// existing one, so distinct anchors are never translates of each other.
+type steadyAnchor struct {
+	unit int
+	runs []Run
+}
+
+// steadyPat is one recorded phase unit: the anchor its runs are a
+// translate of, and its per-level stats delta.
+type steadyPat struct {
+	unit   int
+	anchor int
+	delta  []Stats
+}
+
+// steadySnap is a normalized state snapshot taken after one unit.
+type steadySnap struct {
+	unit int
+	hash uint64
+	// data holds, per level, one encoded word per cache slot: the tag
+	// minus the unit's translation distance, shifted left one with the
+	// dirty bit in bit 0, at the rotated set position; set-associative
+	// sets are listed most-recent first so LRU stamps compare by order,
+	// not value. Invalid slots encode as steadyInvalidEnc.
+	data [][]int64
+	cum  []Stats
+}
+
+// steadyPin is an order-normalized encoding of the full cache state at
+// the end of one phase unit (encodeLevel with zero translation). Pins
+// are what a later identical phase compares its live state against to
+// enter echo mode.
+type steadyPin struct {
+	unit int
+	data [][]int64
+}
+
+// steadyPhase is the complete record of one observed phase: per-unit
+// anchors and stats deltas, plus state pins. Anchor indices refer to the
+// engine-lifetime anchor table.
+type steadyPhase struct {
+	valid   bool
+	seq     uint64 // LRU stamp for eviction
+	delta   int64
+	planes  int
+	anchors []int
+	deltas  [][]Stats
+	pins    []steadyPin
+	// The raw state at the end of the recorded phase. An echoed phase
+	// repeats the recorded stream from the matched pin on, so it ends in
+	// exactly this state (stamp values are stale but their order — all
+	// that affects behavior — is preserved).
+	endTags  [][]int64
+	endDirty [][]bool
+	endStamp [][]uint64
+}
+
+// Steady is the steady-state engine: a PlaneSink that wraps a Hierarchy,
+// a single Cache, or a MemoryWithTLB and produces bit-identical
+// statistics and final state to replaying every batch directly.
+type Steady struct {
+	raw    RunSink
+	levels []*Cache // cache levels, TLB (if any) last
+	slots  int      // total cache slots across levels
+
+	// MaxPeriod caps the detectable cycle period (in phase units); it
+	// also bounds the pattern-ring memory. Periods are multiples of the
+	// alignment factor t0, so a phase whose t0 exceeds MaxPeriod falls
+	// back to full replay.
+	MaxPeriod int
+	// MinUnitAccesses gates detection: phases whose first unit issues
+	// fewer accesses than this replay in full (snapshots would cost more
+	// than they save). Zero means the total slot count; negative
+	// disables the gate.
+	MinUnitAccesses int64
+
+	mode    steadyMode
+	unit    int
+	delta   int64
+	planes  int
+	t0      int
+	aViable bool // plane-cycle detection possible for this phase
+
+	started  bool
+	baseline []Stats
+
+	recording bool
+	curPat    []Run
+	curAcc    int64
+
+	ring     []steadyPat
+	snaps    []steadySnap
+	anchors  []steadyAnchor
+	nAnchors int
+
+	// Cross-phase echo state: the history of recent phase records, the
+	// record being assembled for the current phase, the saved
+	// phase-start state (to restore on echo completion), and the
+	// candidate records the current phase still matches unit for unit.
+	hist       []steadyPhase
+	histSeq    uint64
+	candAlive  []bool
+	candInit   bool
+	curAnchors []int
+	curDeltas  [][]Stats
+	curPins    []steadyPin
+	curRecOK   bool
+	encScratch [][]int64
+	echoRec    int
+	echoFrom   int
+	echoPend   []Stats
+
+	period       int
+	confirmUnit  int
+	commitTarget int
+	commits      int
+	verified     int
+	cursor       int
+	cycleStats   []Stats
+
+	scratch      []Run
+	scratchTags  []int64
+	scratchDirty []bool
+	scratchStamp []uint64
+	wayStamp     []uint64
+
+	skipped uint64
+	cycles  uint64
+	echoes  uint64
+}
+
+// maxUnitRuns bounds the recorded pattern of a single unit; a phase
+// whose units exceed it (or a stream that never emits markers) falls
+// back to live replay rather than buffering without bound. The largest
+// real unit is a tiled RESID tile-row at N=400 (about 1.2M runs), well
+// under the cap.
+const maxUnitRuns = 4 << 20
+
+// steadyHistory bounds the phase records kept for cross-phase echo; the
+// paper's workloads need at most two live shapes (red-black passes).
+const steadyHistory = 4
+
+// maxSteadyAnchors bounds the engine-lifetime anchor table. Anchors are
+// deduplicated across phases (a repeated phase re-matches its
+// predecessor's anchors), so the table stays at the number of distinct
+// unit shapes, a handful for every real walker.
+const maxSteadyAnchors = 64
+
+// NewSteady wraps a hierarchy in the steady-state engine. Feeding the
+// returned sink produces statistics and final state bit-identical to
+// feeding the hierarchy directly.
+func NewSteady(h *Hierarchy) *Steady {
+	return newSteady(h, h.levels)
+}
+
+// NewSteadyCache wraps a single cache level.
+func NewSteadyCache(c *Cache) *Steady {
+	c.self[0] = c // normally set lazily by the cache's own ReplayRuns
+	return newSteady(c, c.self[:])
+}
+
+// NewSteadyTLB wraps a combined cache+TLB model. The TLB state is part
+// of the cycle fingerprint, so steadiness additionally requires the
+// translation distance to be page-aligned; phases that are not refuse
+// steadiness and replay in full.
+func NewSteadyTLB(m *MemoryWithTLB) *Steady {
+	levels := make([]*Cache, 0, len(m.Caches.levels)+1)
+	levels = append(levels, m.Caches.levels...)
+	levels = append(levels, m.TLB)
+	return newSteady(m, levels)
+}
+
+func newSteady(raw RunSink, levels []*Cache) *Steady {
+	s := &Steady{raw: raw, levels: levels, MaxPeriod: 8}
+	for _, c := range levels {
+		s.slots += len(c.tags)
+	}
+	s.baseline = make([]Stats, len(levels))
+	s.cycleStats = make([]Stats, len(levels))
+	return s
+}
+
+// SkippedPlanes returns the number of phase units whose simulation was
+// skipped by cycle extrapolation.
+func (s *Steady) SkippedPlanes() uint64 { return s.skipped }
+
+// Cycles returns the number of confirmed steady-state cycles.
+func (s *Steady) Cycles() uint64 { return s.cycles }
+
+// Echoes returns the number of phases completed by cross-phase echo.
+func (s *Steady) Echoes() uint64 { return s.echoes }
+
+// ReplayRuns feeds one batch through the engine.
+func (s *Steady) ReplayRuns(runs []Run) {
+	switch s.mode {
+	case steadyIdle:
+		s.beginPhase()
+		fallthrough
+	case steadyObserve:
+		s.ensureBaseline()
+		s.replay(runs)
+		if s.recording {
+			n := len(s.curPat) + len(runs)
+			if n > maxUnitRuns {
+				s.dropRecording()
+			} else {
+				if n > cap(s.curPat) {
+					// Grow by doubling: unit patterns reach hundreds of
+					// thousands of runs, where the runtime's shallow growth
+					// curve would copy the buffer several times over.
+					nc := 2 * cap(s.curPat)
+					if nc < n {
+						nc = n
+					}
+					if nc < 4096 {
+						nc = 4096
+					}
+					np := make([]Run, len(s.curPat), nc)
+					copy(np, s.curPat)
+					s.curPat = np
+				}
+				s.curPat = append(s.curPat, runs...)
+				for _, r := range runs {
+					if r.Count > 0 {
+						s.curAcc += int64(r.Count)
+					}
+				}
+			}
+		}
+	case steadySkip:
+		s.verifyBatch(runs)
+	case steadyEcho:
+		s.echoVerify(runs)
+	case steadyLive:
+		s.replay(runs)
+	}
+}
+
+// PlaneMark processes a phase marker.
+func (s *Steady) PlaneMark(mk PlaneMark) {
+	switch s.mode {
+	case steadyIdle:
+		// A unit can be empty (no batches before its marker); start the
+		// phase so indices stay aligned.
+		s.beginPhase()
+		s.observeMark(mk)
+	case steadyObserve:
+		s.observeMark(mk)
+	case steadySkip:
+		s.skipMark(mk)
+	case steadyEcho:
+		s.echoMark(mk)
+	case steadyLive:
+		if mk.Index >= mk.Planes-1 {
+			s.mode = steadyIdle
+		}
+	}
+}
+
+func (s *Steady) replay(runs []Run) {
+	s.raw.ReplayRuns(runs)
+}
+
+func (s *Steady) beginPhase() {
+	s.mode = steadyObserve
+	s.aViable = false
+	s.unit = 0
+	s.started = false
+	s.recording = true
+	s.curPat = s.curPat[:0]
+	s.curAcc = 0
+	s.commits = 0
+	s.verified = 0
+	s.cursor = 0
+	s.curAnchors = s.curAnchors[:0]
+	s.curDeltas = s.curDeltas[:0]
+	s.curPins = s.curPins[:0]
+	s.curRecOK = true
+	s.candInit = false
+}
+
+func (s *Steady) ensureBaseline() {
+	if s.started {
+		return
+	}
+	for i, c := range s.levels {
+		s.baseline[i] = c.stats
+	}
+	s.started = true
+}
+
+// dropRecording abandons pattern recording and detection for the phase;
+// everything was already replayed, so live mode is exact.
+func (s *Steady) dropRecording() {
+	s.recording = false
+	s.curRecOK = false
+	s.curPat = s.curPat[:0]
+	s.mode = steadyLive
+}
+
+// toLive abandons detection at a marker boundary.
+func (s *Steady) toLive(mk PlaneMark) {
+	s.recording = false
+	s.curRecOK = false
+	s.curPat = s.curPat[:0]
+	if mk.Index >= mk.Planes-1 {
+		s.mode = steadyIdle
+		return
+	}
+	s.mode = steadyLive
+}
+
+func (s *Steady) observeMark(mk PlaneMark) {
+	if s.unit == 0 {
+		s.delta, s.planes = mk.Delta, mk.Planes
+		if mk.Index != 0 || !s.phaseViable() {
+			s.toLive(mk)
+			return
+		}
+	} else if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes {
+		s.toLive(mk)
+		return
+	}
+	if !s.recording {
+		// Post-skip remainder with a dead record: plain replay with
+		// marker bookkeeping only.
+		if mk.Index >= s.planes-1 {
+			s.endPhase()
+			return
+		}
+		s.unit++
+		s.started = false
+		return
+	}
+	s.finishUnit()
+	if s.mode == steadyObserve {
+		if s.tryEcho() {
+			s.unit++
+			s.started = false
+			return
+		}
+		s.capturePin()
+		if s.aViable && s.unit%s.t0 == 0 {
+			s.takeSnapshot()
+			if T, ok := s.findCycle(); ok {
+				s.confirmCycle(T)
+			}
+		}
+	}
+	if mk.Index >= s.planes-1 {
+		s.endPhase()
+		return
+	}
+	s.unit++
+	s.started = false
+	if s.mode == steadyObserve && s.recording {
+		s.curPat = s.curPat[:0]
+		s.curAcc = 0
+	}
+}
+
+// phaseViable decides, at the first marker, whether detection is worth
+// attempting for this phase: plane-cycle detection (aViable) needs the
+// translation alignment t0 to fit and enough planes to amortize it;
+// phases that fail that can still be recorded for cross-phase echo.
+func (s *Steady) phaseViable() bool {
+	if !s.recording || s.delta <= 0 || s.planes < 2 {
+		return false
+	}
+	gate := s.MinUnitAccesses
+	if gate == 0 {
+		// Default gate: the phase's projected total work must dwarf the
+		// snapshot cost (O(slots) each, a handful per phase). Gating on
+		// the phase rather than the unit keeps small-unit/many-unit
+		// phases — a tile's k-sweep — detectable.
+		if s.curAcc*int64(s.planes) < int64(s.slots)*8 {
+			return false
+		}
+	} else if gate > 0 && s.curAcc < gate {
+		return false
+	}
+	if s.nAnchors > maxSteadyAnchors-8 {
+		// Recycle the anchor table between phases so streams with many
+		// distinct phase shapes (per-tile phases) keep detection; the
+		// history records reference anchor indices, so they go too.
+		s.nAnchors = 0
+		for i := range s.hist {
+			s.hist[i].valid = false
+		}
+	}
+	s.t0 = 1
+	for _, c := range s.levels {
+		lb := int64(c.cfg.LineBytes)
+		f := int(lb / gcd64(s.delta, lb))
+		if f > s.t0 {
+			s.t0 = f
+		}
+	}
+	s.aViable = s.t0 <= s.MaxPeriod && s.planes >= 2*s.t0+2
+	if !s.aViable && s.planes < 4 {
+		// Too short for a useful cross-phase pin either.
+		return false
+	}
+	if s.ring == nil {
+		s.ring = make([]steadyPat, s.MaxPeriod+1)
+		s.snaps = make([]steadySnap, s.MaxPeriod+1)
+	}
+	return true
+}
+
+// finishUnit archives the completed unit in the ring: the anchor its
+// pattern is a translate of (creating a new anchor when it matches
+// none) and its per-level stats delta.
+func (s *Steady) finishUnit() {
+	s.ensureBaseline()
+	a := s.matchAnchor()
+	if a < 0 {
+		if s.nAnchors == maxSteadyAnchors {
+			// More distinct unit shapes than any real walker emits; stop
+			// paying for detection.
+			s.dropRecording()
+			return
+		}
+		if s.nAnchors == len(s.anchors) {
+			s.anchors = append(s.anchors, steadyAnchor{})
+		}
+		a = s.nAnchors
+		s.nAnchors++
+		s.anchors[a].unit = s.unit
+		s.anchors[a].runs = append(s.anchors[a].runs[:0], s.curPat...)
+	}
+	e := &s.ring[s.unit%len(s.ring)]
+	e.unit = s.unit
+	e.anchor = a
+	if e.delta == nil {
+		e.delta = make([]Stats, len(s.levels))
+	}
+	for i, c := range s.levels {
+		e.delta[i] = subStats(c.stats, s.baseline[i])
+	}
+	s.recordUnit(a, e.delta)
+}
+
+// recordUnit appends one completed unit to the phase record and updates
+// which history records the phase still matches.
+func (s *Steady) recordUnit(a int, delta []Stats) {
+	if !s.curRecOK {
+		return
+	}
+	if s.unit != len(s.curAnchors) {
+		s.curRecOK = false
+		return
+	}
+	s.curAnchors = append(s.curAnchors, a)
+	d := make([]Stats, len(delta))
+	copy(d, delta)
+	s.curDeltas = append(s.curDeltas, d)
+	if len(s.hist) == 0 {
+		return
+	}
+	if !s.candInit {
+		s.candInit = true
+		if cap(s.candAlive) < len(s.hist) {
+			s.candAlive = make([]bool, len(s.hist))
+		}
+		s.candAlive = s.candAlive[:len(s.hist)]
+		for i := range s.hist {
+			r := &s.hist[i]
+			s.candAlive[i] = r.valid && r.delta == s.delta && r.planes == s.planes
+		}
+	}
+	for i := range s.candAlive {
+		if s.candAlive[i] && (s.unit >= len(s.hist[i].anchors) || s.hist[i].anchors[s.unit] != a) {
+			s.candAlive[i] = false
+		}
+	}
+}
+
+// matchAnchor returns the index of the anchor the current unit's
+// pattern is a translate of, or -1. Most-recent-first: steady phases
+// match their latest anchor immediately.
+func (s *Steady) matchAnchor() int {
+	for a := s.nAnchors - 1; a >= 0; a-- {
+		off := int64(s.unit-s.anchors[a].unit) * s.delta
+		if patternEq(s.curPat, s.anchors[a].runs, off) {
+			return a
+		}
+	}
+	return -1
+}
+
+func (s *Steady) ringAt(unit int) *steadyPat {
+	e := &s.ring[unit%len(s.ring)]
+	if e.unit != unit || e.delta == nil {
+		return nil
+	}
+	return e
+}
+
+func (s *Steady) snapAt(unit int) *steadySnap {
+	sn := &s.snaps[(unit/s.t0)%len(s.snaps)]
+	if sn.unit != unit || sn.data == nil {
+		return nil
+	}
+	return sn
+}
+
+// takeSnapshot captures the normalized post-unit state of every level.
+func (s *Steady) takeSnapshot() {
+	sn := &s.snaps[(s.unit/s.t0)%len(s.snaps)]
+	sn.unit = s.unit
+	if sn.data == nil {
+		sn.data = make([][]int64, len(s.levels))
+		sn.cum = make([]Stats, len(s.levels))
+	}
+	h := uint64(14695981039346656037)
+	for li, c := range s.levels {
+		dLine := (int64(s.unit) * s.delta) >> c.lineShift
+		if cap(sn.data[li]) < len(c.tags) {
+			sn.data[li] = make([]int64, len(c.tags))
+		}
+		sn.data[li] = sn.data[li][:len(c.tags)]
+		h = s.encodeLevel(c, dLine, sn.data[li], h)
+		sn.cum[li] = c.stats
+	}
+	sn.hash = h
+}
+
+// encodeLevel writes c's state into data normalized by a translation of
+// dLine lines (sets rotate, tags shift; dLine 0 encodes the raw state)
+// and folds every word into the running FNV hash h.
+func (s *Steady) encodeLevel(c *Cache, dLine int64, data []int64, h uint64) uint64 {
+	const prime = 1099511628211
+	rot := int(dLine % int64(c.sets))
+	if c.assoc == 1 {
+		for set := 0; set < c.sets; set++ {
+			src := set + rot
+			if src >= c.sets {
+				src -= c.sets
+			}
+			e := int64(steadyInvalidEnc)
+			if t := c.tags[src]; t != -1 {
+				e = (t - dLine) << 1
+				if c.dirty[src] {
+					e |= 1
+				}
+			}
+			data[set] = e
+			h = (h ^ uint64(e)) * prime
+		}
+		return h
+	}
+	if cap(s.wayStamp) < c.assoc {
+		s.wayStamp = make([]uint64, c.assoc)
+	}
+	s.wayStamp = s.wayStamp[:c.assoc]
+	for set := 0; set < c.sets; set++ {
+		src := set + rot
+		if src >= c.sets {
+			src -= c.sets
+		}
+		base := src * c.assoc
+		out := data[set*c.assoc : (set+1)*c.assoc]
+		n := 0
+		// Insertion-sort the valid ways by recency (stamp descending) so
+		// LRU order, not stamp values, is what gets compared.
+		for w := 0; w < c.assoc; w++ {
+			if c.tags[base+w] == -1 {
+				continue
+			}
+			st := c.stamp[base+w]
+			e := (c.tags[base+w] - dLine) << 1
+			if c.dirty[base+w] {
+				e |= 1
+			}
+			p := n
+			for p > 0 && s.wayStamp[p-1] < st {
+				s.wayStamp[p] = s.wayStamp[p-1]
+				out[p] = out[p-1]
+				p--
+			}
+			s.wayStamp[p] = st
+			out[p] = e
+			n++
+		}
+		for ; n < c.assoc; n++ {
+			out[n] = steadyInvalidEnc
+		}
+		for _, e := range out {
+			h = (h ^ uint64(e)) * prime
+		}
+	}
+	return h
+}
+
+func (s *Steady) findCycle() (int, bool) {
+	cur := s.snapAt(s.unit)
+	curPat := s.ringAt(s.unit)
+	if cur == nil || curPat == nil {
+		return 0, false
+	}
+	for T := s.t0; T <= s.MaxPeriod && T <= s.unit; T += s.t0 {
+		prev := s.snapAt(s.unit - T)
+		prevPat := s.ringAt(s.unit - T)
+		if prev == nil || prevPat == nil || cur.hash != prev.hash {
+			continue
+		}
+		// Translate-equal unit patterns (anchor identity is exactly
+		// that), identical per-unit stats deltas, then the full
+		// normalized state comparison. The pattern check also rejects
+		// false periods from alternating streams (red-black parity).
+		if curPat.anchor != prevPat.anchor {
+			continue
+		}
+		if !statsSliceEq(curPat.delta, prevPat.delta) {
+			continue
+		}
+		if !snapEq(cur, prev) {
+			continue
+		}
+		return T, true
+	}
+	return 0, false
+}
+
+func (s *Steady) confirmCycle(T int) {
+	remaining := s.planes - 1 - s.unit
+	m := remaining / T
+	if m < 1 {
+		// Nothing left to skip; larger periods only shrink m, so stop
+		// paying for snapshots. Recording continues for cross-phase echo.
+		s.aViable = false
+		return
+	}
+	// The confirm unit is also the best echo pin for this phase: a
+	// repeat sweep that matches it hands echo everything after this
+	// point, which is exactly what detection itself is about to skip.
+	s.forcePin()
+	cur, prev := s.snapAt(s.unit), s.snapAt(s.unit-T)
+	for i := range s.levels {
+		s.cycleStats[i] = subStats(cur.cum[i], prev.cum[i])
+	}
+	s.period = T
+	s.confirmUnit = s.unit
+	s.commitTarget = m
+	s.commits = 0
+	s.verified = 0
+	s.cursor = 0
+	s.recording = false
+	s.curPat = s.curPat[:0]
+	s.mode = steadySkip
+	s.cycles++
+}
+
+// skipRef returns the ring entry the given unit must repeat (one or
+// more whole periods earlier).
+func (s *Steady) skipRef(unit int) *steadyPat {
+	d := unit - s.confirmUnit
+	q := (d + s.period - 1) / s.period
+	return s.ringAt(unit - q*s.period)
+}
+
+// refFor returns the recorded pattern the given unit must be a
+// translate of (resolved to its anchor's runs) and the byte offset to
+// apply to it.
+func (s *Steady) refFor(unit int) ([]Run, int64, bool) {
+	e := s.skipRef(unit)
+	if e == nil {
+		return nil, 0, false
+	}
+	a := &s.anchors[e.anchor]
+	return a.runs, int64(unit-a.unit) * s.delta, true
+}
+
+func (s *Steady) verifyBatch(runs []Run) {
+	ref, off, ok := s.refFor(s.unit)
+	if !ok || s.cursor+len(runs) > len(ref) {
+		s.flush(runs)
+		return
+	}
+	want := ref[s.cursor : s.cursor+len(runs)]
+	for i := range runs {
+		x, y := runs[i], want[i]
+		if x.Base != y.Base+off || x.Stride != y.Stride || x.Count != y.Count ||
+			x.Store != y.Store || x.Cont != y.Cont {
+			s.flush(runs)
+			return
+		}
+	}
+	s.cursor += len(runs)
+}
+
+func (s *Steady) skipMark(mk PlaneMark) {
+	if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes {
+		s.curRecOK = false
+		s.flush(nil)
+		if mk.Index >= mk.Planes-1 {
+			s.mode = steadyIdle
+		}
+		return
+	}
+	if ref, _, ok := s.refFor(s.unit); !ok || s.cursor != len(ref) {
+		// The unit ended short of its reference pattern. The flush
+		// restarts recording with the replayed prefix as the unit's
+		// pattern, so finish it like an observed unit.
+		s.flush(nil)
+		if s.mode == steadyObserve && s.recording {
+			s.finishUnit()
+		}
+	} else {
+		s.cursor = 0
+		s.verified++
+		// A verified unit behaves identically to its ring counterpart,
+		// so the phase record extends without simulation.
+		if e := s.skipRef(s.unit); e != nil {
+			s.recordUnit(e.anchor, e.delta)
+		} else {
+			s.curRecOK = false
+		}
+		if s.verified%s.period == 0 {
+			s.commits++
+			if s.commits == s.commitTarget {
+				s.applySkip(s.commits)
+				s.commits = 0
+				// The sub-period remainder is simulated and recorded;
+				// nothing more for plane-cycle detection to gain.
+				s.aViable = false
+				s.recording = s.curRecOK
+				s.mode = steadyObserve
+			}
+		}
+	}
+	if mk.Index >= s.planes-1 {
+		s.endPhase()
+		return
+	}
+	s.unit++
+	s.started = false
+	if s.mode == steadyObserve && s.recording {
+		s.curPat = s.curPat[:0]
+		s.curAcc = 0
+	}
+}
+
+// flush abandons an in-progress skip exactly: the committed whole
+// periods are applied (stats + state translation), the verified but
+// uncommitted units are replayed from the ring, the current unit's
+// matched prefix is replayed, then the mismatching batch (if any).
+// Recording resumes mid-unit (the replayed prefix re-enters the pattern
+// buffer) so the phase record can still complete for cross-phase echo.
+func (s *Steady) flush(pending []Run) {
+	if s.commits > 0 {
+		s.applySkip(s.commits)
+	}
+	start := s.confirmUnit + s.commits*s.period + 1
+	s.commits = 0
+	for u := start; u < s.unit; u++ {
+		if ref, off, ok := s.refFor(u); ok {
+			s.replayShifted(ref, off)
+		}
+	}
+	s.started = false
+	s.ensureBaseline()
+	s.curPat = s.curPat[:0]
+	s.curAcc = 0
+	s.recording = s.curRecOK
+	if ref, off, ok := s.refFor(s.unit); ok && s.cursor > 0 {
+		pre := ref[:s.cursor]
+		if s.recording {
+			for _, r := range pre {
+				r.Base += off
+				s.curPat = append(s.curPat, r)
+				if r.Count > 0 {
+					s.curAcc += int64(r.Count)
+				}
+			}
+		}
+		s.replayShifted(pre, off)
+	}
+	s.cursor = 0
+	if len(pending) > 0 {
+		if s.recording {
+			s.curPat = append(s.curPat, pending...)
+			for _, r := range pending {
+				if r.Count > 0 {
+					s.curAcc += int64(r.Count)
+				}
+			}
+		}
+		s.replay(pending)
+	}
+	s.aViable = false
+	if s.recording {
+		s.mode = steadyObserve
+	} else {
+		s.mode = steadyLive
+	}
+}
+
+// endPhase closes the current phase, archiving its record when it
+// covered every unit.
+func (s *Steady) endPhase() {
+	s.mode = steadyIdle
+	if s.curRecOK && len(s.curAnchors) == s.planes && len(s.curPins) > 0 {
+		s.insertRecord()
+	}
+}
+
+// insertRecord archives the completed phase record, replacing this phase
+// shape's previous record if present (its pins reflect an older, usually
+// less converged state), then an empty slot, then the least recently
+// used record.
+func (s *Steady) insertRecord() {
+	if s.hist == nil {
+		s.hist = make([]steadyPhase, steadyHistory)
+	}
+	v := -1
+	for i := range s.hist {
+		r := &s.hist[i]
+		if r.valid && r.delta == s.delta && r.planes == s.planes && r.anchors[0] == s.curAnchors[0] {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		for i := range s.hist {
+			if !s.hist[i].valid {
+				v = i
+				break
+			}
+		}
+	}
+	if v < 0 {
+		v = 0
+		for i := 1; i < len(s.hist); i++ {
+			if s.hist[i].seq < s.hist[v].seq {
+				v = i
+			}
+		}
+	}
+	r := &s.hist[v]
+	s.histSeq++
+	r.valid, r.seq, r.delta, r.planes = true, s.histSeq, s.delta, s.planes
+	r.anchors = append(r.anchors[:0], s.curAnchors...)
+	r.deltas, s.curDeltas = s.curDeltas, r.deltas[:0]
+	r.pins, s.curPins = s.curPins, r.pins[:0]
+	if r.endTags == nil {
+		r.endTags = make([][]int64, len(s.levels))
+		r.endDirty = make([][]bool, len(s.levels))
+		r.endStamp = make([][]uint64, len(s.levels))
+	}
+	for i, c := range s.levels {
+		r.endTags[i] = append(r.endTags[i][:0], c.tags...)
+		r.endDirty[i] = append(r.endDirty[i][:0], c.dirty...)
+		if c.stamp != nil {
+			r.endStamp[i] = append(r.endStamp[i][:0], c.stamp...)
+		}
+	}
+}
+
+func (s *Steady) replayShifted(runs []Run, off int64) {
+	if len(runs) == 0 {
+		return
+	}
+	s.scratch = append(s.scratch[:0], runs...)
+	for i := range s.scratch {
+		s.scratch[i].Base += off
+	}
+	s.replay(s.scratch)
+}
+
+// applySkip accounts m whole skipped periods: per-level stats scale
+// linearly and the state translates by the skipped distance.
+func (s *Steady) applySkip(m int) {
+	d := int64(m) * int64(s.period) * s.delta
+	for i, c := range s.levels {
+		cs := s.cycleStats[i]
+		mm := uint64(m)
+		c.stats.Loads += cs.Loads * mm
+		c.stats.Stores += cs.Stores * mm
+		c.stats.LoadMisses += cs.LoadMisses * mm
+		c.stats.StoreMisses += cs.StoreMisses * mm
+		c.stats.Writebacks += cs.Writebacks * mm
+		c.stats.Prefetches += cs.Prefetches * mm
+		s.translateCache(c, d)
+	}
+	s.skipped += uint64(m * s.period)
+}
+
+// translateCache shifts every resident line by d bytes: tags advance by
+// d/lineBytes and sets rotate accordingly. d is a multiple of the line
+// size by construction (periods are multiples of the alignment factor).
+func (s *Steady) translateCache(c *Cache, d int64) {
+	dLine := d >> c.lineShift
+	rot := int(dLine % int64(c.sets))
+	n := len(c.tags)
+	if cap(s.scratchTags) < n {
+		s.scratchTags = make([]int64, n)
+		s.scratchDirty = make([]bool, n)
+		s.scratchStamp = make([]uint64, n)
+	}
+	tg, dd, st := s.scratchTags[:n], s.scratchDirty[:n], s.scratchStamp[:n]
+	for set := 0; set < c.sets; set++ {
+		dst := set + rot
+		if dst >= c.sets {
+			dst -= c.sets
+		}
+		for w := 0; w < c.assoc; w++ {
+			si, di := set*c.assoc+w, dst*c.assoc+w
+			t := c.tags[si]
+			if t != -1 {
+				t += dLine
+			}
+			tg[di] = t
+			dd[di] = c.dirty[si]
+			if c.stamp != nil {
+				st[di] = c.stamp[si]
+			}
+		}
+	}
+	copy(c.tags, tg)
+	copy(c.dirty, dd)
+	if c.stamp != nil {
+		copy(c.stamp, st)
+	}
+}
+
+// isPinUnit selects the unit boundaries worth pinning: the first few
+// units (cold-start transients die quickly when each unit's footprint
+// covers the cache) and a spread of later fractions for slow-converging
+// phases.
+func (s *Steady) isPinUnit(u int) bool {
+	if u < 1 || u > s.planes-2 {
+		return false
+	}
+	return u <= 4 || u == s.planes/4 || u == s.planes/3 || u == s.planes/2 || u == 3*s.planes/4
+}
+
+// capturePin records an order-normalized state pin at selected units.
+// Pins are how cross-phase echo recognises a phase it has seen before:
+// the earlier a pin matches, the more of the phase echo can skip, so
+// every recorded phase pins — including plane-cycle-viable ones, whose
+// pins let echo beat detection's warm-up on repeat sweeps.
+func (s *Steady) capturePin() {
+	if !s.curRecOK || !s.isPinUnit(s.unit) {
+		return
+	}
+	s.forcePin()
+}
+
+// forcePin captures a pin at the current unit unconditionally (dedup on
+// unit index).
+func (s *Steady) forcePin() {
+	if !s.curRecOK || s.unit > s.planes-2 {
+		return
+	}
+	for i := range s.curPins {
+		if s.curPins[i].unit == s.unit {
+			return
+		}
+	}
+	n := len(s.curPins)
+	if n < cap(s.curPins) {
+		s.curPins = s.curPins[:n+1]
+	} else {
+		s.curPins = append(s.curPins, steadyPin{})
+	}
+	pin := &s.curPins[n]
+	pin.unit = s.unit
+	if pin.data == nil {
+		pin.data = make([][]int64, len(s.levels))
+	}
+	for li, c := range s.levels {
+		if cap(pin.data[li]) < len(c.tags) {
+			pin.data[li] = make([]int64, len(c.tags))
+		}
+		pin.data[li] = pin.data[li][:len(c.tags)]
+		s.encodeLevel(c, 0, pin.data[li], 0)
+	}
+}
+
+// encodeCurrent encodes the live state (no translation) into the
+// comparison scratch buffer.
+func (s *Steady) encodeCurrent() {
+	if s.encScratch == nil {
+		s.encScratch = make([][]int64, len(s.levels))
+	}
+	for li, c := range s.levels {
+		if cap(s.encScratch[li]) < len(c.tags) {
+			s.encScratch[li] = make([]int64, len(c.tags))
+		}
+		s.encScratch[li] = s.encScratch[li][:len(c.tags)]
+		s.encodeLevel(c, 0, s.encScratch[li], 0)
+	}
+}
+
+// tryEcho checks whether any still-alive history record has a pin at the
+// current unit that equals the live state; if so the rest of the phase
+// is an exact repeat and the engine enters echo mode.
+func (s *Steady) tryEcho() bool {
+	if !s.candInit || !s.curRecOK || s.unit >= s.planes-1 {
+		return false
+	}
+	encoded := false
+	for i := range s.candAlive {
+		if !s.candAlive[i] {
+			continue
+		}
+		r := &s.hist[i]
+		var pin *steadyPin
+		for p := range r.pins {
+			if r.pins[p].unit == s.unit {
+				pin = &r.pins[p]
+				break
+			}
+		}
+		if pin == nil {
+			continue
+		}
+		if !encoded {
+			s.encodeCurrent()
+			encoded = true
+		}
+		if !encEq(s.encScratch, pin.data) {
+			continue
+		}
+		s.enterEcho(i)
+		return true
+	}
+	return false
+}
+
+// enterEcho switches to echo mode against history record i: the summed
+// recorded deltas of the remaining units become the pending stats and
+// every remaining batch is verified against the record.
+func (s *Steady) enterEcho(i int) {
+	r := &s.hist[i]
+	if cap(s.echoPend) < len(s.levels) {
+		s.echoPend = make([]Stats, len(s.levels))
+	}
+	s.echoPend = s.echoPend[:len(s.levels)]
+	for li := range s.echoPend {
+		s.echoPend[li] = Stats{}
+	}
+	for u := s.unit + 1; u < s.planes; u++ {
+		for li, d := range r.deltas[u] {
+			s.echoPend[li] = addStats(s.echoPend[li], d)
+		}
+	}
+	s.echoRec = i
+	s.echoFrom = s.unit
+	s.cursor = 0
+	s.recording = false
+	s.curRecOK = false
+	s.curPat = s.curPat[:0]
+	s.mode = steadyEcho
+	s.histSeq++
+	r.seq = s.histSeq
+}
+
+func (s *Steady) echoRef(unit int) ([]Run, int64) {
+	r := &s.hist[s.echoRec]
+	a := &s.anchors[r.anchors[unit]]
+	return a.runs, int64(unit-a.unit) * s.delta
+}
+
+func (s *Steady) echoVerify(runs []Run) {
+	ref, off := s.echoRef(s.unit)
+	if s.cursor+len(runs) > len(ref) {
+		s.echoFlush(runs)
+		return
+	}
+	want := ref[s.cursor : s.cursor+len(runs)]
+	for i := range runs {
+		x, y := runs[i], want[i]
+		if x.Base != y.Base+off || x.Stride != y.Stride || x.Count != y.Count ||
+			x.Store != y.Store || x.Cont != y.Cont {
+			s.echoFlush(runs)
+			return
+		}
+	}
+	s.cursor += len(runs)
+}
+
+func (s *Steady) echoMark(mk PlaneMark) {
+	bad := mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes
+	if !bad {
+		ref, _ := s.echoRef(s.unit)
+		bad = s.cursor != len(ref)
+	}
+	if bad {
+		s.echoFlush(nil)
+		if mk.Index >= mk.Planes-1 {
+			s.mode = steadyIdle
+		}
+		return
+	}
+	s.cursor = 0
+	if mk.Index >= s.planes-1 {
+		s.echoCommit()
+		s.mode = steadyIdle
+		return
+	}
+	s.unit++
+}
+
+// echoCommit completes an echoed phase: the remaining units' stats are
+// the recorded deltas, and the final state is the recorded phase's end
+// state (the echoed phase repeats its stream from the matched pin on).
+func (s *Steady) echoCommit() {
+	r := &s.hist[s.echoRec]
+	for i, c := range s.levels {
+		c.stats = addStats(c.stats, s.echoPend[i])
+		copy(c.tags, r.endTags[i])
+		copy(c.dirty, r.endDirty[i])
+		if c.stamp != nil {
+			copy(c.stamp, r.endStamp[i])
+		}
+	}
+	s.skipped += uint64(s.planes - 1 - s.echoFrom)
+	s.echoes++
+}
+
+// echoFlush abandons an in-progress echo exactly: nothing was committed,
+// so the skipped units replay from the record's anchors, then the
+// current unit's verified prefix and the pending batch, and the engine
+// goes live.
+func (s *Steady) echoFlush(pending []Run) {
+	for u := s.echoFrom + 1; u < s.unit; u++ {
+		ref, off := s.echoRef(u)
+		s.replayShifted(ref, off)
+	}
+	if s.cursor > 0 {
+		ref, off := s.echoRef(s.unit)
+		s.replayShifted(ref[:s.cursor], off)
+	}
+	s.cursor = 0
+	if len(pending) > 0 {
+		s.replay(pending)
+	}
+	s.mode = steadyLive
+}
+
+func encEq(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for li := range a {
+		x, y := a[li], b[li]
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func patternEq(a, b []Run, off int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Base != y.Base+off || x.Stride != y.Stride || x.Count != y.Count ||
+			x.Store != y.Store || x.Cont != y.Cont {
+			return false
+		}
+	}
+	return true
+}
+
+func snapEq(a, b *steadySnap) bool {
+	for li := range a.data {
+		x, y := a.data[li], b.data[li]
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func statsSliceEq(a, b []Stats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func addStats(a, b Stats) Stats {
+	return Stats{
+		Loads:       a.Loads + b.Loads,
+		Stores:      a.Stores + b.Stores,
+		LoadMisses:  a.LoadMisses + b.LoadMisses,
+		StoreMisses: a.StoreMisses + b.StoreMisses,
+		Writebacks:  a.Writebacks + b.Writebacks,
+		Prefetches:  a.Prefetches + b.Prefetches,
+	}
+}
+
+func subStats(a, b Stats) Stats {
+	return Stats{
+		Loads:       a.Loads - b.Loads,
+		Stores:      a.Stores - b.Stores,
+		LoadMisses:  a.LoadMisses - b.LoadMisses,
+		StoreMisses: a.StoreMisses - b.StoreMisses,
+		Writebacks:  a.Writebacks - b.Writebacks,
+		Prefetches:  a.Prefetches - b.Prefetches,
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// StateEqual reports whether two caches of identical geometry hold the
+// same lines with the same dirty bits and the same per-set LRU order.
+// Raw LRU stamp values are not compared (the batched and steady engines
+// may advance the clock differently while preserving order, which is
+// all that affects behavior). It is a verification aid for the
+// differential tests.
+func (c *Cache) StateEqual(o *Cache) bool {
+	if c.cfg != o.cfg {
+		return false
+	}
+	if c.assoc == 1 {
+		for i := range c.tags {
+			if c.tags[i] != o.tags[i] || c.dirty[i] != o.dirty[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for set := 0; set < c.sets; set++ {
+		a := sortedWays(c, set)
+		b := sortedWays(o, set)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedWays returns a set's valid (tag, dirty) pairs most-recent first.
+func sortedWays(c *Cache, set int) []struct {
+	Tag   int64
+	Dirty bool
+} {
+	base := set * c.assoc
+	type entry struct {
+		stamp uint64
+		tag   int64
+		dirty bool
+	}
+	var es []entry
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == -1 {
+			continue
+		}
+		es = append(es, entry{c.stamp[base+w], c.tags[base+w], c.dirty[base+w]})
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].stamp < es[j].stamp; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+	out := make([]struct {
+		Tag   int64
+		Dirty bool
+	}, len(es))
+	for i, e := range es {
+		out[i] = struct {
+			Tag   int64
+			Dirty bool
+		}{e.tag, e.dirty}
+	}
+	return out
+}
+
+var (
+	_ RunSink   = (*Steady)(nil)
+	_ PlaneSink = (*Steady)(nil)
+)

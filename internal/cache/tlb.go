@@ -24,10 +24,12 @@ func UltraSparc2TLB() Config { return TLB(64, 8<<10) }
 
 // MemoryWithTLB drives a cache hierarchy and a TLB from the same address
 // stream: every access probes the TLB (page granularity) and then the
-// caches. It implements Memory.
+// caches. It implements Memory and RunSink.
 type MemoryWithTLB struct {
 	Caches *Hierarchy
 	TLB    *Cache
+
+	buf []Run
 }
 
 // NewMemoryWithTLB builds the combined model.
@@ -49,6 +51,20 @@ func (m *MemoryWithTLB) Store(addr int64) {
 	m.Caches.Store(addr)
 }
 
+// ReplayRuns replays a batch through both models. The TLB and the
+// caches share no state, so running the TLB over the whole batch and
+// then the caches is indistinguishable from the per-access interleaving;
+// the TLB sees every access as a load (translation is needed regardless
+// of the write policy), matching Load/Store above.
+func (m *MemoryWithTLB) ReplayRuns(runs []Run) {
+	m.buf = append(m.buf[:0], runs...)
+	for i := range m.buf {
+		m.buf[i].Store = false
+	}
+	m.TLB.ReplayRuns(m.buf)
+	m.Caches.ReplayRuns(runs)
+}
+
 // Reset empties all levels and counters.
 func (m *MemoryWithTLB) Reset() {
 	m.Caches.Reset()
@@ -61,4 +77,7 @@ func (m *MemoryWithTLB) ResetStats() {
 	m.TLB.ResetStats()
 }
 
-var _ Memory = (*MemoryWithTLB)(nil)
+var (
+	_ Memory  = (*MemoryWithTLB)(nil)
+	_ RunSink = (*MemoryWithTLB)(nil)
+)

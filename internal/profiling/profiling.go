@@ -1,0 +1,56 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the cmd tools. Each command declares the two flags itself and
+// calls Start with their values; profiling is off whenever both paths
+// are empty, so the default tool behaviour is unchanged.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges for
+// a heap profile to be written to memPath (if non-empty) when the
+// returned stop function runs. Callers should `defer stop()` right
+// after a successful Start; stop is safe to call when both paths are
+// empty. Errors from Start leave no profiling active and no files
+// behind.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			os.Remove(cpuPath)
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "close cpu profile: %v\n", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create mem profile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialize the final live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "write mem profile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close mem profile: %v\n", err)
+		}
+	}, nil
+}

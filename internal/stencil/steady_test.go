@@ -1,0 +1,206 @@
+package stencil_test
+
+// Differential tests for the steady-state plane-cycle engine: wrapping
+// a hierarchy in cache.NewSteady must be indistinguishable — statistics
+// AND final state — from replaying every batch directly, on every
+// kernel, across padded, tiled, and pathological geometries. These
+// mirror PR 1's replay-equivalence suite one level up: that suite
+// proved batched replay == per-access; this one proves steady == full
+// replay.
+
+import (
+	"math/rand"
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// steadyCompare replays sweeps of one workload into a plain hierarchy
+// and a steady-wrapped twin and asserts identical per-sweep statistics
+// and identical final state. It returns the planes the engine skipped
+// so callers can assert the fast path was actually exercised.
+func steadyCompare(t *testing.T, label string, w *stencil.Workload, sweeps int, cfgs ...cache.Config) uint64 {
+	t.Helper()
+	full := cache.NewHierarchy(cfgs...)
+	fast := cache.NewHierarchy(cfgs...)
+	st := cache.NewSteady(fast)
+	st.MinUnitAccesses = 1
+	for sweep := 0; sweep < sweeps; sweep++ {
+		w.ReplayTrace(full)
+		w.ReplayTrace(st)
+		for li := range cfgs {
+			a, b := full.Level(li).Stats(), fast.Level(li).Stats()
+			if a != b {
+				t.Fatalf("%s: sweep %d level %d stats diverge:\nfull   %+v\nsteady %+v (skipped %d planes)",
+					label, sweep, li, a, b, st.SkippedPlanes())
+			}
+		}
+	}
+	for li := range cfgs {
+		if !full.Level(li).StateEqual(fast.Level(li)) {
+			t.Fatalf("%s: level %d final state diverges (skipped %d planes)",
+				label, li, st.SkippedPlanes())
+		}
+	}
+	return st.SkippedPlanes()
+}
+
+// smallCfgs is a two-level hierarchy scaled down so steady cycles form
+// at test-sized problems: direct-mapped write-around L1, direct-mapped
+// write-allocate L2, the paper's structure in miniature.
+func smallCfgs() []cache.Config {
+	return []cache.Config{
+		{SizeBytes: 1 << 10, LineBytes: 32},
+		{SizeBytes: 8 << 10, LineBytes: 64, WriteAllocate: true},
+	}
+}
+
+func plainPlan(n int) core.Plan { return core.Plan{DI: n, DJ: n} }
+
+func tiledPlan(n, ti, tj int) core.Plan {
+	return core.Plan{DI: n, DJ: n, Tiled: true, Tile: core.Tile{TI: ti, TJ: tj}}
+}
+
+func TestSteadyDifferentialKernels(t *testing.T) {
+	kernels := []stencil.Kernel{stencil.Jacobi, stencil.RedBlack, stencil.Resid}
+	for _, k := range kernels {
+		for _, tc := range []struct {
+			name string
+			plan core.Plan
+		}{
+			{"orig", plainPlan(40)},
+			{"padded", core.Plan{DI: 45, DJ: 43}},
+			{"tiled", tiledPlan(40, 12, 9)},
+			{"tiled-pow2", tiledPlan(40, 16, 8)},
+		} {
+			w := stencil.NewTraceWorkload(k, 40, 24, tc.plan)
+			skipped := steadyCompare(t, k.String()+"/"+tc.name, w, 3, smallCfgs()...)
+			if tc.name == "orig" && skipped == 0 {
+				t.Errorf("%s/orig: steady engine never skipped a plane", k)
+			}
+		}
+	}
+}
+
+// TestSteadyDifferentialPaper runs the pathological paper-scale sizes —
+// N=256 (power of two, maximal conflict), 257, and 510 (512-adjacent) —
+// against the real UltraSparc2 hierarchy. At these sizes the plane
+// stride interacts worst with the set mapping, exactly where an inexact
+// fingerprint would slip.
+func TestSteadyDifferentialPaper(t *testing.T) {
+	cfgs := []cache.Config{cache.UltraSparc2L1(), cache.UltraSparc2L2()}
+	type tc struct {
+		k    stencil.Kernel
+		n    int
+		plan core.Plan
+	}
+	cases := []tc{
+		{stencil.Jacobi, 256, plainPlan(256)},
+		{stencil.Jacobi, 256, tiledPlan(256, 45, 13)},
+		{stencil.Jacobi, 257, plainPlan(257)},
+		{stencil.Jacobi, 510, plainPlan(510)},
+		{stencil.RedBlack, 256, plainPlan(256)},
+		{stencil.RedBlack, 257, tiledPlan(257, 32, 8)},
+		{stencil.Resid, 256, plainPlan(256)},
+		{stencil.Resid, 257, plainPlan(257)},
+	}
+	for _, c := range cases {
+		w := stencil.NewTraceWorkload(c.k, c.n, 10, c.plan)
+		label := c.k.String() + "/pathological"
+		steadyCompare(t, label, w, 2, cfgs...)
+	}
+}
+
+// TestSteadyRandomGeometry is the property test: random kernels, sizes,
+// paddings, tiles and cache shapes, all of which must produce identical
+// statistics and state with and without the steady engine.
+func TestSteadyRandomGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kernels := []stencil.Kernel{stencil.Jacobi, stencil.RedBlack, stencil.Resid}
+	lines := []int{16, 32, 64}
+	for it := 0; it < 40; it++ {
+		k := kernels[rng.Intn(len(kernels))]
+		n := 24 + rng.Intn(40)
+		depth := 8 + rng.Intn(12)
+		plan := core.Plan{DI: n + rng.Intn(9), DJ: n + rng.Intn(9)}
+		if rng.Intn(2) == 1 {
+			plan.Tiled = true
+			plan.Tile = core.Tile{TI: 5 + rng.Intn(13), TJ: 5 + rng.Intn(13)}
+		}
+		var cfgs []cache.Config
+		for lv, levels := 0, 1+rng.Intn(2); lv < levels; lv++ {
+			line := lines[rng.Intn(len(lines))]
+			sets := 1 << (4 + rng.Intn(4) + 2*lv)
+			assoc := 1 << rng.Intn(3)
+			cfgs = append(cfgs, cache.Config{
+				SizeBytes:        sets * assoc * line,
+				LineBytes:        line,
+				Assoc:            assoc,
+				WriteAllocate:    rng.Intn(2) == 1,
+				NextLinePrefetch: rng.Intn(4) == 0,
+			})
+		}
+		w := stencil.NewTraceWorkload(k, n, depth, plan)
+		steadyCompare(t, k.String()+"/random", w, 2, cfgs...)
+	}
+}
+
+// TestSteadyTLBDifferential is the TLB satellite: TLB and cache
+// statistics must be identical under per-access replay, batched
+// ReplayRuns, and the steady path. The TLB's page granularity is part
+// of the alignment requirement, so phases whose plane stride is not
+// page-compatible refuse steadiness (and still must match).
+func TestSteadyTLBDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		page  int
+		plan  core.Plan
+		wantS bool // steady skipping expected to engage
+	}{
+		// N=64 plane stride = 64*64*8 = 32KB: multiple of a 1KB page.
+		{"aligned", 1 << 10, plainPlan(64), true},
+		// DI=67, DJ=65: plane stride 67*65*8 = 34840 bytes; gcd with a
+		// 4KB page is 8, so t0 explodes past the cap and the engine
+		// must refuse steadiness — exactness via full replay.
+		{"refused", 4 << 10, core.Plan{DI: 67, DJ: 65}, false},
+	} {
+		mems := make([]*cache.MemoryWithTLB, 3)
+		for i := range mems {
+			h := cache.NewHierarchy(smallCfgs()...)
+			mems[i] = cache.NewMemoryWithTLB(h, cache.TLB(8, tc.page))
+		}
+		w := stencil.NewTraceWorkload(stencil.Jacobi, 64, 20, tc.plan)
+		st := cache.NewSteadyTLB(mems[2])
+		st.MinUnitAccesses = 1
+		for sweep := 0; sweep < 2; sweep++ {
+			w.RunTrace(mems[0])    // per-access reference
+			w.ReplayTrace(mems[1]) // batched
+			w.ReplayTrace(st)      // steady
+			for i := 1; i < 3; i++ {
+				if a, b := mems[0].TLB.Stats(), mems[i].TLB.Stats(); a != b {
+					t.Fatalf("%s: path %d sweep %d TLB stats diverge:\nwant %+v\ngot  %+v", tc.name, i, sweep, a, b)
+				}
+				for li := range mems[0].Caches.Levels() {
+					if a, b := mems[0].Caches.Level(li).Stats(), mems[i].Caches.Level(li).Stats(); a != b {
+						t.Fatalf("%s: path %d sweep %d L%d stats diverge:\nwant %+v\ngot  %+v", tc.name, i, sweep, li+1, a, b)
+					}
+				}
+			}
+		}
+		if tc.wantS && st.SkippedPlanes() == 0 {
+			t.Errorf("%s: expected the steady engine to skip planes", tc.name)
+		}
+		if !tc.wantS && st.Cycles() != 0 {
+			// Plane-cycle detection must refuse the unalignable stride;
+			// cross-phase echo may still skip repeated sweeps (it needs
+			// no translation alignment), which the stats comparison
+			// above proves exact.
+			t.Errorf("%s: expected plane-cycle detection to be refused, confirmed %d cycles", tc.name, st.Cycles())
+		}
+		if !mems[0].TLB.StateEqual(mems[2].TLB) {
+			t.Errorf("%s: TLB state diverges under steady path", tc.name)
+		}
+	}
+}

@@ -25,15 +25,52 @@ func addrBytes(g *grid.Grid3D, i, j, k int) int64 {
 	return g.Addr(i, j, k) * grid.ElemSize
 }
 
+// The walkers also emit cache.PlaneMark phase markers so the
+// steady-state engine can detect plane cycles. Each marker names the
+// phase unit just completed: an untiled walker's unit is one k-plane
+// (consecutive planes' streams translate by the plane stride), a tiled
+// walker's unit is one outer tile-row iteration (consecutive iterations
+// translate by tile x row stride; the interior tile loops repeat
+// identically inside each unit). A Delta of 0 tells the engine the
+// units do not translate uniformly (arrays with mismatched padded
+// strides) so it must replay in full. Markers are free for sinks that
+// do not understand them.
+
+// planeDelta3D returns the common plane stride of the arrays in bytes,
+// or 0 when they differ (no uniform translation between planes).
+func planeDelta3D(gs ...*grid.Grid3D) int64 {
+	d := int64(gs[0].DI) * int64(gs[0].DJ) * grid.ElemSize
+	for _, g := range gs[1:] {
+		if int64(g.DI)*int64(g.DJ)*grid.ElemSize != d {
+			return 0
+		}
+	}
+	return d
+}
+
+// rowDelta3D returns the common row stride of the arrays in bytes, or 0
+// when they differ.
+func rowDelta3D(gs ...*grid.Grid3D) int64 {
+	d := int64(gs[0].DI) * grid.ElemSize
+	for _, g := range gs[1:] {
+		if int64(g.DI)*grid.ElemSize != d {
+			return 0
+		}
+	}
+	return d
+}
+
 // JacobiOrigRuns replays the original Jacobi nest (Figure 3) in batched
 // form.
 func JacobiOrigRuns(a, b *grid.Grid3D, sink cache.RunSink) {
 	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
+	delta := planeDelta3D(a, b)
 	for k := 1; k <= n3-2; k++ {
 		for j := 1; j <= n2-2; j++ {
 			jacobiRowRuns(a, b, sink, buf[:], 1, n1-2, j, k)
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: k - 1, Planes: n3 - 2})
 	}
 }
 
@@ -42,6 +79,11 @@ func JacobiOrigRuns(a, b *grid.Grid3D, sink cache.RunSink) {
 func JacobiTiledRuns(a, b *grid.Grid3D, sink cache.RunSink, ti, tj int) {
 	var buf [7]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
+	delta := int64(tj) * rowDelta3D(a, b)
+	units := 0
+	if n2 >= 3 {
+		units = (n2-3)/tj + 1
+	}
 	for jj := 1; jj <= n2-2; jj += tj {
 		jHi := min(jj+tj-1, n2-2)
 		for ii := 1; ii <= n1-2; ii += ti {
@@ -52,6 +94,7 @@ func JacobiTiledRuns(a, b *grid.Grid3D, sink cache.RunSink, ti, tj int) {
 				}
 			}
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: (jj - 1) / tj, Planes: units})
 	}
 }
 
@@ -94,20 +137,40 @@ func JacobiTiledTrace(a, b *grid.Grid3D, mem cache.Memory, ti, tj int) {
 // Section 1 motivation experiment, in batched form.
 func Jacobi2DOrigRuns(a, b *grid.Grid2D, sink cache.RunSink) {
 	var buf [5]cache.Run
+	delta := rowDelta2D(a, b)
 	for j := 1; j <= a.NJ-2; j++ {
 		jacobi2DRowRuns(a, b, sink, buf[:], 1, a.NI-2, j)
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: j - 1, Planes: a.NJ - 2})
 	}
 }
 
 // Jacobi2DTiledRuns replays the tiled 2D nest in batched form.
 func Jacobi2DTiledRuns(a, b *grid.Grid2D, sink cache.RunSink, ti int) {
 	var buf [5]cache.Run
+	delta := int64(ti) * grid.ElemSize
+	units := 0
+	if a.NI >= 3 {
+		units = (a.NI-3)/ti + 1
+	}
 	for ii := 1; ii <= a.NI-2; ii += ti {
 		iHi := min(ii+ti-1, a.NI-2)
 		for j := 1; j <= a.NJ-2; j++ {
 			jacobi2DRowRuns(a, b, sink, buf[:], ii, iHi, j)
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: (ii - 1) / ti, Planes: units})
 	}
+}
+
+// rowDelta2D returns the common row stride of the arrays in bytes, or 0
+// when they differ.
+func rowDelta2D(gs ...*grid.Grid2D) int64 {
+	d := int64(gs[0].DI) * grid.ElemSize
+	for _, g := range gs[1:] {
+		if int64(g.DI)*grid.ElemSize != d {
+			return 0
+		}
+	}
+	return d
 }
 
 func jacobi2DRowRuns(a, b *grid.Grid2D, sink cache.RunSink, buf []cache.Run, iLo, iHi, j int) {
@@ -144,11 +207,16 @@ func Jacobi2DTiledTrace(a, b *grid.Grid2D, mem cache.Memory, ti int) {
 func RedBlackNaiveRuns(a *grid.Grid3D, sink cache.RunSink) {
 	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
+	delta := planeDelta3D(a)
 	for pass := 0; pass <= 1; pass++ {
+		// Each pass is its own phase: the red and black streams differ,
+		// but within a pass consecutive planes translate (plane parity
+		// makes the pattern period 2, which the cycle detector finds).
 		for k := 1; k <= n3-2; k++ {
 			for j := 1; j <= n2-2; j++ {
 				redBlackRowRuns(a, sink, buf[:], redStart(j, k, pass), n1-2, j, k)
 			}
+			cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: k - 1, Planes: n3 - 2})
 		}
 	}
 }
@@ -157,6 +225,10 @@ func RedBlackNaiveRuns(a *grid.Grid3D, sink cache.RunSink) {
 func RedBlackFusedRuns(a *grid.Grid3D, sink cache.RunSink) {
 	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
+	delta := planeDelta3D(a)
+	// The first and last kk iterations are clamped (one k instead of
+	// two); the steady engine's verification catches the short last unit
+	// and flushes, so marking them uniformly stays exact.
 	for kk := 0; kk <= n3-2; kk++ {
 		for dk := 1; dk >= 0; dk-- {
 			k := kk + dk
@@ -171,6 +243,7 @@ func RedBlackFusedRuns(a *grid.Grid3D, sink cache.RunSink) {
 				redBlackRowRuns(a, sink, buf[:], iStart, n1-2, j, k)
 			}
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: kk, Planes: n3 - 1})
 	}
 }
 
@@ -179,6 +252,11 @@ func RedBlackFusedRuns(a *grid.Grid3D, sink cache.RunSink) {
 func RedBlackTiledRuns(a *grid.Grid3D, sink cache.RunSink, ti, tj int) {
 	var buf [8]cache.Run
 	n1, n2, n3 := a.NI, a.NJ, a.NK
+	delta := int64(tj) * rowDelta3D(a)
+	units := 0
+	if n2 >= 2 {
+		units = (n2-2)/tj + 1
+	}
 	for jj := 0; jj <= n2-2; jj += tj {
 		for ii := 0; ii <= n1-2; ii += ti {
 			for kk := 0; kk <= n3-2; kk++ {
@@ -201,6 +279,7 @@ func RedBlackTiledRuns(a *grid.Grid3D, sink cache.RunSink, ti, tj int) {
 				}
 			}
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: jj / tj, Planes: units})
 	}
 }
 
@@ -250,10 +329,12 @@ func RedBlackTiledTrace(a *grid.Grid3D, mem cache.Memory, ti, tj int) {
 func ResidOrigRuns(r, v, u *grid.Grid3D, sink cache.RunSink) {
 	var buf [29]cache.Run
 	n1, n2, n3 := r.NI, r.NJ, r.NK
+	delta := planeDelta3D(r, v, u)
 	for i3 := 1; i3 <= n3-2; i3++ {
 		for i2 := 1; i2 <= n2-2; i2++ {
 			residRowRuns(r, v, u, sink, buf[:], 1, n1-2, i2, i3)
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: i3 - 1, Planes: n3 - 2})
 	}
 }
 
@@ -262,6 +343,11 @@ func ResidOrigRuns(r, v, u *grid.Grid3D, sink cache.RunSink) {
 func ResidTiledRuns(r, v, u *grid.Grid3D, sink cache.RunSink, t1, t2 int) {
 	var buf [29]cache.Run
 	n1, n2, n3 := r.NI, r.NJ, r.NK
+	delta := int64(t2) * rowDelta3D(r, v, u)
+	units := 0
+	if n2 >= 3 {
+		units = (n2-3)/t2 + 1
+	}
 	for ii2 := 1; ii2 <= n2-2; ii2 += t2 {
 		hi2 := min(ii2+t2-1, n2-2)
 		for ii1 := 1; ii1 <= n1-2; ii1 += t1 {
@@ -272,6 +358,7 @@ func ResidTiledRuns(r, v, u *grid.Grid3D, sink cache.RunSink, t1, t2 int) {
 				}
 			}
 		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: (ii2 - 1) / t2, Planes: units})
 	}
 }
 

@@ -15,6 +15,13 @@ import (
 	"tiling3d/internal/ir"
 )
 
+// PlaneMark re-exports the cache package's plane-phase marker so IR
+// walker callers can speak of trace.PlaneMark; emitting markers from
+// compiled nests (detecting which loop level is the plane loop) is an
+// open item — for now only the hand-written stencil walkers mark their
+// phases.
+type PlaneMark = cache.PlaneMark
+
 // Binding maps an array name to its storage layout: the base element
 // address and the element stride of each array dimension.
 type Binding struct {
