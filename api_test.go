@@ -60,7 +60,10 @@ func TestPublicWorkloadRoundTrip(t *testing.T) {
 }
 
 func TestPublicGrids(t *testing.T) {
-	g := NewGrid3DPadded(10, 10, 10, 13, 11)
+	g, err := NewGrid3DPadded(10, 10, 10, 13, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g.Set(9, 9, 9, 42)
 	if g.At(9, 9, 9) != 42 {
 		t.Error("grid round trip failed")
@@ -84,10 +87,16 @@ func TestPublicMultigrid(t *testing.T) {
 }
 
 func TestHierarchyConstruction(t *testing.T) {
-	h := NewHierarchy(
+	h, err := NewHierarchy(
 		CacheConfig{SizeBytes: 1024, LineBytes: 32, Assoc: 1},
 		CacheConfig{SizeBytes: 8192, LineBytes: 64, Assoc: 2, WriteAllocate: true},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHierarchy(CacheConfig{SizeBytes: 100, LineBytes: 32, Assoc: 1}); err == nil {
+		t.Error("non-power-of-two geometry not rejected")
+	}
 	h.Load(0)
 	h.Load(0)
 	var s CacheStats = h.Level(0).Stats()

@@ -213,7 +213,7 @@ func BenchmarkAblationThreeLoop(b *testing.B) {
 	run := func(b *testing.B, trace func(mem cache.Memory)) {
 		var rate float64
 		for i := 0; i < b.N; i++ {
-			h := cache.NewHierarchy(cache.UltraSparc2L1())
+			h := cache.MustHierarchy(cache.UltraSparc2L1())
 			trace(h)
 			h.ResetStats()
 			trace(h)
@@ -244,7 +244,7 @@ func BenchmarkAblationRecursive(b *testing.B) {
 				core.Plan{DI: n, DJ: n}, opt.Coeffs)
 			var rate float64
 			for i := 0; i < b.N; i++ {
-				h := cache.NewHierarchy(opt.L1)
+				h := cache.MustHierarchy(opt.L1)
 				stencil.JacobiRecursiveTrace(w.Grids[0], w.Grids[1], h, 24)
 				h.ResetStats()
 				stencil.JacobiRecursiveTrace(w.Grids[0], w.Grids[1], h, 24)

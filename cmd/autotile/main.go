@@ -53,7 +53,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	plan := core.Select(method, *cacheBytes/8, *n, *n, st)
+	plan, err := core.SelectChecked(method, *cacheBytes/8, *n, *n, st)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("// analyzed stencil: trim (%d, %d), depth %d\n", st.TrimI, st.TrimJ, st.Depth)
 	fmt.Printf("// %s plan: tile %v, array dims %dx%d (pads +%d, +%d)\n",
 		method, plan.Tile, plan.DI, plan.DJ, plan.DI-*n, plan.DJ-*n)

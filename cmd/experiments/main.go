@@ -6,11 +6,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"text/tabwriter"
 
 	"tiling3d/internal/bench"
@@ -21,6 +25,25 @@ import (
 	"tiling3d/internal/results"
 	"tiling3d/internal/stencil"
 )
+
+// interrupted flips when a sweep returns context.Canceled (SIGINT or
+// SIGTERM): sections already gated off, partial tables rendered, and the
+// process exits 0 after printing how to resume.
+var interrupted bool
+
+// sweepErr sorts a sweep error into the three outcomes: nil (done),
+// cancellation (drain, remember, keep rendering partials), anything else
+// (fail).
+func sweepErr(err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		interrupted = true
+		return
+	}
+	fail(err)
+}
 
 func main() {
 	var (
@@ -41,6 +64,11 @@ func main() {
 		withPerf   = flag.Bool("perf", true, "include native wall-clock measurements")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		checkpoint = flag.String("checkpoint", "", "journal completed simulation points to this file (JSONL)")
+		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
+		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
+		paranoid   = flag.Int("paranoid", 0, "cross-check every Nth point's steady-engine results against a full replay (0 = off)")
+		injectN    = flag.Int("inject-panic", 0, "fault injection: panic every simulation point with this N (demonstrates isolation)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -59,12 +87,43 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the sweeps: in-flight points drain, partial
+	// tables render, and the process exits cleanly. A second signal
+	// falls through to the default handler (hard kill) because stop()
+	// runs as soon as the context cancels.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	opt := bench.DefaultOptions()
 	opt.Workers = *workers
 	opt.DisableSteady = !*steady
+	opt.Ctx = ctx
+	opt.PointTimeout = *pointTO
+	opt.ParanoidEvery = *paranoid
+	opt.InjectPanicN = *injectN
 	if *quick {
 		opt.NStep = 50
 	}
+	if err := opt.Validate(); err != nil {
+		usageFail(err)
+	}
+	if *checkpoint != "" {
+		j, err := bench.OpenJournal(*checkpoint, opt, *resume)
+		if err != nil {
+			usageFail(err)
+		}
+		opt.Journal = j
+		if *resume && j.Resumed() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed points loaded from %s\n", j.Resumed(), *checkpoint)
+		}
+	} else if *resume {
+		usageFail(errors.New("-resume requires -checkpoint"))
+	}
+	defer finish(opt, *checkpoint)
 
 	if *doTable1 {
 		fmt.Println("=== Table 1: non-conflicting array tiles (200x200xM, 16K cache) ===")
@@ -78,7 +137,7 @@ func main() {
 		fmt.Printf("Euc3D selection for a +/-1 stencil: %v (paper: (22, 13))\n\n", tile)
 	}
 
-	if *doBoundary {
+	if *doBoundary && ctx.Err() == nil {
 		fmt.Println("=== Section 1: reuse boundaries ===")
 		fmt.Printf("2D stencil, 16K L1: group reuse preserved up to N = %d (paper: 1024)\n",
 			bench.MaxN2D(cache.UltraSparc2L1()))
@@ -89,22 +148,30 @@ func main() {
 			p.MissBelow, p.NBelow, p.MissAbove, p.NAbove)
 	}
 
-	if *doTable3 {
+	if *doTable3 && ctx.Err() == nil {
 		fmt.Println("=== Table 3: average improvements over N=200..400 ===")
-		rows := bench.Table3(opt, *withPerf)
+		rows, err := bench.Table3(opt, *withPerf)
+		sweepErr(err)
 		if err := bench.WriteTable3(os.Stdout, rows, opt.Methods); err != nil {
 			fail(err)
 		}
 		fmt.Println()
 	}
 
-	if *doFigures {
+	if *doFigures && ctx.Err() == nil {
 		figNum := map[stencil.Kernel][2]int{
 			stencil.Jacobi: {14, 15}, stencil.RedBlack: {16, 17}, stencil.Resid: {18, 19},
 		}
 		for _, k := range stencil.Kernels() {
+			if ctx.Err() != nil {
+				break
+			}
 			fmt.Printf("=== Figures: %s ===\n", k)
-			miss, est := bench.CombinedSweep(k, opt, bench.UltraSparc2Model())
+			miss, est, err := bench.CombinedSweep(k, opt, bench.UltraSparc2Model())
+			sweepErr(err)
+			if miss == nil {
+				break
+			}
 			if err := bench.WriteMissSeries(os.Stdout, k, miss, opt.Methods, opt); err != nil {
 				fail(err)
 			}
@@ -126,7 +193,7 @@ func main() {
 		}
 	}
 
-	if *doLarge {
+	if *doLarge && ctx.Err() == nil {
 		fmt.Println("=== Figures 20-21: RESID at larger sizes ===")
 		large := opt
 		large.NMin, large.NMax = 400, 700
@@ -135,7 +202,11 @@ func main() {
 		} else {
 			large.NStep = 12
 		}
-		missL, estL := bench.CombinedSweep(stencil.Resid, large, bench.UltraSparc2Model450())
+		missL, estL, err := bench.CombinedSweep(stencil.Resid, large, bench.UltraSparc2Model450())
+		sweepErr(err)
+		if missL == nil {
+			missL, estL = map[core.Method][]bench.MissPoint{}, map[core.Method][]bench.PerfPoint{}
+		}
 		if err := bench.WriteMissSeries(os.Stdout, stencil.Resid, missL, large.Methods, large); err != nil {
 			fail(err)
 		}
@@ -155,7 +226,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if *doMem {
+	if *doMem && ctx.Err() == nil {
 		fmt.Println("=== Figure 22: memory increase from padding (JACOBI) ===")
 		methods := []core.Method{core.MethodGcdPad, core.MethodPad}
 		series := map[core.Method][]bench.MemPoint{}
@@ -168,9 +239,16 @@ func main() {
 		fmt.Println()
 	}
 
-	if *savePath != "" || *against != "" {
+	if (*savePath != "" || *against != "") && ctx.Err() == nil {
 		fmt.Fprintln(os.Stderr, "capturing headline snapshot...")
-		snap := results.Capture("cmd/experiments", opt)
+		snap, err := results.Capture("cmd/experiments", opt)
+		if errors.Is(err, context.Canceled) {
+			interrupted = true
+			return
+		}
+		if err != nil {
+			fail(err)
+		}
 		if *savePath != "" {
 			if err := results.Save(*savePath, snap); err != nil {
 				fail(err)
@@ -195,11 +273,11 @@ func main() {
 		}
 	}
 
-	if *doSens {
+	if *doSens && ctx.Err() == nil {
 		sensitivity(opt)
 	}
 
-	if *doMgrid {
+	if *doMgrid && ctx.Err() == nil {
 		fmt.Println("=== Section 4.6: MGRID ===")
 		lm, iters := 7, 8
 		if *quick {
@@ -258,4 +336,31 @@ func saveSVG(dir, name string, chart interface {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// usageFail reports a bad invocation (flag values, journal mismatch)
+// without a stack trace and exits 2, the conventional usage-error code.
+func usageFail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
+}
+
+// finish runs at exit on the normal path: it surfaces journal write
+// failures (a stale checkpoint must not look like a good one) and, after
+// an interrupt, says what completed and how to pick the run back up.
+func finish(opt bench.Options, checkpoint string) {
+	if opt.Journal != nil {
+		if err := opt.Journal.WriteErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: checkpoint is incomplete:", err)
+		}
+	}
+	if !interrupted {
+		return
+	}
+	if opt.Journal != nil {
+		fmt.Fprintf(os.Stderr, "interrupted: %d points checkpointed; resume with -resume -checkpoint %s\n",
+			opt.Journal.Len(), checkpoint)
+	} else {
+		fmt.Fprintln(os.Stderr, "interrupted: partial results shown; use -checkpoint to make runs resumable")
+	}
 }

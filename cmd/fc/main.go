@@ -91,7 +91,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	plan := core.Select(method, *cacheBytes / *elemSize, di, dj, st)
+	plan, err := core.SelectChecked(method, *cacheBytes / *elemSize, di, dj, st)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("// stencil: trims (%d, %d), array-tile depth %d; array %dx%dxM\n",
 		st.TrimI, st.TrimJ, st.Depth, di, dj)
 	fmt.Printf("// %s plan: tile %v, padded dims %dx%d (pads +%d, +%d)\n",

@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tiling3d/internal/bench"
 	"tiling3d/internal/core"
@@ -36,6 +40,11 @@ func main() {
 		clock      = flag.Float64("clock", 0, "model clock in MHz (default 360, or 450 when -min >= 400 as in Figures 20-21)")
 		svgPath    = flag.String("svg", "", "also write an SVG chart to this path")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection for simulated paths (identical results)")
+		checkpoint = flag.String("checkpoint", "", "model mode: journal completed simulation points to this file (JSONL); native timings are nondeterministic and never journaled")
+		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
+		pointTO    = flag.Duration("point-timeout", 0, "model mode: per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
+		paranoid   = flag.Int("paranoid", 0, "model mode: cross-check every Nth point's steady-engine results against a full replay (0 = off)")
+		injectN    = flag.Int("inject-panic", 0, "model mode: panic every simulation point with this N (demonstrates isolation)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -68,13 +77,50 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM drain in-flight points, render the partial series,
+	// and exit 0; a second signal hard-kills (stop() restores default
+	// handling as soon as the context cancels).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	opt.Ctx = ctx
+	opt.PointTimeout = *pointTO
+	opt.ParanoidEvery = *paranoid
+	opt.InjectPanicN = *injectN
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(2)
+	}
+
 	var sweep map[core.Method][]bench.PerfPoint
 	var label string
+	interrupted := false
 	switch *mode {
 	case "native":
+		// Native timings are nondeterministic, so there is nothing a
+		// journal could replay bit-identically; cancellation just cuts
+		// each series short.
 		sweep = bench.PerfSweep(kernel, opt)
 		label = "native"
+		interrupted = ctx.Err() != nil
 	case "model":
+		if *checkpoint != "" {
+			j, err := bench.OpenJournal(*checkpoint, opt, *resume)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perf:", err)
+				os.Exit(2)
+			}
+			opt.Journal = j
+			if *resume && j.Resumed() > 0 {
+				fmt.Fprintf(os.Stderr, "resuming: %d completed points loaded from %s\n", j.Resumed(), *checkpoint)
+			}
+		} else if *resume {
+			fmt.Fprintln(os.Stderr, "perf: -resume requires -checkpoint")
+			os.Exit(2)
+		}
 		model := bench.UltraSparc2Model()
 		if *nMin >= 400 {
 			model = bench.UltraSparc2Model450()
@@ -82,12 +128,33 @@ func main() {
 		if *clock > 0 {
 			model.ClockMHz = *clock
 		}
-		sweep = bench.EstimateSweep(kernel, opt, model)
+		var serr error
+		sweep, serr = bench.EstimateSweep(kernel, opt, model)
+		interrupted = errors.Is(serr, context.Canceled)
+		if serr != nil && !interrupted {
+			fmt.Fprintln(os.Stderr, "perf:", serr)
+			os.Exit(1)
+		}
 		label = fmt.Sprintf("cycle-model (%.0fMHz UltraSparc2)", model.ClockMHz)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -mode %q (want model or native)\n", *mode)
 		os.Exit(2)
 	}
+	defer func() {
+		if opt.Journal != nil {
+			if werr := opt.Journal.WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "warning: checkpoint is incomplete:", werr)
+			}
+		}
+		if interrupted {
+			if opt.Journal != nil {
+				fmt.Fprintf(os.Stderr, "interrupted: %d points checkpointed; resume with -resume -checkpoint %s\n",
+					opt.Journal.Len(), *checkpoint)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted: partial results shown")
+			}
+		}
+	}()
 	if err := bench.WritePerfSeries(os.Stdout, kernel, label, sweep, opt.Methods, opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tiling3d/internal/bench"
 	"tiling3d/internal/cache"
@@ -38,6 +42,11 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the series as JSON instead of a table")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		checkpoint = flag.String("checkpoint", "", "journal completed simulation points to this file (JSONL)")
+		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
+		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
+		paranoid   = flag.Int("paranoid", 0, "cross-check every Nth point's steady-engine results against a full replay (0 = off)")
+		injectN    = flag.Int("inject-panic", 0, "fault injection: panic every simulation point with this N (demonstrates isolation)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -70,7 +79,59 @@ func main() {
 		}
 	}
 
-	sweep := bench.MissSweep(kernel, opt)
+	// SIGINT/SIGTERM drain in-flight points, render the partial series,
+	// and exit 0; a second signal hard-kills (stop() restores default
+	// handling as soon as the context cancels).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	opt.Ctx = ctx
+	opt.PointTimeout = *pointTO
+	opt.ParanoidEvery = *paranoid
+	opt.InjectPanicN = *injectN
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		j, err := bench.OpenJournal(*checkpoint, opt, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(2)
+		}
+		opt.Journal = j
+		if *resume && j.Resumed() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed points loaded from %s\n", j.Resumed(), *checkpoint)
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "simulate: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	sweep, serr := bench.MissSweep(kernel, opt)
+	interrupted := errors.Is(serr, context.Canceled)
+	if serr != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "simulate:", serr)
+		os.Exit(1)
+	}
+	defer func() {
+		if opt.Journal != nil {
+			if werr := opt.Journal.WriteErr(); werr != nil {
+				fmt.Fprintln(os.Stderr, "warning: checkpoint is incomplete:", werr)
+			}
+		}
+		if interrupted {
+			if opt.Journal != nil {
+				fmt.Fprintf(os.Stderr, "interrupted: %d points checkpointed; resume with -resume -checkpoint %s\n",
+					opt.Journal.Len(), *checkpoint)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted: partial results shown; use -checkpoint to make runs resumable")
+			}
+		}
+	}()
 	if *asJSON {
 		byName := map[string][]bench.MissPoint{}
 		for m, s := range sweep {

@@ -43,6 +43,14 @@ func main() {
 
 	cs := *cacheBytes / *elemSize
 	st := core.Stencil{TrimI: *trim, TrimJ: *trim, Depth: *depth}
+	// Vet the flag-driven inputs once: every method below shares them,
+	// and a friendly message beats a selection-algorithm panic. The
+	// GcdPad family additionally needs a power-of-two cache size, which
+	// is checked per method in the loop.
+	if err := core.CheckSelect(core.Orig, cs, *di, *dj, st); err != nil {
+		fmt.Fprintln(os.Stderr, "tilesel:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("cache: %d bytes = %d elements; array %dx%dxM; stencil trim %d, depth %d\n\n",
 		*cacheBytes, cs, *di, *dj, *trim, *depth)
 
@@ -60,7 +68,14 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "method\ttile TI\ttile TJ\tpad DI\tpad DJ\tcost\t")
 	for _, m := range core.AllMethods() {
-		p := core.Select(m, cs, *di, *dj, st)
+		p, err := core.SelectChecked(m, cs, *di, *dj, st)
+		if err != nil {
+			// Per-method precondition (e.g. GcdPad needs a power-of-two
+			// cache size): report the method as unavailable, keep going.
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t\n", m)
+			fmt.Fprintf(os.Stderr, "tilesel: %s skipped: %v\n", m, err)
+			continue
+		}
 		ti, tj := "-", "-"
 		if p.Tiled {
 			ti, tj = fmt.Sprint(p.Tile.TI), fmt.Sprint(p.Tile.TJ)

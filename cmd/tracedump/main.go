@@ -54,7 +54,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	plan := core.Select(method, *cacheBytes/8, *n, *n, kernel.Spec())
+	plan, err := core.SelectChecked(method, *cacheBytes/8, *n, *n, kernel.Spec())
+	if err != nil {
+		fail(err)
+	}
 	w := stencil.NewWorkload(kernel, *n, *k, plan, stencil.DefaultCoeffs())
 
 	out := &dinWriter{w: bufio.NewWriter(os.Stdout), limit: *limit}

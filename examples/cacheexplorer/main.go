@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"strings"
 
 	"tiling3d"
@@ -30,6 +31,10 @@ func main() {
 	flag.Parse()
 
 	cfg := tiling3d.CacheConfig{SizeBytes: *cacheBytes, LineBytes: *lineBytes, Assoc: 1}
+	if _, err := tiling3d.NewHierarchy(cfg); err != nil {
+		fmt.Println("invalid cache geometry:", err)
+		os.Exit(2)
+	}
 	cs := cfg.Elems(8)
 	boundary := int(math.Sqrt(float64(cs) / 2))
 	fmt.Printf("cache %v holds %d doubles; 3D reuse boundary at N = %d\n\n", cfg, cs, boundary)
@@ -39,7 +44,7 @@ func main() {
 	coeffs := tiling3d.DefaultCoeffs()
 	simulate := func(n int, plan tiling3d.Plan) float64 {
 		w := tiling3d.NewWorkload(tiling3d.Jacobi, n, 12, plan, coeffs)
-		h := tiling3d.NewHierarchy(cfg)
+		h := tiling3d.MustHierarchy(cfg) // vetted above
 		w.RunTrace(h)
 		h.ResetStats()
 		w.RunTrace(h)

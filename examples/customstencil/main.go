@@ -50,7 +50,7 @@ func main() {
 		plan.Tile, plan.DI, plan.DJ, plan.DI-*n, plan.DJ-*n)
 
 	mk := func(di, dj int) (*tiling3d.Grid3D, *tiling3d.Grid3D) {
-		src := tiling3d.NewGrid3DPadded(*n, *n, 30, di, dj)
+		src := tiling3d.MustGrid3DPadded(*n, *n, 30, di, dj) // dims come from the Plan
 		src.FillFunc(func(i, j, k int) float64 { return float64(i%7) - float64(j%5) + float64(k) })
 		return src.Clone(), src
 	}

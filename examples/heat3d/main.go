@@ -24,8 +24,8 @@ import (
 // Laplacian), expressed as the paper's Jacobi sweep on u into scratch
 // followed by copy-back. plan controls tiling and padding.
 func simulate(n, steps int, plan tiling3d.Plan) (*tiling3d.Grid3D, time.Duration) {
-	u := tiling3d.NewGrid3DPadded(n, n, n, plan.DI, plan.DJ)
-	scratch := tiling3d.NewGrid3DPadded(n, n, n, plan.DI, plan.DJ)
+	u := tiling3d.MustGrid3DPadded(n, n, n, plan.DI, plan.DJ)
+	scratch := tiling3d.MustGrid3DPadded(n, n, n, plan.DI, plan.DJ)
 	// One hot face (k = 0) at 100 degrees, everything else cold.
 	u.FillFunc(func(i, j, k int) float64 {
 		if k == 0 {

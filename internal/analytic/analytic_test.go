@@ -13,7 +13,7 @@ func ultra1() Machine { return FromConfig(cache.UltraSparc2L1(), 8) }
 
 func simulateJacobi(n int, plan core.Plan) float64 {
 	w := stencil.NewWorkload(stencil.Jacobi, n, 12, plan, stencil.DefaultCoeffs())
-	h := cache.NewHierarchy(cache.UltraSparc2L1())
+	h := cache.MustHierarchy(cache.UltraSparc2L1())
 	w.RunTrace(h)
 	h.ResetStats()
 	w.RunTrace(h)

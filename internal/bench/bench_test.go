@@ -73,7 +73,10 @@ func TestPaddedMethodsStableAcrossSizes(t *testing.T) {
 	opt := smallOptions()
 	opt.NMin, opt.NMax, opt.NStep = 56, 72, 4 // includes 64 = pathological for 256-elem cache
 	spread := func(m core.Method) float64 {
-		s := MissSeries(stencil.Jacobi, m, opt)
+		s, err := MissSeries(stencil.Jacobi, m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		lo, hi := s[0].L1, s[0].L1
 		for _, p := range s {
 			if p.L1 < lo {
@@ -92,7 +95,10 @@ func TestPaddedMethodsStableAcrossSizes(t *testing.T) {
 
 func TestTable3Structure(t *testing.T) {
 	opt := smallOptions()
-	rows := Table3(opt, false)
+	rows, err := Table3(opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("Table3 rows = %d", len(rows))
 	}
@@ -171,7 +177,10 @@ func TestPerfPointSane(t *testing.T) {
 func TestRenderers(t *testing.T) {
 	opt := smallOptions()
 	opt.Methods = []core.Method{core.Orig, core.MethodGcdPad}
-	miss := MissSweep(stencil.Jacobi, opt)
+	miss, err := MissSweep(stencil.Jacobi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := WriteMissSeries(&buf, stencil.Jacobi, miss, opt.Methods, opt); err != nil {
 		t.Fatal(err)
@@ -183,7 +192,10 @@ func TestRenderers(t *testing.T) {
 		}
 	}
 	buf.Reset()
-	rows := Table3(opt, false)
+	rows, err := Table3(opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := WriteTable3(&buf, rows, opt.Methods); err != nil {
 		t.Fatal(err)
 	}

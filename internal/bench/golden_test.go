@@ -46,8 +46,12 @@ func goldenOptions() Options {
 
 func TestGoldenMissSeries(t *testing.T) {
 	opt := goldenOptions()
+	miss, err := MissSweep(stencil.Jacobi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := WriteMissSeries(&buf, stencil.Jacobi, MissSweep(stencil.Jacobi, opt), opt.Methods, opt); err != nil {
+	if err := WriteMissSeries(&buf, stencil.Jacobi, miss, opt.Methods, opt); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "miss_series_jacobi", buf.Bytes())
@@ -55,8 +59,12 @@ func TestGoldenMissSeries(t *testing.T) {
 
 func TestGoldenTable3(t *testing.T) {
 	opt := goldenOptions()
+	rows, err := Table3(opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := WriteTable3(&buf, Table3(opt, false), opt.Methods); err != nil {
+	if err := WriteTable3(&buf, rows, opt.Methods); err != nil {
 		t.Fatal(err)
 	}
 	checkGolden(t, "table3_small", buf.Bytes())

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Checkpoint journal: a JSONL file recording every completed simulation
+// point so an interrupted sweep resumes where it left off. The format is
+// one header line carrying the options fingerprint, then one line per
+// completed point. Every update rewrites the whole file to a temp file
+// in the same directory and renames it over the old one, so the journal
+// on disk is always a complete, parseable snapshot no matter when the
+// process dies; the sweeps it serves are a few hundred points, so the
+// quadratic rewrite cost is noise next to the simulations it saves.
+
+const (
+	journalMagic   = "tiling3d-sweep-journal"
+	journalVersion = 1
+)
+
+type journalHeader struct {
+	Magic       string `json:"magic"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// PointKey identifies one simulation point. It deliberately carries no
+// sweep or experiment name: two experiments that simulate the same
+// (kernel, method, N) under the same options fingerprint get bit-
+// identical results, so sharing journal entries between, say, Table 3
+// and a figure sweep is correct and saves work.
+type PointKey struct {
+	Kernel string `json:"kernel"`
+	Method string `json:"method"`
+	N      int    `json:"n"`
+}
+
+func (k PointKey) String() string {
+	return fmt.Sprintf("%s/%s N=%d", k.Kernel, k.Method, k.N)
+}
+
+// PointOutcome is the journaled record of one simulation point: the
+// result, or how it failed. A Degraded outcome carries a valid result
+// computed with the steady engine disabled after the primary attempt
+// failed; Err then records why. A Failed outcome has no result.
+type PointOutcome struct {
+	Key      PointKey  `json:"key"`
+	Res      SimResult `json:"res"`
+	Degraded bool      `json:"degraded,omitempty"`
+	Failed   bool      `json:"failed,omitempty"`
+	Err      string    `json:"err,omitempty"`
+}
+
+// Journal is a checkpoint file of completed sweep points. Safe for
+// concurrent use; the sweep engine records from its worker goroutines.
+type Journal struct {
+	mu          sync.Mutex
+	path        string
+	fingerprint string
+	entries     map[PointKey]PointOutcome
+	order       []PointKey
+	writeErr    error
+	resumed     int
+}
+
+// OpenJournal opens or creates the journal at path for a sweep with the
+// given options. With resume set, an existing file is loaded first:
+// already-completed points will answer Lookup instead of re-simulating.
+// A journal written under a different options fingerprint is refused —
+// mixing results from different cache geometries or sweep settings
+// would silently corrupt tables. A missing file under resume is treated
+// as a fresh start, so resume scripts are idempotent. A torn final line
+// (interrupted write) is dropped and its point recomputed; corruption
+// anywhere else is an error.
+func OpenJournal(path string, opt Options, resume bool) (*Journal, error) {
+	j := &Journal{
+		path:        path,
+		fingerprint: opt.Fingerprint(),
+		entries:     map[PointKey]PointOutcome{},
+	}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+		j.resumed = len(j.entries)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.flushLocked(); err != nil {
+		return nil, fmt.Errorf("bench: journal %s: %w", path, err)
+	}
+	return j, nil
+}
+
+func (j *Journal) load() error {
+	data, err := os.ReadFile(j.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(string(data), "\n")
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return fmt.Errorf("bench: journal %s: corrupt header: %v", j.path, err)
+	}
+	if hdr.Magic != journalMagic || hdr.Version != journalVersion {
+		return fmt.Errorf("bench: journal %s: not a version-%d sweep journal (magic %q, version %d)",
+			j.path, journalVersion, hdr.Magic, hdr.Version)
+	}
+	if hdr.Fingerprint != j.fingerprint {
+		return fmt.Errorf("bench: journal %s was written under different sweep options (journal %q, current %q); refusing to mix results",
+			j.path, hdr.Fingerprint, j.fingerprint)
+	}
+	body := lines[1:]
+	for i, ln := range body {
+		var out PointOutcome
+		uerr := json.Unmarshal([]byte(ln), &out)
+		if uerr != nil || out.Key == (PointKey{}) {
+			if i == len(body)-1 {
+				// A torn final line means the writer died mid-write;
+				// everything before it is intact. Drop the entry — its
+				// point simply recomputes.
+				continue
+			}
+			return fmt.Errorf("bench: journal %s: corrupt entry on line %d: %v", j.path, i+2, uerr)
+		}
+		if _, ok := j.entries[out.Key]; !ok {
+			j.order = append(j.order, out.Key)
+		}
+		j.entries[out.Key] = out
+	}
+	return nil
+}
+
+// Record journals one completed point, rewriting the file atomically.
+// Write failures do not interrupt the sweep (the results in memory are
+// still good); the first one is kept and reported by WriteErr.
+func (j *Journal) Record(out PointOutcome) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[out.Key]; !ok {
+		j.order = append(j.order, out.Key)
+	}
+	j.entries[out.Key] = out
+	if err := j.flushLocked(); err != nil && j.writeErr == nil {
+		j.writeErr = fmt.Errorf("bench: journal %s: %w", j.path, err)
+	}
+}
+
+func (j *Journal) flushLocked() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(journalHeader{Magic: journalMagic, Version: journalVersion, Fingerprint: j.fingerprint}); err != nil {
+		return err
+	}
+	for _, k := range j.order {
+		if err := enc.Encode(j.entries[k]); err != nil {
+			return err
+		}
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Lookup returns the journaled outcome for key. Failed outcomes do not
+// satisfy a lookup: a resumed sweep retries points that failed rather
+// than replaying the failure.
+func (j *Journal) Lookup(key PointKey) (PointOutcome, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out, ok := j.entries[key]
+	if !ok || out.Failed {
+		return PointOutcome{}, false
+	}
+	return out, true
+}
+
+// Len returns the number of journaled points.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Resumed returns how many usable points the journal held when opened.
+func (j *Journal) Resumed() int { return j.resumed }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// WriteErr returns the first journal write failure, if any. Sweeps
+// surface it at the end so a checkpoint that silently went stale (disk
+// full, permissions) is not mistaken for a good one.
+func (j *Journal) WriteErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}

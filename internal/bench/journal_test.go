@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalOutcome(n int) PointOutcome {
+	return PointOutcome{
+		Key: PointKey{Kernel: "JACOBI", Method: "GcdPad", N: n},
+		Res: SimResult{N: n, Flops: int64(n) * 100},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40))
+	j.Record(journalOutcome(60))
+	if err := j.WriteErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Resumed() != 2 || j2.Len() != 2 {
+		t.Fatalf("resumed %d, len %d, want 2", j2.Resumed(), j2.Len())
+	}
+	got, ok := j2.Lookup(PointKey{Kernel: "JACOBI", Method: "GcdPad", N: 40})
+	if !ok || got.Res.Flops != 4000 {
+		t.Errorf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := j2.Lookup(PointKey{Kernel: "JACOBI", Method: "GcdPad", N: 99}); ok {
+		t.Error("lookup invented a point")
+	}
+}
+
+// TestJournalWithoutResumeStartsFresh: opening without resume truncates
+// whatever was there, so a deliberate re-run does not inherit stale
+// points.
+func TestJournalWithoutResumeStartsFresh(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40))
+
+	j2, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 0 || j2.Resumed() != 0 {
+		t.Errorf("fresh open kept %d entries", j2.Len())
+	}
+}
+
+// TestJournalResumeMissingFile: resume with no file is a fresh start, so
+// the same command line works for the first run and every retry.
+func TestJournalResumeMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written.journal")
+	j, err := OpenJournal(path, smallOptions(), true)
+	if err != nil {
+		t.Fatalf("resume from missing file: %v", err)
+	}
+	if j.Resumed() != 0 {
+		t.Errorf("resumed %d from nothing", j.Resumed())
+	}
+}
+
+// TestJournalTornFinalLine: a write interrupted mid-line loses only that
+// point; everything before it resumes.
+func TestJournalTornFinalLine(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40))
+	j.Record(journalOutcome(60))
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := strings.TrimRight(string(data), "\n")
+	torn = torn[:len(torn)-10] // cut into the last entry's JSON
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatalf("torn final line not recovered: %v", err)
+	}
+	if j2.Resumed() != 1 {
+		t.Errorf("resumed %d points, want 1 (torn entry dropped)", j2.Resumed())
+	}
+	if _, ok := j2.Lookup(journalOutcome(40).Key); !ok {
+		t.Error("intact entry lost with the torn one")
+	}
+}
+
+// TestJournalCorruptMiddleLine: corruption that is not a torn tail is
+// damage, not an interrupted write, and must refuse to load.
+func TestJournalCorruptMiddleLine(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40))
+	j.Record(journalOutcome(60))
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	lines[1] = `{"key":`
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, opt, true); err == nil || !strings.Contains(err.Error(), "corrupt entry") {
+		t.Errorf("corrupt middle line accepted: %v", err)
+	}
+}
+
+// TestJournalFingerprintMismatch: results simulated under different
+// options must never mix.
+func TestJournalFingerprintMismatch(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40))
+
+	other := opt
+	other.K = opt.K + 5
+	if _, err := OpenJournal(path, other, true); err == nil || !strings.Contains(err.Error(), "different sweep options") {
+		t.Errorf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+// TestJournalNotAJournal: an arbitrary file is rejected, not misparsed.
+func TestJournalNotAJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.journal")
+	if err := os.WriteFile(path, []byte("{\"hello\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path, smallOptions(), true); err == nil {
+		t.Error("non-journal file accepted")
+	}
+}
+
+// TestJournalLookupSkipsFailed: a resumed sweep retries failures instead
+// of replaying them.
+func TestJournalLookupSkipsFailed(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := PointOutcome{Key: PointKey{Kernel: "JACOBI", Method: "Pad", N: 40}, Failed: true, Err: "boom"}
+	j.Record(failed)
+	if _, ok := j.Lookup(failed.Key); ok {
+		t.Error("failed outcome satisfied a lookup")
+	}
+	// Same across a resume.
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j2.Lookup(failed.Key); ok {
+		t.Error("failed outcome satisfied a lookup after resume")
+	}
+	// A later success overwrites the failure and is served again.
+	j2.Record(journalOutcome(40))
+	ok40 := PointKey{Kernel: "JACOBI", Method: "GcdPad", N: 40}
+	if _, ok := j2.Lookup(ok40); !ok {
+		t.Error("successful outcome not served")
+	}
+}
+
+// TestJournalWriteErrSticky: a journal on a dead path keeps the sweep
+// alive and reports the first failure.
+func TestJournalWriteErrSticky(t *testing.T) {
+	opt := smallOptions()
+	dir := filepath.Join(t.TempDir(), "gone")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	j.Record(journalOutcome(40)) // must not panic or abort
+	if j.WriteErr() == nil {
+		t.Error("write failure not reported")
+	}
+	// Entries stay usable in memory even when the disk copy is stale.
+	if _, ok := j.Lookup(journalOutcome(40).Key); !ok {
+		t.Error("in-memory entry lost after write failure")
+	}
+}

@@ -7,32 +7,60 @@ import (
 )
 
 // MissPoint is one simulated measurement: miss rates (percent) on both
-// cache levels for one problem size.
+// cache levels for one problem size. A zero-valued point (N == 0; valid
+// sweeps have N >= 3) marks a cell a cancelled sweep never reached;
+// Failed marks a cell whose simulation failed after all retries.
 type MissPoint struct {
 	N      int
 	L1, L2 float64
+	Failed bool
+}
+
+// missPoint converts a sweep outcome to the miss-rate view, keeping the
+// problem size on failed cells so tables can label them.
+func (o PointOutcome) missPoint() MissPoint {
+	if o.Failed {
+		return MissPoint{N: o.Key.N, Failed: true}
+	}
+	if o.Res.N == 0 {
+		return MissPoint{}
+	}
+	return o.Res.MissPoint()
 }
 
 // MissSeries simulates the kernel under one transformation across the
 // sweep, producing the per-size curves of Figures 14, 16, 18 and 20.
 // Cells are simulated concurrently (each owns its workload and its
-// simulated caches, so results are deterministic).
-func MissSeries(k stencil.Kernel, m core.Method, opt Options) []MissPoint {
-	sizes := opt.Sizes()
-	out := make([]MissPoint, len(sizes))
-	cache.ForEach(len(sizes), opt.Workers, func(i int) {
-		out[i] = SimulatePoint(k, m, sizes[i], opt)
-	})
-	return out
+// simulated caches, so results are deterministic). On cancellation the
+// partial series is returned along with the context's error.
+func MissSeries(k stencil.Kernel, m core.Method, opt Options) ([]MissPoint, error) {
+	o := opt
+	o.Methods = []core.Method{m}
+	outs, err := simGrid(k, o)
+	pts := make([]MissPoint, len(outs))
+	for i, oc := range outs {
+		pts[i] = oc.missPoint()
+	}
+	return pts, err
 }
 
-// MissSweep runs MissSeries for every configured method.
-func MissSweep(k stencil.Kernel, opt Options) map[core.Method][]MissPoint {
-	out := make(map[core.Method][]MissPoint, len(opt.Methods))
-	for _, m := range opt.Methods {
-		out[m] = MissSeries(k, m, opt)
+// MissSweep runs the sweep for every configured method in one
+// concurrent pass.
+func MissSweep(k stencil.Kernel, opt Options) (map[core.Method][]MissPoint, error) {
+	outs, err := simGrid(k, opt)
+	if outs == nil {
+		return nil, err
 	}
-	return out
+	sizes := len(opt.Sizes())
+	out := make(map[core.Method][]MissPoint, len(opt.Methods))
+	for mi, m := range opt.Methods {
+		pts := make([]MissPoint, sizes)
+		for ni := 0; ni < sizes; ni++ {
+			pts[ni] = outs[mi*sizes+ni].missPoint()
+		}
+		out[m] = pts
+	}
+	return out, err
 }
 
 // SimResult is the raw outcome of simulating one (kernel, method, size)
@@ -88,19 +116,28 @@ func SimulatePoint(k stencil.Kernel, m core.Method, n int, opt Options) MissPoin
 }
 
 // cacheHierarchy builds the simulated memory system of an options set.
+// Geometry is vetted by Options.Validate at sweep start (and the paper
+// presets are valid by construction), so a failure here is an internal
+// invariant — and inside the sweep engine even that is isolated per
+// point.
 func cacheHierarchy(opt Options) *cache.Hierarchy {
-	return cache.NewHierarchy(opt.L1, opt.L2)
+	return cache.MustHierarchy(opt.L1, opt.L2)
 }
 
-// AverageMiss returns the mean L1 and L2 miss rates of a series.
+// AverageMiss returns the mean L1 and L2 miss rates of a series,
+// skipping failed and never-run cells.
 func AverageMiss(s []MissPoint) (l1, l2 float64) {
-	if len(s) == 0 {
-		return 0, 0
-	}
+	n := 0
 	for _, p := range s {
+		if p.Failed || p.N == 0 {
+			continue
+		}
 		l1 += p.L1
 		l2 += p.L2
+		n++
 	}
-	n := float64(len(s))
-	return l1 / n, l2 / n
+	if n == 0 {
+		return 0, 0
+	}
+	return l1 / float64(n), l2 / float64(n)
 }

@@ -67,45 +67,76 @@ func EstimatePoint(k stencil.Kernel, m core.Method, n int, opt Options, model Cy
 	return SimulateStats(k, m, n, opt).Estimate(model)
 }
 
-// EstimateSeries produces the model-estimated MFlops curve across the
-// sweep.
-func EstimateSeries(k stencil.Kernel, m core.Method, opt Options, model CycleModel) []PerfPoint {
-	out := make([]PerfPoint, 0, len(opt.Sizes()))
-	for _, n := range opt.Sizes() {
-		out = append(out, EstimatePoint(k, m, n, opt, model))
+// estPoint converts a sweep outcome to the cycle-model view, keeping the
+// problem size on failed cells so tables can label them.
+func (o PointOutcome) estPoint(model CycleModel) PerfPoint {
+	if o.Failed {
+		return PerfPoint{N: o.Key.N, Failed: true}
 	}
-	return out
+	if o.Res.N == 0 {
+		return PerfPoint{}
+	}
+	return o.Res.Estimate(model)
 }
 
-// EstimateSweep runs EstimateSeries for every configured method.
-func EstimateSweep(k stencil.Kernel, opt Options, model CycleModel) map[core.Method][]PerfPoint {
-	out := make(map[core.Method][]PerfPoint, len(opt.Methods))
-	for _, m := range opt.Methods {
-		out[m] = EstimateSeries(k, m, opt, model)
+// EstimateSeries produces the model-estimated MFlops curve across the
+// sweep. On cancellation the partial series is returned along with the
+// context's error.
+func EstimateSeries(k stencil.Kernel, m core.Method, opt Options, model CycleModel) ([]PerfPoint, error) {
+	o := opt
+	o.Methods = []core.Method{m}
+	outs, err := simGrid(k, o)
+	pts := make([]PerfPoint, len(outs))
+	for i, oc := range outs {
+		pts[i] = oc.estPoint(model)
 	}
-	return out
+	return pts, err
+}
+
+// EstimateSweep runs EstimateSeries for every configured method in one
+// concurrent pass.
+func EstimateSweep(k stencil.Kernel, opt Options, model CycleModel) (map[core.Method][]PerfPoint, error) {
+	outs, err := simGrid(k, opt)
+	if outs == nil {
+		return nil, err
+	}
+	sizes := len(opt.Sizes())
+	out := make(map[core.Method][]PerfPoint, len(opt.Methods))
+	for mi, m := range opt.Methods {
+		pts := make([]PerfPoint, sizes)
+		for ni := 0; ni < sizes; ni++ {
+			pts[ni] = outs[mi*sizes+ni].estPoint(model)
+		}
+		out[m] = pts
+	}
+	return out, err
 }
 
 // CombinedSweep produces the miss-rate curves and the cycle-model
 // performance curves for every method from a single simulation pass per
 // cell — the figures of the paper come in pairs (miss rates + MFlops)
-// over the same runs. All cells simulate concurrently.
-func CombinedSweep(k stencil.Kernel, opt Options, model CycleModel) (map[core.Method][]MissPoint, map[core.Method][]PerfPoint) {
-	sizes := opt.Sizes()
+// over the same runs. All cells simulate concurrently through the
+// resilient sweep engine, so the maps may carry failed or (after
+// cancellation, signalled by the returned error) never-run cells.
+func CombinedSweep(k stencil.Kernel, opt Options, model CycleModel) (map[core.Method][]MissPoint, map[core.Method][]PerfPoint, error) {
+	outs, err := simGrid(k, opt)
+	if outs == nil {
+		return nil, nil, err
+	}
+	sizes := len(opt.Sizes())
 	miss := make(map[core.Method][]MissPoint, len(opt.Methods))
 	perf := make(map[core.Method][]PerfPoint, len(opt.Methods))
-	for _, m := range opt.Methods {
-		miss[m] = make([]MissPoint, len(sizes))
-		perf[m] = make([]PerfPoint, len(sizes))
+	for mi, m := range opt.Methods {
+		mp := make([]MissPoint, sizes)
+		pp := make([]PerfPoint, sizes)
+		for ni := 0; ni < sizes; ni++ {
+			mp[ni] = outs[mi*sizes+ni].missPoint()
+			pp[ni] = outs[mi*sizes+ni].estPoint(model)
+		}
+		miss[m] = mp
+		perf[m] = pp
 	}
-	cache.ForEach(len(opt.Methods)*len(sizes), opt.Workers, func(idx int) {
-		m := opt.Methods[idx/len(sizes)]
-		ni := idx % len(sizes)
-		r := SimulateStats(k, m, sizes[ni], opt)
-		miss[m][ni] = r.MissPoint()
-		perf[m][ni] = r.Estimate(model)
-	})
-	return miss, perf
+	return miss, perf, err
 }
 
 // MGridEstimate is the simulated view of the Section 4.6 experiment.

@@ -6,6 +6,10 @@
 package bench
 
 import (
+	"context"
+	"fmt"
+	"time"
+
 	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
@@ -43,6 +47,112 @@ type Options struct {
 	// bit-identical either way, so the flag exists to time full
 	// simulation and as a safety valve.
 	DisableSteady bool
+
+	// Ctx, when non-nil, cancels a sweep: in-flight points drain, not-
+	// yet-started points are skipped, and the experiment returns the
+	// partial results computed so far. Nil means context.Background().
+	Ctx context.Context
+	// Journal, when non-nil, records every completed simulation point
+	// and answers lookups for already-completed ones, which is how an
+	// interrupted sweep resumes without recomputing.
+	Journal *Journal
+	// PointTimeout bounds the wall-clock time of one simulation point;
+	// zero or negative means no watchdog. An expired point enters the
+	// degradation ladder: one retry with the steady engine disabled,
+	// then marked failed.
+	PointTimeout time.Duration
+	// ParanoidEvery, when positive, cross-checks every ParanoidEvery-th
+	// simulation point's steady-engine statistics and final cache state
+	// against a full cold replay (cache.SelfCheck). A mismatch enters
+	// the degradation ladder like a panic or timeout would.
+	ParanoidEvery int
+	// InjectPanicN, when positive, makes every simulation point with
+	// that problem size panic. It exists to demonstrate and test panic
+	// isolation end to end (cmd flag -inject-panic).
+	InjectPanicN int
+
+	// pointHook, when non-nil, runs after each point completes and is
+	// journaled, with the number of points finished so far. Tests use it
+	// to cancel mid-sweep at a deterministic spot.
+	pointHook func(done int)
+	// faultInject, when non-nil, runs at the start of each point's
+	// simulation and may panic or sleep to exercise the degradation
+	// ladder (it sees the per-attempt options, so a fault can be keyed
+	// to DisableSteady being off).
+	faultInject func(o Options, m core.Method, n int)
+}
+
+// ctx returns the sweep context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// Validate checks an Options value once, up front, so a long sweep
+// cannot die hours in on input that was malformed from the start: cache
+// geometries, the size range, the method list, and the per-method
+// selection preconditions for the largest problem size.
+func (o Options) Validate() error {
+	if err := o.L1.Validate(); err != nil {
+		return fmt.Errorf("bench: L1: %w", err)
+	}
+	if o.L2 != (cache.Config{}) {
+		if err := o.L2.Validate(); err != nil {
+			return fmt.Errorf("bench: L2: %w", err)
+		}
+	}
+	if o.K < 1 {
+		return fmt.Errorf("bench: K must be >= 1, got %d", o.K)
+	}
+	if o.NMin < 3 || o.NMax < 3 {
+		return fmt.Errorf("bench: problem sizes must be >= 3, got NMin=%d NMax=%d", o.NMin, o.NMax)
+	}
+	if o.NMin > o.NMax {
+		return fmt.Errorf("bench: NMin %d exceeds NMax %d", o.NMin, o.NMax)
+	}
+	if o.NStep <= 0 {
+		return fmt.Errorf("bench: NStep must be positive, got %d", o.NStep)
+	}
+	if len(o.Methods) == 0 {
+		return fmt.Errorf("bench: no methods selected")
+	}
+	if o.Sweeps < 0 {
+		return fmt.Errorf("bench: Sweeps must be >= 0 (0 means 1), got %d", o.Sweeps)
+	}
+	if o.TargetElems < 0 {
+		return fmt.Errorf("bench: TargetElems must be >= 0, got %d", o.TargetElems)
+	}
+	if o.PointTimeout < 0 {
+		return fmt.Errorf("bench: PointTimeout must be >= 0, got %v", o.PointTimeout)
+	}
+	if o.ParanoidEvery < 0 {
+		return fmt.Errorf("bench: ParanoidEvery must be >= 0, got %d", o.ParanoidEvery)
+	}
+	for _, k := range stencil.Kernels() {
+		for _, m := range o.Methods {
+			if err := core.CheckSelect(m, o.CacheElems(), o.NMax, o.NMax, k.Spec()); err != nil {
+				return fmt.Errorf("bench: method %s: %w", m, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Fingerprint identifies the result-determining part of the options: two
+// sweeps with equal fingerprints produce bit-identical simulation
+// results for the same (kernel, method, N) point, so their journal
+// entries are interchangeable. Execution knobs (Workers, DisableSteady,
+// timeouts, paranoia) are deliberately excluded — the engine guarantees
+// identical statistics across all of them.
+func (o Options) Fingerprint() string {
+	sweeps := o.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1 // the engine treats 0 as 1; normalize so the journals match
+	}
+	return fmt.Sprintf("l1=%+v|l2=%+v|k=%d|sweeps=%d|target=%d",
+		o.L1, o.L2, o.K, sweeps, o.TargetElems)
 }
 
 // DefaultOptions returns the paper's experimental setup.
@@ -61,7 +171,10 @@ func DefaultOptions() Options {
 }
 
 // Sizes expands the sweep range into the list of N values, always
-// including NMax.
+// including NMax. Degenerate ranges are normalized rather than silently
+// mangled: NStep <= 0 behaves as 1, and NMin > NMax yields just NMax.
+// Validate rejects both, so a validated sweep never hits the
+// normalization; it exists so ad-hoc callers get a sane list.
 func (o Options) Sizes() []int {
 	step := o.NStep
 	if step <= 0 {

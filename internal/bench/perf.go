@@ -20,6 +20,10 @@ type PerfPoint struct {
 	// Median is the median-sweep MFlops of the repeats behind the
 	// measurement, 0 when the point is not a repeated native timing.
 	Median float64
+	// Failed marks a model-path cell whose simulation failed after all
+	// retries; a zero-valued point (N == 0) marks a cell a cancelled
+	// sweep never reached. Native timings never fail this way.
+	Failed bool
 }
 
 // MinMeasureTime is the minimum accumulated kernel time per measurement;
@@ -30,10 +34,15 @@ const MinMeasureTime = 30 * time.Millisecond
 // PerfSeries measures the kernel natively under one transformation across
 // the sweep, producing the per-size curves of Figures 15, 17, 19 and 21.
 // Absolute MFlops are host-dependent; the comparisons between methods are
-// the reproduced result.
+// the reproduced result. Native timings are nondeterministic, so they
+// are never journaled; cancellation simply cuts the series short (the
+// renderers print "-" for missing tail cells).
 func PerfSeries(k stencil.Kernel, m core.Method, opt Options) []PerfPoint {
 	out := make([]PerfPoint, 0, len(opt.Sizes()))
 	for _, n := range opt.Sizes() {
+		if opt.ctx().Err() != nil {
+			break
+		}
 		out = append(out, MeasurePoint(k, m, n, opt))
 	}
 	return out
@@ -77,14 +86,24 @@ func MeasurePoint(k stencil.Kernel, m core.Method, n int, opt Options) PerfPoint
 }
 
 // AveragePerfImprovement returns the mean percent improvement of opt over
-// orig, paired by problem size: mean((opt/orig - 1) * 100).
+// orig, paired by problem size: mean((opt/orig - 1) * 100). Pairs where
+// either side failed or never ran are skipped, so an isolated failure
+// does not poison the average.
 func AveragePerfImprovement(orig, opt []PerfPoint) float64 {
 	if len(orig) == 0 || len(orig) != len(opt) {
 		return 0
 	}
 	var sum float64
+	n := 0
 	for i := range orig {
+		if orig[i].Failed || opt[i].Failed || orig[i].MFlops == 0 {
+			continue
+		}
 		sum += (opt[i].MFlops/orig[i].MFlops - 1) * 100
+		n++
 	}
-	return sum / float64(len(orig))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

@@ -28,10 +28,14 @@ func WriteMissSeries(w io.Writer, k stencil.Kernel, sweep map[core.Method][]Miss
 		fmt.Fprintf(tw, "%d\t", n)
 		for _, m := range methods {
 			s := sweep[m]
-			if i < len(s) {
-				fmt.Fprintf(tw, "%.2f\t%.2f\t", s[i].L1, s[i].L2)
-			} else {
+			switch {
+			case i >= len(s) || s[i].N == 0:
+				// Never simulated: sweep was cancelled before this cell.
 				fmt.Fprint(tw, "-\t-\t")
+			case s[i].Failed:
+				fmt.Fprint(tw, "FAIL\tFAIL\t")
+			default:
+				fmt.Fprintf(tw, "%.2f\t%.2f\t", s[i].L1, s[i].L2)
 			}
 		}
 		fmt.Fprintln(tw)
@@ -57,8 +61,10 @@ func WritePerfSeries(w io.Writer, k stencil.Kernel, label string, sweep map[core
 		for _, m := range methods {
 			s := sweep[m]
 			switch {
-			case i >= len(s):
+			case i >= len(s) || s[i].N == 0:
 				fmt.Fprint(tw, "-\t")
+			case s[i].Failed:
+				fmt.Fprint(tw, "FAIL\t")
 			case s[i].Median > 0:
 				fmt.Fprintf(tw, "%.1f (%.1f)\t", s[i].MFlops, s[i].Median)
 			default:
@@ -109,6 +115,12 @@ func WriteTable3(w io.Writer, rows []Table3Row, methods []core.Method) error {
 				fmt.Fprintf(tw, "%.1f\t", metric.vals[m])
 			}
 			fmt.Fprintln(tw)
+		}
+		// Failed cells are excluded from the averages above; say so
+		// explicitly instead of letting a quietly thinner average pass
+		// for a full one.
+		for _, f := range r.Failed {
+			fmt.Fprintf(tw, "# %s: FAILED point %s (excluded from averages)\n", r.Kernel, f)
 		}
 	}
 	return tw.Flush()

@@ -43,11 +43,11 @@ func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []Asso
 		for i, a := range assocs {
 			cfg := opt.L1
 			cfg.Assoc = a
-			caches[i] = cache.New(cfg)
+			caches[i] = cache.MustNew(cfg) // capacity/line vetted upstream; assoc divides by construction
 			sinks[i] = opt.simSinkCache(caches[i])
 		}
 		replay := func() {
-			cache.ForEach(len(sinks), opt.Workers, func(i int) {
+			forEachCtx(opt, len(sinks), func(i int) {
 				rec.ReplayInto(sinks[i])
 			})
 		}

@@ -24,8 +24,11 @@ func steadyOnOff() (on, off Options) {
 func TestSteadyMissSweepIdentical(t *testing.T) {
 	on, off := steadyOnOff()
 	for _, k := range stencil.Kernels() {
-		a := MissSweep(k, on)
-		b := MissSweep(k, off)
+		a, errA := MissSweep(k, on)
+		b, errB := MissSweep(k, off)
+		if errA != nil || errB != nil {
+			t.Fatalf("MissSweep errors: %v, %v", errA, errB)
+		}
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: MissSweep differs between steady and full simulation:\nsteady: %v\nfull:   %v", k, a, b)
 		}

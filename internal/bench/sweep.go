@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// The resilient sweep engine. Every simulation-backed experiment in this
+// package (miss sweeps, cycle-model sweeps, Table 3) funnels through
+// simGrid, which layers four protections over the raw simulation:
+//
+//   - validation: Options are vetted once, up front, so a malformed
+//     sweep fails before the first point rather than hours in;
+//   - cancellation: opt.Ctx stops dispatch, drains in-flight points and
+//     returns the partial results with the context's error;
+//   - checkpointing: opt.Journal answers lookups for already-completed
+//     points and records each new one as it finishes;
+//   - isolation and degradation: a point that panics, times out, or
+//     fails the steady-engine self-check is retried once with the
+//     steady engine disabled, then marked failed — the sweep continues
+//     either way.
+
+// simGrid simulates every (method, size) point of the sweep for one
+// kernel, returning outcomes indexed [mi*len(sizes)+ni]. On
+// cancellation it returns the partial outcomes (unreached points are
+// zero-valued) together with the context's error.
+func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := opt.Sizes()
+	out := make([]PointOutcome, len(opt.Methods)*len(sizes))
+
+	type item struct {
+		slot int
+		m    core.Method
+		n    int
+	}
+	var todo []item
+	for mi, m := range opt.Methods {
+		for ni, n := range sizes {
+			slot := mi*len(sizes) + ni
+			key := PointKey{Kernel: k.String(), Method: m.String(), N: n}
+			if opt.Journal != nil {
+				if prev, ok := opt.Journal.Lookup(key); ok {
+					out[slot] = prev
+					continue
+				}
+			}
+			todo = append(todo, item{slot: slot, m: m, n: n})
+		}
+	}
+
+	var recordMu sync.Mutex
+	finished := 0
+	record := func(outc PointOutcome) {
+		// ForEachCtx serializes nothing between workers; the journal
+		// locks internally, and the hook sees a consistent counter
+		// because recordMu orders the increments.
+		recordMu.Lock()
+		if opt.Journal != nil {
+			opt.Journal.Record(outc)
+		}
+		finished++
+		n := finished
+		hook := opt.pointHook
+		recordMu.Unlock()
+		if hook != nil {
+			hook(n)
+		}
+	}
+
+	perrs, cerr := cache.ForEachCtx(opt.ctx(), len(todo), opt.Workers, func(i int) {
+		it := todo[i]
+		paranoid := opt.ParanoidEvery > 0 && i%opt.ParanoidEvery == 0
+		outc := runPoint(k, it.m, it.n, opt, paranoid)
+		out[it.slot] = outc
+		record(outc)
+	})
+	// runPoint recovers everything itself, so escaped panics mean the
+	// recovery machinery is broken; still, record them as failures
+	// rather than losing them.
+	for _, pe := range perrs {
+		it := todo[pe.Index]
+		out[it.slot] = PointOutcome{
+			Key:    PointKey{Kernel: k.String(), Method: it.m.String(), N: it.n},
+			Failed: true,
+			Err:    pe.Error(),
+		}
+	}
+	if cerr != nil {
+		return out, cerr
+	}
+	if opt.Journal != nil {
+		if werr := opt.Journal.WriteErr(); werr != nil {
+			return out, werr
+		}
+	}
+	return out, nil
+}
+
+// forEachCtx is the cancellation-aware fan-out for the small experiments
+// (associativity, 2D, tile search) that manage their own result slices:
+// cancellation stops dispatch and leaves unreached slots zero-valued,
+// while a panic propagates like cache.ForEach would — these experiments
+// have no per-point retry ladder.
+func forEachCtx(opt Options, n int, fn func(i int)) {
+	perrs, _ := cache.ForEachCtx(opt.ctx(), n, opt.Workers, fn)
+	if len(perrs) > 0 {
+		panic(perrs[0])
+	}
+}
+
+// runPoint simulates one point through the degradation ladder: a guarded
+// attempt with the configured engine; on failure (panic, watchdog
+// timeout, self-check mismatch) one retry with the steady engine
+// disabled; then failure. A point that only succeeds on the fallback is
+// marked Degraded and keeps the primary error in Err.
+func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) PointOutcome {
+	key := PointKey{Kernel: k.String(), Method: m.String(), N: n}
+	res, err := simGuarded(k, m, n, opt, paranoid)
+	if err == nil {
+		return PointOutcome{Key: key, Res: res}
+	}
+	if !opt.DisableSteady {
+		retry := opt
+		retry.DisableSteady = true
+		res2, err2 := simGuarded(k, m, n, retry, false)
+		if err2 == nil {
+			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}
+		}
+		return PointOutcome{Key: key, Failed: true,
+			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}
+	}
+	return PointOutcome{Key: key, Failed: true, Err: err.Error()}
+}
+
+// simGuarded runs one simulation attempt under the watchdog. Go cannot
+// kill a goroutine, so on timeout the simulation goroutine is abandoned
+// to finish (and be discarded) in the background — the sweep moves on,
+// which is the whole point of the watchdog.
+func simGuarded(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) (SimResult, error) {
+	if opt.PointTimeout <= 0 {
+		return simAttempt(k, m, n, opt, paranoid)
+	}
+	type resErr struct {
+		res SimResult
+		err error
+	}
+	ch := make(chan resErr, 1)
+	go func() {
+		var re resErr
+		re.res, re.err = simAttempt(k, m, n, opt, paranoid)
+		ch <- re
+	}()
+	timer := time.NewTimer(opt.PointTimeout)
+	defer timer.Stop()
+	select {
+	case re := <-ch:
+		return re.res, re.err
+	case <-timer.C:
+		return SimResult{}, fmt.Errorf("bench: point %s/%s N=%d exceeded -point-timeout %v",
+			k, m, n, opt.PointTimeout)
+	}
+}
+
+// simAttempt runs one simulation attempt with panic isolation: any
+// panic in the kernel walkers, the selection code, or the simulator
+// comes back as an error carrying the stack, feeding the ladder instead
+// of killing the process.
+func simAttempt(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) (res SimResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("bench: point %s/%s N=%d panicked: %v\n%s", k, m, n, rec, debug.Stack())
+		}
+	}()
+	if opt.InjectPanicN > 0 && n == opt.InjectPanicN {
+		panic(fmt.Sprintf("injected fault at N=%d (-inject-panic)", n))
+	}
+	if opt.faultInject != nil {
+		opt.faultInject(opt, m, n)
+	}
+	if paranoid && !opt.DisableSteady {
+		return simParanoid(k, m, n, opt)
+	}
+	return SimulateStats(k, m, n, opt), nil
+}
+
+// simParanoid is SimulateStats with the steady engine under cross-
+// examination: the same trace replays through a full-simulation shadow
+// hierarchy, and statistics plus final cache state must match exactly.
+// It costs a full extra simulation, which is why ParanoidEvery samples
+// it rather than applying it everywhere.
+func simParanoid(k stencil.Kernel, m core.Method, n int, opt Options) (SimResult, error) {
+	plan := opt.Plan(k, m, n)
+	w := stencil.NewTraceWorkload(k, n, opt.K, plan)
+	h := cacheHierarchy(opt)
+	sc := cache.NewSelfCheck(h)
+	sweeps := opt.Sweeps
+	if sweeps <= 0 {
+		sweeps = 1
+	}
+	w.ReplayTrace(sc)
+	sc.ResetStats()
+	for s := 0; s < sweeps; s++ {
+		w.ReplayTrace(sc)
+	}
+	if err := sc.Check(); err != nil {
+		return SimResult{}, fmt.Errorf("bench: point %s/%s N=%d: %w", k, m, n, err)
+	}
+	return SimResult{
+		N:     n,
+		L1:    h.Level(0).Stats(),
+		L2:    h.Level(1).Stats(),
+		Flops: w.Flops() * int64(sweeps),
+	}, nil
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
 )
@@ -22,20 +24,29 @@ type Table3Row struct {
 	EstImp map[core.Method]float64
 	L1Imp  map[core.Method]float64
 	L2Imp  map[core.Method]float64
+	// Failed lists the simulation points that failed after all retries
+	// ("Euc3D N=232: ..."); their cells are excluded from the averages
+	// and the renderer reports them explicitly.
+	Failed []string
 }
 
 // Table3 regenerates the full Table 3: simulation averages and native
 // performance averages over the sweep. withPerf=false skips the (slower,
-// host-dependent) wall-clock part, leaving PerfImp nil.
-func Table3(opt Options, withPerf bool) []Table3Row {
+// host-dependent) wall-clock part, leaving PerfImp nil. On cancellation
+// the rows completed so far are returned with the context's error.
+func Table3(opt Options, withPerf bool) ([]Table3Row, error) {
 	rows := make([]Table3Row, 0, 3)
 	for _, k := range stencil.Kernels() {
-		rows = append(rows, table3Row(k, opt, withPerf))
+		row, err := table3Row(k, opt, withPerf)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
-func table3Row(k stencil.Kernel, opt Options, withPerf bool) Table3Row {
+func table3Row(k stencil.Kernel, opt Options, withPerf bool) (Table3Row, error) {
 	row := Table3Row{
 		Kernel: k,
 		EstImp: map[core.Method]float64{},
@@ -47,7 +58,11 @@ func table3Row(k stencil.Kernel, opt Options, withPerf bool) Table3Row {
 	// methods. Orig is simulated even if absent from opt.Methods.
 	simOpt := opt
 	simOpt.Methods = append([]core.Method{core.Orig}, withoutOrig(opt.Methods)...)
-	miss, est := CombinedSweep(k, simOpt, model)
+	miss, est, err := CombinedSweep(k, simOpt, model)
+	if err != nil {
+		return row, err
+	}
+	row.Failed = failedCells(miss, simOpt.Methods)
 	row.OrigL1, row.OrigL2 = AverageMiss(miss[core.Orig])
 
 	var origPerf []PerfPoint
@@ -69,7 +84,21 @@ func table3Row(k stencil.Kernel, opt Options, withPerf bool) Table3Row {
 			row.PerfImp[m] = AveragePerfImprovement(origPerf, PerfSeries(k, m, opt))
 		}
 	}
-	return row
+	return row, nil
+}
+
+// failedCells collects human-readable labels for the failed cells of a
+// sweep, in method-major order.
+func failedCells(miss map[core.Method][]MissPoint, methods []core.Method) []string {
+	var out []string
+	for _, m := range methods {
+		for _, p := range miss[m] {
+			if p.Failed {
+				out = append(out, fmt.Sprintf("%s N=%d", m, p.N))
+			}
+		}
+	}
+	return out
 }
 
 func withoutOrig(ms []core.Method) []core.Method {

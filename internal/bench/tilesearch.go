@@ -3,7 +3,6 @@ package bench
 import (
 	"sort"
 
-	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/stencil"
 )
@@ -50,7 +49,7 @@ func ExhaustiveTileSearch(k stencil.Kernel, n int, opt Options) (cands []TileCan
 		return order[a].TJ < order[b].TJ
 	})
 	cands = make([]TileCandidate, len(order))
-	cache.ForEach(len(order), opt.Workers, func(i int) {
+	forEachCtx(opt, len(order), func(i int) {
 		t := order[i]
 		plan := core.Plan{Tile: t, DI: n, DJ: n, Tiled: true}
 		w := stencil.NewTraceWorkload(k, n, opt.K, plan)

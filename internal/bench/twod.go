@@ -25,13 +25,13 @@ type TwoDPoint struct {
 func TwoDSeries(sizes []int, l1 cache.Config, opt Options) []TwoDPoint {
 	cs := l1.Elems(grid.ElemSize)
 	out := make([]TwoDPoint, len(sizes))
-	cache.ForEach(len(sizes), opt.Workers, func(i int) {
+	forEachCtx(opt, len(sizes), func(i int) {
 		n := sizes[i]
 		run := func(tiled bool) float64 {
 			arena := grid.NewArena()
 			a := arena.Place2D(grid.New2D(n, n))
 			b := arena.Place2D(grid.New2D(n, n))
-			h := cache.NewHierarchy(l1)
+			h := cache.MustHierarchy(l1)
 			sink := opt.simSink(h)
 			trace := func() {
 				if tiled {

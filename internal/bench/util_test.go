@@ -12,10 +12,16 @@ import (
 func TestWorkersDoNotChangeResults(t *testing.T) {
 	opt := smallOptions()
 	opt.Workers = 1
-	serial := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+	serial, err := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, w := range []int{0, 2, 7} {
 		opt.Workers = w
-		got := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+		got, err := MissSeries(stencil.Jacobi, core.MethodGcdPad, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(serial) {
 			t.Fatalf("workers=%d: %d points, serial %d", w, len(got), len(serial))
 		}
@@ -42,12 +48,21 @@ func TestAveragePerfImprovement(t *testing.T) {
 }
 
 func TestAverageMiss(t *testing.T) {
-	l1, l2 := AverageMiss([]MissPoint{{L1: 10, L2: 2}, {L1: 30, L2: 4}})
+	l1, l2 := AverageMiss([]MissPoint{{N: 10, L1: 10, L2: 2}, {N: 20, L1: 30, L2: 4}})
 	if l1 != 20 || l2 != 3 {
 		t.Errorf("averages = %g, %g", l1, l2)
 	}
 	if l1, l2 := AverageMiss(nil); l1 != 0 || l2 != 0 {
 		t.Error("empty averages nonzero")
+	}
+	// Failed and never-run (N == 0) points are excluded from the average.
+	l1, l2 = AverageMiss([]MissPoint{
+		{N: 10, L1: 10, L2: 2},
+		{N: 20, L1: 99, L2: 99, Failed: true},
+		{L1: 99, L2: 99}, // cancelled before it ran
+	})
+	if l1 != 10 || l2 != 2 {
+		t.Errorf("averages with failures = %g, %g", l1, l2)
 	}
 }
 
@@ -64,7 +79,10 @@ func TestOptionsPlanRespectsTarget(t *testing.T) {
 func TestCombinedSweepConsistentWithPointwise(t *testing.T) {
 	opt := smallOptions()
 	opt.Methods = []core.Method{core.Orig, core.MethodGcdPad}
-	miss, est := CombinedSweep(stencil.Jacobi, opt, UltraSparc2Model())
+	miss, est, err := CombinedSweep(stencil.Jacobi, opt, UltraSparc2Model())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, m := range opt.Methods {
 		for i, n := range opt.Sizes() {
 			want := SimulatePoint(stencil.Jacobi, m, n, opt)

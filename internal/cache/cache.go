@@ -52,15 +52,26 @@ func (c Config) Sets() int {
 // the paper's algorithms work in (C_s). A 16KB cache holds 2048 doubles.
 func (c Config) Elems(elemSize int) int { return c.SizeBytes / elemSize }
 
-func (c Config) validate() error {
+// Validate checks the geometry: positive capacity and line size, a
+// power-of-two line size that divides the capacity, and an associativity
+// that divides the line count. Experiment harnesses call it once up
+// front so bad flag values surface as errors rather than panics deep in
+// a sweep.
+func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.LineBytes <= 0 {
-		return fmt.Errorf("cache: non-positive geometry %+v", c)
+		return fmt.Errorf("cache: non-positive geometry (size %dB, line %dB)", c.SizeBytes, c.LineBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %dB is not a power of two", c.LineBytes)
 	}
 	if c.SizeBytes%c.LineBytes != 0 {
 		return fmt.Errorf("cache: line size %d does not divide capacity %d", c.LineBytes, c.SizeBytes)
 	}
+	if c.Assoc < 0 {
+		return fmt.Errorf("cache: negative associativity %d", c.Assoc)
+	}
 	a := c.Assoc
-	if a <= 0 {
+	if a == 0 {
 		a = 1
 	}
 	if c.Lines()%a != 0 {
@@ -180,12 +191,12 @@ type Cache struct {
 	self [1]*Cache
 }
 
-// New builds a cache level. It panics on an invalid geometry, which is a
-// programming error in the experiment setup rather than a runtime
-// condition.
-func New(cfg Config) *Cache {
-	if err := cfg.validate(); err != nil {
-		panic(err)
+// New builds a cache level, returning an error for an invalid geometry
+// (see Config.Validate). Use MustNew for geometries known good by
+// construction.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	assoc := cfg.Assoc
 	if assoc <= 0 {
@@ -199,9 +210,6 @@ func New(cfg Config) *Cache {
 	for s := cfg.LineBytes; s > 1; s >>= 1 {
 		c.lineShift++
 	}
-	if 1<<c.lineShift != cfg.LineBytes {
-		panic(fmt.Sprintf("cache: line size %d is not a power of two", cfg.LineBytes))
-	}
 	if c.sets&(c.sets-1) == 0 {
 		c.pow2 = true
 		c.setMask = int64(c.sets - 1)
@@ -212,6 +220,18 @@ func New(cfg Config) *Cache {
 		c.stamp = make([]uint64, c.sets*assoc)
 	}
 	c.Reset()
+	return c, nil
+}
+
+// MustNew builds a cache level and panics on an invalid geometry. It is
+// the constructor for configurations that are valid by construction
+// (the paper's fixed machines, geometries already vetted by
+// Config.Validate); code handling external input should use New.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 

@@ -27,7 +27,7 @@ func TestConfigGeometry(t *testing.T) {
 }
 
 func TestDirectMappedConflicts(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}) // 32 sets
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}) // 32 sets
 	if c.Load(0) {
 		t.Error("cold load hit")
 	}
@@ -49,7 +49,7 @@ func TestDirectMappedConflicts(t *testing.T) {
 }
 
 func TestDirectMappedEviction(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
 	c.Load(64)   // set 2
 	c.Load(1088) // set 2, evicts
 	if c.Contains(64) {
@@ -62,7 +62,7 @@ func TestDirectMappedEviction(t *testing.T) {
 
 func TestSetAssociativeLRU(t *testing.T) {
 	// 2 sets, 2-way: lines 0, 2, 4 (even lines) all map to set 0.
-	c := New(Config{SizeBytes: 128, LineBytes: 32, Assoc: 2})
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 32, Assoc: 2})
 	c.Load(0)      // set 0, way A
 	c.Load(2 * 32) // set 0, way B
 	c.Load(0)      // refresh 0's LRU stamp
@@ -80,7 +80,7 @@ func TestSetAssociativeLRU(t *testing.T) {
 
 func TestFullyAssociative(t *testing.T) {
 	cfg := Config{SizeBytes: 256, LineBytes: 32, Assoc: 8} // 8 lines, 1 set
-	c := New(cfg)
+	c := MustNew(cfg)
 	for i := 0; i < 8; i++ {
 		c.Load(int64(i * 32))
 	}
@@ -96,7 +96,7 @@ func TestFullyAssociative(t *testing.T) {
 }
 
 func TestWriteAround(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
 	if c.Store(0) {
 		t.Error("cold store hit")
 	}
@@ -114,7 +114,7 @@ func TestWriteAround(t *testing.T) {
 }
 
 func TestWriteAllocate(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1, WriteAllocate: true})
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1, WriteAllocate: true})
 	c.Store(0)
 	if !c.Contains(0) {
 		t.Error("write-allocate store did not allocate")
@@ -125,7 +125,7 @@ func TestWriteAllocate(t *testing.T) {
 }
 
 func TestWritebackAccounting(t *testing.T) {
-	c := New(Config{SizeBytes: 64, LineBytes: 32, Assoc: 1, WriteAllocate: true}) // 2 sets
+	c := MustNew(Config{SizeBytes: 64, LineBytes: 32, Assoc: 1, WriteAllocate: true}) // 2 sets
 	c.Store(0)                                                                    // set 0, allocated dirty
 	if c.Stats().Writebacks != 0 {
 		t.Error("allocation counted as writeback")
@@ -151,7 +151,7 @@ func TestWritebackAccounting(t *testing.T) {
 }
 
 func TestWriteAroundNeverWritesBack(t *testing.T) {
-	c := New(Config{SizeBytes: 64, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 64, LineBytes: 32, Assoc: 1})
 	c.Load(0)
 	c.Store(0)
 	c.Load(64) // evicts
@@ -161,7 +161,7 @@ func TestWriteAroundNeverWritesBack(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
 	for i := 0; i < 100; i++ {
 		c.Load(int64(i) * 8)
 	}
@@ -193,7 +193,7 @@ func TestAssociativityReferenceModel(t *testing.T) {
 	}
 	for _, assoc := range []int{1, 2, 4} {
 		cfg := Config{SizeBytes: 2048, LineBytes: 32, Assoc: assoc}
-		c := New(cfg)
+		c := MustNew(cfg)
 		ref := refCache{assoc: assoc, sets: cfg.Sets(), line: 32}
 		ref.sets_ = make([]map[int64]int, ref.sets)
 		for i := range ref.sets_ {
@@ -229,7 +229,7 @@ func TestAssociativityReferenceModel(t *testing.T) {
 }
 
 func TestHierarchyInclusionTraffic(t *testing.T) {
-	h := NewHierarchy(
+	h := MustHierarchy(
 		Config{SizeBytes: 512, LineBytes: 32, Assoc: 1},
 		Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1},
 	)
@@ -254,7 +254,7 @@ func TestCapacityOnlyWorkingSetFits(t *testing.T) {
 	// A working set that fits exactly sees only cold misses on repeat
 	// sweeps — for a direct-mapped cache and contiguous addresses there
 	// are no conflicts.
-	c := New(Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 4096, LineBytes: 32, Assoc: 1})
 	sweep := func() {
 		for a := int64(0); a < 4096; a += 8 {
 			c.Load(a)
@@ -270,7 +270,7 @@ func TestCapacityOnlyWorkingSetFits(t *testing.T) {
 
 func TestNonPow2Sets(t *testing.T) {
 	// 3-line cache: modulo indexing must be used and stay correct.
-	c := New(Config{SizeBytes: 96, LineBytes: 32, Assoc: 1})
+	c := MustNew(Config{SizeBytes: 96, LineBytes: 32, Assoc: 1})
 	c.Load(0)  // set 0
 	c.Load(32) // set 1
 	c.Load(64) // set 2
@@ -285,7 +285,7 @@ func TestNonPow2Sets(t *testing.T) {
 
 func TestOccupancyQuick(t *testing.T) {
 	f := func(addrs []uint16) bool {
-		c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+		c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
 		for _, a := range addrs {
 			c.Load(int64(a))
 		}
@@ -298,7 +298,7 @@ func TestOccupancyQuick(t *testing.T) {
 }
 
 func TestNextLinePrefetch(t *testing.T) {
-	c := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1, NextLinePrefetch: true})
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1, NextLinePrefetch: true})
 	if c.Load(0) {
 		t.Error("cold load hit")
 	}
@@ -332,8 +332,8 @@ func TestNextLinePrefetch(t *testing.T) {
 }
 
 func TestFanoutDeliversToAllSinks(t *testing.T) {
-	c1 := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
-	c2 := New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 4})
+	c1 := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1})
+	c2 := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 4})
 	var rec Recorder
 	f := NewFanout(probe{c1}, probe{c2}, &rec)
 	f.Load(0)
@@ -365,10 +365,10 @@ func TestInvalidConfigs(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("New(%+v) did not panic", cfg)
+					t.Errorf("MustNew(%+v) did not panic", cfg)
 				}
 			}()
-			New(cfg)
+			MustNew(cfg)
 		}()
 	}
 }

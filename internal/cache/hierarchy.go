@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Memory is the interface trace walkers drive: a sink for the load/store
 // address stream of a kernel. Byte addresses.
 type Memory interface {
@@ -17,11 +19,27 @@ type Hierarchy struct {
 	memo replayMemo
 }
 
-// NewHierarchy builds a hierarchy from level configurations, L1 first.
-func NewHierarchy(cfgs ...Config) *Hierarchy {
+// NewHierarchy builds a hierarchy from level configurations, L1 first,
+// returning an error when any level's geometry is invalid. Use
+// MustHierarchy for configurations known good by construction.
+func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
 	h := &Hierarchy{}
-	for _, cfg := range cfgs {
-		h.levels = append(h.levels, New(cfg))
+	for i, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i+1, err)
+		}
+		h.levels = append(h.levels, c)
+	}
+	return h, nil
+}
+
+// MustHierarchy builds a hierarchy and panics on an invalid level
+// geometry; for pre-validated configurations.
+func MustHierarchy(cfgs ...Config) *Hierarchy {
+	h, err := NewHierarchy(cfgs...)
+	if err != nil {
+		panic(err)
 	}
 	return h
 }
@@ -30,7 +48,7 @@ func NewHierarchy(cfgs ...Config) *Hierarchy {
 // direct-mapped L1 (32B lines) and 2MB direct-mapped L2 (64B lines), both
 // write-around.
 func UltraSparc2() *Hierarchy {
-	return NewHierarchy(UltraSparc2L1(), UltraSparc2L2())
+	return MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
 }
 
 // Levels returns the cache levels, L1 first.

@@ -95,8 +95,8 @@ func TestReplayRunsMatchesPerAccess(t *testing.T) {
 	for name, cfgs := range replayConfigs() {
 		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(42))
-			want := NewHierarchy(cfgs...)
-			got := NewHierarchy(cfgs...)
+			want := MustHierarchy(cfgs...)
+			got := MustHierarchy(cfgs...)
 			for trial := 0; trial < 40; trial++ {
 				runs := randRuns(rng, 15)
 				ExpandRuns(runs, want) // per-access reference path
@@ -133,7 +133,7 @@ func TestReplayRunsSingleLevel(t *testing.T) {
 		{SizeBytes: 1536, LineBytes: 32},
 	} {
 		rng := rand.New(rand.NewSource(7))
-		want, got := New(cfg), New(cfg)
+		want, got := MustNew(cfg), MustNew(cfg)
 		for trial := 0; trial < 30; trial++ {
 			runs := randRuns(rng, 10)
 			ExpandRuns(runs, perAccessCache{want})
@@ -167,7 +167,7 @@ func TestReplayRunsGroupShapes(t *testing.T) {
 		{Base: 300, Stride: 8, Count: 1, Cont: true}, // count differs: own group
 	}
 	cfgs := []Config{{SizeBytes: 256, LineBytes: 32}, {SizeBytes: 1024, LineBytes: 64, WriteAllocate: true}}
-	want, got := NewHierarchy(cfgs...), NewHierarchy(cfgs...)
+	want, got := MustHierarchy(cfgs...), MustHierarchy(cfgs...)
 	ExpandRuns(runs, want)
 	got.ReplayRuns(runs)
 	checkSameState(t, "group shapes", want.levels, got.levels)
@@ -190,7 +190,7 @@ func TestReplayPhasedComponents(t *testing.T) {
 		{Base: 19431944, Stride: 8, Count: 254},
 		{Base: 20056328, Stride: 8, Count: 254, Cont: true},
 	}
-	h := NewHierarchy(UltraSparc2L1(), UltraSparc2L2())
+	h := MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
 	env := replayEnv{lbFine: 32, lbCoarse: 64, clusterOK: true, ladderOK: true}
 	var order, start [maxGroup + 1]int32
 	var kind [maxGroup]compKind
@@ -207,8 +207,8 @@ func TestReplayPhasedComponents(t *testing.T) {
 	// Differential: the phased replay must match per-access exactly,
 	// including across repeated sweeps that start from the previous
 	// sweep's surviving state.
-	want := NewHierarchy(UltraSparc2L1(), UltraSparc2L2())
-	got := NewHierarchy(UltraSparc2L1(), UltraSparc2L2())
+	want := MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
+	got := MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
 	for pass := 0; pass < 3; pass++ {
 		ExpandRuns(g, want)
 		got.ReplayRuns(g)
@@ -222,8 +222,8 @@ func TestReplayPhasedComponents(t *testing.T) {
 	for name, cfgs := range replayConfigs() {
 		t.Run(name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(99))
-			want := NewHierarchy(cfgs...)
-			got := NewHierarchy(cfgs...)
+			want := MustHierarchy(cfgs...)
+			got := MustHierarchy(cfgs...)
 			strides := []int64{8, 16, -8, 64}
 			for trial := 0; trial < 60; trial++ {
 				stride := strides[rng.Intn(len(strides))]
@@ -289,7 +289,7 @@ func TestReplayMemoKeyIncludesAlignmentAndCount(t *testing.T) {
 	}
 	for name, groups := range scenarios {
 		t.Run(name, func(t *testing.T) {
-			want, got := NewHierarchy(cfgs...), NewHierarchy(cfgs...)
+			want, got := MustHierarchy(cfgs...), MustHierarchy(cfgs...)
 			for _, g := range groups {
 				ExpandRuns(g, want)
 				got.ReplayRuns(g)
@@ -303,7 +303,7 @@ func TestReplayMemoKeyIncludesAlignmentAndCount(t *testing.T) {
 // same-index-only comparison would miss: two runs whose line intervals
 // overlap modulo the set count only at different lockstep indices.
 func TestRunsMayShareSet(t *testing.T) {
-	c := New(Config{SizeBytes: 256, LineBytes: 32}) // 8 sets
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 32}) // 8 sets
 	levels := []*Cache{c}
 	a := Run{Base: 0, Stride: 8, Count: 20}    // lines 0..4
 	b := Run{Base: 1184, Stride: 8, Count: 20} // lines 37..41 ≡ 5..1 (mod 8): wraps onto a
@@ -323,9 +323,9 @@ func TestParallelReplayDeterministic(t *testing.T) {
 		sinks := make([]RunSink, 16)
 		for i := range sinks {
 			if i%2 == 0 {
-				sinks[i] = NewHierarchy(UltraSparc2L1(), UltraSparc2L2())
+				sinks[i] = MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
 			} else {
-				sinks[i] = New(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
+				sinks[i] = MustNew(Config{SizeBytes: 1024, LineBytes: 32, Assoc: 2})
 			}
 		}
 		return sinks

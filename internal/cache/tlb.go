@@ -32,9 +32,11 @@ type MemoryWithTLB struct {
 	buf []Run
 }
 
-// NewMemoryWithTLB builds the combined model.
+// NewMemoryWithTLB builds the combined model. The TLB geometry must be
+// valid (TLB() produces valid ones by construction); invalid geometry
+// panics like MustNew.
 func NewMemoryWithTLB(h *Hierarchy, tlb Config) *MemoryWithTLB {
-	return &MemoryWithTLB{Caches: h, TLB: New(tlb)}
+	return &MemoryWithTLB{Caches: h, TLB: MustNew(tlb)}
 }
 
 // Load replays a read through the TLB and the cache hierarchy.

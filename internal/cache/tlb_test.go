@@ -10,7 +10,7 @@ func TestTLBGeometry(t *testing.T) {
 }
 
 func TestTLBReachAndEviction(t *testing.T) {
-	tlb := New(TLB(4, 4096))
+	tlb := MustNew(TLB(4, 4096))
 	// Touch 4 pages: all resident.
 	for p := 0; p < 4; p++ {
 		tlb.Load(int64(p * 4096))
@@ -32,7 +32,7 @@ func TestTLBReachAndEviction(t *testing.T) {
 }
 
 func TestMemoryWithTLBAccounting(t *testing.T) {
-	m := NewMemoryWithTLB(NewHierarchy(UltraSparc2L1()), TLB(2, 4096))
+	m := NewMemoryWithTLB(MustHierarchy(UltraSparc2L1()), TLB(2, 4096))
 	m.Load(0)
 	m.Store(8192)
 	m.Load(4096) // evicts page 0 in a 2-entry TLB? LRU is page 0
@@ -56,7 +56,7 @@ func TestMemoryWithTLBAccounting(t *testing.T) {
 func TestTLBPrefersTallTiles(t *testing.T) {
 	const n = 512 // column of 512 doubles = 4KB = one page
 	pages := func(ti, tj int) uint64 {
-		tlb := New(TLB(8, 4096))
+		tlb := MustNew(TLB(8, 4096))
 		// Sweep the tile's columns across 30 planes, as the K loop does.
 		for k := 0; k < 30; k++ {
 			for j := 0; j < tj; j++ {

@@ -22,9 +22,21 @@ type Stencil struct {
 	Depth int
 }
 
-func (s Stencil) validate() {
+// Validate checks the stencil spec: non-negative trims and a positive
+// array-tile depth.
+func (s Stencil) Validate() error {
 	if s.TrimI < 0 || s.TrimJ < 0 || s.Depth < 1 {
-		panic(fmt.Sprintf("core: invalid stencil %+v", s))
+		return fmt.Errorf("core: invalid stencil %+v (trims must be >= 0, depth >= 1)", s)
+	}
+	return nil
+}
+
+// validate is the internal-invariant form: the selection algorithms call
+// it on specs that SelectChecked (or the kernels' fixed specs) have
+// already vetted, so a failure here is a programming error.
+func (s Stencil) validate() {
+	if err := s.Validate(); err != nil {
+		panic(err)
 	}
 }
 

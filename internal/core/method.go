@@ -71,10 +71,83 @@ func ParseMethod(s string) (Method, error) {
 	return Orig, fmt.Errorf("core: unknown method %q", s)
 }
 
+// maxSelectExtent bounds the cache size (elements) and array dimensions
+// SelectChecked accepts: 1<<28 doubles is 2GB, far beyond the paper's
+// machines and large enough for any realistic sweep, while keeping the
+// selection algorithms' enumeration costs bounded.
+const maxSelectExtent = 1 << 28
+
+// CheckSelect validates the inputs of Select: a positive, bounded cache
+// size and array dimensions, a well-formed stencil, a known method, and
+// the per-method preconditions (the GCD-padding family needs a
+// power-of-two cache size at least as deep as the stencil). It is the
+// validation behind SelectChecked, exposed so harnesses can vet inputs
+// once up front.
+func CheckSelect(m Method, cs, di, dj int, st Stencil) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	if cs <= 0 || di <= 0 || dj <= 0 {
+		return fmt.Errorf("core: non-positive selection inputs (cs=%d, di=%d, dj=%d)", cs, di, dj)
+	}
+	if cs > maxSelectExtent || di > maxSelectExtent || dj > maxSelectExtent {
+		return fmt.Errorf("core: selection inputs exceed supported extent %d (cs=%d, di=%d, dj=%d)",
+			maxSelectExtent, cs, di, dj)
+	}
+	known := false
+	for _, k := range AllMethods() {
+		if m == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown method %d", int(m))
+	}
+	if m == MethodGcdPad || m == MethodGcdPadNT || m == MethodPad {
+		// Pad bounds its search with GcdPad, so the whole family shares
+		// GcdPad's preconditions.
+		if cs&(cs-1) != 0 {
+			return fmt.Errorf("core: %s requires a power-of-two cache size in elements, got %d", m, cs)
+		}
+		// GcdPad keeps a power-of-two number of planes cached, at least 4
+		// (Section 3.4.1); that rounded-up depth is what must fit.
+		tk := 4
+		for tk < st.Depth {
+			tk <<= 1
+		}
+		if tk > cs {
+			return fmt.Errorf("core: stencil depth %d needs %d cached planes, exceeding cache size %d", st.Depth, tk, cs)
+		}
+		if m == MethodGcdPad {
+			// GcdPad's array tile is fixed by the cache size; a stencil
+			// whose trims consume it leaves no iteration tile at all.
+			// (Pad degrades to an untiled plan in that case instead.)
+			if t := GcdPadArrayTile(cs, st).Trim(st); t.TI < 1 || t.TJ < 1 {
+				return fmt.Errorf("core: stencil trims (%d, %d) exceed %s's array tile for cache size %d",
+					st.TrimI, st.TrimJ, m, cs)
+			}
+		}
+	}
+	return nil
+}
+
+// SelectChecked validates its inputs (see CheckSelect) and then runs the
+// selection. It never panics: every input-dependent failure comes back
+// as an error, which is what the CLI tools and the fuzzers need.
+func SelectChecked(m Method, cs, di, dj int, st Stencil) (Plan, error) {
+	if err := CheckSelect(m, cs, di, dj, st); err != nil {
+		return Plan{}, err
+	}
+	return Select(m, cs, di, dj, st), nil
+}
+
 // Select runs method m for an array with lower dimensions (di, dj) and a
 // direct-mapped cache of cs elements, returning the tile and padded
 // dimensions to use. This is the single entry point the kernels, the
-// transformation engine, and the experiment harness share.
+// transformation engine, and the experiment harness share. Inputs are
+// assumed pre-validated (CheckSelect); unvetted input belongs in
+// SelectChecked.
 func Select(m Method, cs, di, dj int, st Stencil) Plan {
 	switch m {
 	case Orig:

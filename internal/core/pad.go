@@ -29,6 +29,11 @@ func Pad(cs, di, dj int, st Stencil) Plan {
 		}
 	}
 	// Unreachable when GcdPad's invariant holds; fall back to GcdPad so
-	// callers always get a working plan.
-	return g
+	// callers always get a working plan. When even GcdPad's tile is
+	// degenerate (stencil trims exceed its fixed array tile), no valid
+	// tile exists at any pad — run untiled, as a compiler would.
+	if g.Tile.Valid() {
+		return g
+	}
+	return Plan{DI: di, DJ: dj}
 }

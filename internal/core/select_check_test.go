@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckSelectErrors(t *testing.T) {
+	good := Jacobi6pt()
+	cases := []struct {
+		name string
+		m    Method
+		cs   int
+		di   int
+		dj   int
+		st   Stencil
+		want string // substring of the error
+	}{
+		{"invalid stencil", MethodPad, 2048, 300, 300, Stencil{Depth: 0}, "invalid stencil"},
+		{"zero cache", MethodPad, 0, 300, 300, good, "non-positive"},
+		{"negative dim", MethodPad, 2048, -1, 300, good, "non-positive"},
+		{"oversized dim", MethodPad, 2048, 1 << 29, 300, good, "exceed"},
+		{"unknown method", Method(99), 2048, 300, 300, good, "unknown method"},
+		{"GcdPad non-pow2 cache", MethodGcdPad, 2000, 300, 300, good, "power-of-two"},
+		{"GcdPadNT non-pow2 cache", MethodGcdPadNT, 2000, 300, 300, good, "power-of-two"},
+		{"GcdPad depth exceeds cache", MethodGcdPad, 2, 300, 300, Stencil{Depth: 3}, "depth"},
+	}
+	for _, tc := range cases {
+		err := CheckSelect(tc.m, tc.cs, tc.di, tc.dj, tc.st)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+		if _, serr := SelectChecked(tc.m, tc.cs, tc.di, tc.dj, tc.st); serr == nil {
+			t.Errorf("%s: SelectChecked accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestSelectCheckedMatchesSelect(t *testing.T) {
+	st := Jacobi6pt()
+	for _, m := range AllMethods() {
+		got, err := SelectChecked(m, 2048, 300, 300, st)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if want := Select(m, 2048, 300, 300, st); got != want {
+			t.Errorf("%v: SelectChecked %+v != Select %+v", m, got, want)
+		}
+	}
+}
+
+// FuzzSelectChecked is the no-panic contract of the validated entry
+// point: arbitrary inputs either come back as an error or produce a plan
+// satisfying the selection invariants. It fuzzes what the cmd tools pass
+// straight from flags.
+func FuzzSelectChecked(f *testing.F) {
+	f.Add(int(MethodGcdPad), 2048, 300, 300, 2, 2, 3)
+	f.Add(int(MethodPad), 2048, 250, 250, 2, 2, 4)
+	f.Add(int(Orig), 1, 1, 1, 0, 0, 1)
+	f.Add(int(MethodEuc3D), 256, 64, 64, 2, 2, 3)
+	f.Add(int(MethodGcdPad), 2000, 300, 300, 2, 2, 3)
+	f.Add(99, -5, 0, 1<<30, -1, -1, 0)
+	f.Fuzz(func(t *testing.T, mi, cs, di, dj, trimI, trimJ, depth int) {
+		// Bound the sizes so valid inputs stay cheap to select for; the
+		// validation itself sees the raw values.
+		if cs > 1<<14 || di > 1<<12 || dj > 1<<12 || depth > 64 || trimI > 64 || trimJ > 64 {
+			t.Skip()
+		}
+		m := Method(mi)
+		st := Stencil{TrimI: trimI, TrimJ: trimJ, Depth: depth}
+		p, err := SelectChecked(m, cs, di, dj, st) // must not panic
+		if err != nil {
+			return
+		}
+		if p.DI < di || p.DJ < dj {
+			t.Fatalf("%v cs=%d di=%d dj=%d %+v: plan %+v shrinks the array", m, cs, di, dj, st, p)
+		}
+		if p.Tiled && (p.Tile.TI < 1 || p.Tile.TJ < 1) {
+			t.Fatalf("%v cs=%d di=%d dj=%d %+v: tiled plan with empty tile %+v", m, cs, di, dj, st, p)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package grid
+
+import "testing"
+
+func TestCheck3DErrors(t *testing.T) {
+	cases := []struct {
+		name               string
+		ni, nj, nk, di, dj int
+	}{
+		{"zero extent", 0, 4, 4, 4, 4},
+		{"negative extent", 4, -1, 4, 4, 4},
+		{"zero planes", 4, 4, 0, 4, 4},
+		{"DI below NI", 4, 4, 4, 3, 4},
+		{"DJ below NJ", 4, 4, 4, 4, 3},
+	}
+	for _, tc := range cases {
+		if err := Check3D(tc.ni, tc.nj, tc.nk, tc.di, tc.dj); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if _, err := New3DPadded(tc.ni, tc.nj, tc.nk, tc.di, tc.dj); err == nil {
+			t.Errorf("%s: New3DPadded accepted", tc.name)
+		}
+		if _, err := New3DShape(tc.ni, tc.nj, tc.nk, tc.di, tc.dj); err == nil {
+			t.Errorf("%s: New3DShape accepted", tc.name)
+		}
+	}
+	if err := Check3D(4, 4, 4, 6, 5); err != nil {
+		t.Errorf("valid extents rejected: %v", err)
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on invalid extents", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Must3DPadded", func() { Must3DPadded(4, 4, 4, 3, 4) })
+	mustPanic("Must3DShape", func() { Must3DShape(0, 4, 4, 4, 4) })
+	mustPanic("Must2DPadded", func() { Must2DPadded(4, 4, 3) })
+}
+
+func TestNew2DPaddedErrors(t *testing.T) {
+	if _, err := New2DPadded(4, 4, 3); err == nil {
+		t.Error("DI below NI accepted")
+	}
+	if _, err := New2DPadded(0, 4, 4); err == nil {
+		t.Error("zero extent accepted")
+	}
+	g, err := New2DPadded(4, 4, 6)
+	if err != nil || g.DI != 6 {
+		t.Errorf("valid grid: %+v, %v", g, err)
+	}
+}

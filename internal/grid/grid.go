@@ -38,26 +38,48 @@ type Grid3D struct {
 	base int64
 }
 
-// New3D allocates an unpadded NI x NJ x NK grid.
+// Check3D validates 3D grid extents: positive logical extents and
+// allocated leading dimensions no smaller than the logical ones.
+func Check3D(ni, nj, nk, di, dj int) error {
+	if ni <= 0 || nj <= 0 || nk <= 0 {
+		return fmt.Errorf("grid: non-positive extent %dx%dx%d", ni, nj, nk)
+	}
+	if di < ni || dj < nj {
+		return fmt.Errorf("grid: padded dims %dx%d smaller than logical %dx%d", di, dj, ni, nj)
+	}
+	return nil
+}
+
+// New3D allocates an unpadded NI x NJ x NK grid. It panics on
+// non-positive extents (a programmer error in test and example code, the
+// only place unchecked literal extents appear); validated construction
+// goes through New3DPadded.
 func New3D(ni, nj, nk int) *Grid3D {
-	return New3DPadded(ni, nj, nk, ni, nj)
+	return Must3DPadded(ni, nj, nk, ni, nj)
 }
 
 // New3DPadded allocates an NI x NJ x NK grid with allocated leading
-// dimensions DI x DJ. It panics if the padded dimensions are smaller than
-// the logical extents or any extent is non-positive.
-func New3DPadded(ni, nj, nk, di, dj int) *Grid3D {
-	if ni <= 0 || nj <= 0 || nk <= 0 {
-		panic(fmt.Sprintf("grid: non-positive extent %dx%dx%d", ni, nj, nk))
-	}
-	if di < ni || dj < nj {
-		panic(fmt.Sprintf("grid: padded dims %dx%d smaller than logical %dx%d", di, dj, ni, nj))
+// dimensions DI x DJ, returning an error for non-positive extents or
+// padded dimensions smaller than the logical ones.
+func New3DPadded(ni, nj, nk, di, dj int) (*Grid3D, error) {
+	if err := Check3D(ni, nj, nk, di, dj); err != nil {
+		return nil, err
 	}
 	return &Grid3D{
 		NI: ni, NJ: nj, NK: nk,
 		DI: di, DJ: dj,
 		Data: make([]float64, di*dj*nk),
+	}, nil
+}
+
+// Must3DPadded is New3DPadded for extents already validated upstream (a
+// selection Plan, a vetted Options sweep); it panics on invalid input.
+func Must3DPadded(ni, nj, nk, di, dj int) *Grid3D {
+	g, err := New3DPadded(ni, nj, nk, di, dj)
+	if err != nil {
+		panic(err)
 	}
+	return g
 }
 
 // New3DShape builds a grid with layout but no element storage: Addr,
@@ -65,14 +87,21 @@ func New3DPadded(ni, nj, nk, di, dj int) *Grid3D {
 // only needs the address arithmetic, so shape-only grids let a large
 // sweep cell skip allocating and zeroing N^3 float64s. Accessor methods
 // that touch Data panic.
-func New3DShape(ni, nj, nk, di, dj int) *Grid3D {
-	if ni <= 0 || nj <= 0 || nk <= 0 {
-		panic(fmt.Sprintf("grid: non-positive extent %dx%dx%d", ni, nj, nk))
+func New3DShape(ni, nj, nk, di, dj int) (*Grid3D, error) {
+	if err := Check3D(ni, nj, nk, di, dj); err != nil {
+		return nil, err
 	}
-	if di < ni || dj < nj {
-		panic(fmt.Sprintf("grid: padded dims %dx%d smaller than logical %dx%d", di, dj, ni, nj))
+	return &Grid3D{NI: ni, NJ: nj, NK: nk, DI: di, DJ: dj}, nil
+}
+
+// Must3DShape is New3DShape for pre-validated extents; it panics on
+// invalid input.
+func Must3DShape(ni, nj, nk, di, dj int) *Grid3D {
+	g, err := New3DShape(ni, nj, nk, di, dj)
+	if err != nil {
+		panic(err)
 	}
-	return &Grid3D{NI: ni, NJ: nj, NK: nk, DI: di, DJ: dj}
+	return g
 }
 
 // Index returns the flat index of element (i, j, k).

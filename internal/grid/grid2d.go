@@ -14,18 +14,38 @@ type Grid2D struct {
 	base int64
 }
 
-// New2D allocates an unpadded NI x NJ grid.
-func New2D(ni, nj int) *Grid2D { return New2DPadded(ni, nj, ni) }
-
-// New2DPadded allocates an NI x NJ grid with leading dimension DI.
-func New2DPadded(ni, nj, di int) *Grid2D {
+// Check2D validates 2D grid extents.
+func Check2D(ni, nj, di int) error {
 	if ni <= 0 || nj <= 0 {
-		panic(fmt.Sprintf("grid: non-positive extent %dx%d", ni, nj))
+		return fmt.Errorf("grid: non-positive extent %dx%d", ni, nj)
 	}
 	if di < ni {
-		panic(fmt.Sprintf("grid: padded dim %d smaller than logical %d", di, ni))
+		return fmt.Errorf("grid: padded dim %d smaller than logical %d", di, ni)
 	}
-	return &Grid2D{NI: ni, NJ: nj, DI: di, Data: make([]float64, di*nj)}
+	return nil
+}
+
+// New2D allocates an unpadded NI x NJ grid. Like New3D it panics on
+// non-positive extents; validated construction goes through New2DPadded.
+func New2D(ni, nj int) *Grid2D { return Must2DPadded(ni, nj, ni) }
+
+// New2DPadded allocates an NI x NJ grid with leading dimension DI,
+// returning an error for invalid extents.
+func New2DPadded(ni, nj, di int) (*Grid2D, error) {
+	if err := Check2D(ni, nj, di); err != nil {
+		return nil, err
+	}
+	return &Grid2D{NI: ni, NJ: nj, DI: di, Data: make([]float64, di*nj)}, nil
+}
+
+// Must2DPadded is New2DPadded for pre-validated extents; it panics on
+// invalid input.
+func Must2DPadded(ni, nj, di int) *Grid2D {
+	g, err := New2DPadded(ni, nj, di)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // Index returns the flat index of element (i, j).

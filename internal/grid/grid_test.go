@@ -32,7 +32,7 @@ func TestColumnMajorLayout(t *testing.T) {
 }
 
 func TestPaddedLayout(t *testing.T) {
-	g := New3DPadded(4, 5, 6, 7, 9)
+	g := Must3DPadded(4, 5, 6, 7, 9)
 	if g.Index(0, 1, 0) != 7 {
 		t.Error("padded J stride != DI")
 	}
@@ -52,7 +52,7 @@ func TestPaddedLayout(t *testing.T) {
 }
 
 func TestSetAtRoundTrip(t *testing.T) {
-	g := New3DPadded(3, 4, 5, 6, 7)
+	g := Must3DPadded(3, 4, 5, 6, 7)
 	g.Set(2, 3, 4, 42)
 	if g.At(2, 3, 4) != 42 {
 		t.Error("Set/At mismatch")
@@ -63,7 +63,7 @@ func TestSetAtRoundTrip(t *testing.T) {
 }
 
 func TestFillFuncSkipsPadding(t *testing.T) {
-	g := New3DPadded(2, 2, 2, 4, 4)
+	g := Must3DPadded(2, 2, 2, 4, 4)
 	g.Fill(-1)
 	g.FillFunc(func(i, j, k int) float64 { return 1 })
 	if g.At(0, 0, 0) != 1 || g.At(1, 1, 1) != 1 {
@@ -77,7 +77,7 @@ func TestFillFuncSkipsPadding(t *testing.T) {
 func TestCopyLogicalAcrossPaddings(t *testing.T) {
 	src := New3D(5, 5, 5)
 	src.FillFunc(func(i, j, k int) float64 { return float64(i + 10*j + 100*k) })
-	dst := New3DPadded(5, 5, 5, 9, 11)
+	dst := Must3DPadded(5, 5, 5, 9, 11)
 	dst.CopyLogical(src)
 	if d := dst.MaxAbsDiff(src); d != 0 {
 		t.Errorf("CopyLogical lost data: diff %g", d)
@@ -120,7 +120,7 @@ func TestArenaPlacement(t *testing.T) {
 func TestAddrQuick(t *testing.T) {
 	a := NewArena()
 	a.Gap(17)
-	g := a.Place(New3DPadded(6, 7, 8, 9, 10))
+	g := a.Place(Must3DPadded(6, 7, 8, 9, 10))
 	f := func(i, j, k uint8) bool {
 		ii, jj, kk := int(i)%6, int(j)%7, int(k)%8
 		return g.Addr(ii, jj, kk) == 17+int64(ii+9*jj+90*kk)
@@ -131,7 +131,7 @@ func TestAddrQuick(t *testing.T) {
 }
 
 func TestGrid2D(t *testing.T) {
-	g := New2DPadded(4, 5, 6)
+	g := Must2DPadded(4, 5, 6)
 	if g.Index(0, 1) != 6 {
 		t.Error("2D J stride != DI")
 	}
@@ -152,8 +152,8 @@ func TestGrid2D(t *testing.T) {
 func TestPanicsOnBadShapes(t *testing.T) {
 	for _, f := range []func(){
 		func() { New3D(0, 1, 1) },
-		func() { New3DPadded(4, 4, 4, 3, 4) },
-		func() { New2DPadded(4, 4, 3) },
+		func() { Must3DPadded(4, 4, 4, 3, 4) },
+		func() { Must2DPadded(4, 4, 3) },
 		func() { New3D(5, 5, 5).CopyLogical(New3D(4, 5, 5)) },
 	} {
 		func() {

@@ -71,7 +71,7 @@ func RunSimulatedExperiment(lm, cs int, m core.Method, l1, l2 cache.Config, acce
 
 	cycles := func(p core.Plan) (float64, float64) {
 		s := New(Params{LM: lm, Plan: p})
-		h := cache.NewHierarchy(l1, l2)
+		h := cache.MustHierarchy(l1, l2)
 		s.TraceVCycle(h)
 		s.TraceResid(h)
 		h.ResetStats()

@@ -28,14 +28,27 @@ type Snapshot struct {
 	Boundaries [3]int
 }
 
-// Capture runs the simulation side of the headline experiments.
-func Capture(label string, opt bench.Options) *Snapshot {
+// Capture runs the simulation side of the headline experiments. It
+// fails on invalid options or a cancelled/failed sweep rather than
+// persisting a partial snapshot: a baseline with silently missing cells
+// would make every future comparison lie.
+func Capture(label string, opt bench.Options) (*Snapshot, error) {
 	s := &Snapshot{
 		Label:       label,
 		Table3:      map[string]map[string]map[string]float64{},
 		MemOverhead: map[string]float64{},
 	}
-	for _, row := range bench.Table3(opt, false) {
+	rows, err := bench.Table3(opt, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if len(row.Failed) > 0 {
+			return nil, fmt.Errorf("results: %s sweep had failed points %v; refusing to snapshot a partial baseline",
+				row.Kernel, row.Failed)
+		}
+	}
+	for _, row := range rows {
 		k := row.Kernel.String()
 		s.Table3[k] = map[string]map[string]float64{
 			"orig":   {"L1": row.OrigL1, "L2": row.OrigL2},
@@ -52,7 +65,7 @@ func Capture(label string, opt bench.Options) *Snapshot {
 		bench.MaxN3D(opt.L1),
 		bench.MaxN3D(opt.L2),
 	}
-	return s
+	return s, nil
 }
 
 func methodMap(in map[core.Method]float64) map[string]float64 {

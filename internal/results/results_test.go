@@ -26,7 +26,10 @@ func tinyOptions() bench.Options {
 
 func TestCaptureSaveLoadRoundTrip(t *testing.T) {
 	opt := tinyOptions()
-	s := Capture("test-run", opt)
+	s, err := Capture("test-run", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s.Table3) != 3 {
 		t.Fatalf("captured %d kernels", len(s.Table3))
 	}
@@ -51,8 +54,14 @@ func TestCaptureSaveLoadRoundTrip(t *testing.T) {
 
 func TestCompareDetectsDrift(t *testing.T) {
 	opt := tinyOptions()
-	a := Capture("a", opt)
-	b := Capture("b", opt)
+	a, err := Capture("a", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture("b", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if diffs := Compare(a, b, 0.001); len(diffs) != 0 {
 		t.Errorf("deterministic runs differ: %v", diffs)
 	}

@@ -13,7 +13,7 @@ import (
 )
 
 func testGrid(n, k, di, dj int, seed float64) *grid.Grid3D {
-	g := grid.New3DPadded(n, n, k, di, dj)
+	g := grid.Must3DPadded(n, n, k, di, dj)
 	g.FillFunc(func(i, j, kk int) float64 {
 		return seed + float64(i)*0.25 + float64(j)*0.5 - float64(kk)*0.125
 	})
@@ -47,8 +47,8 @@ func TestJacobiTiledMatchesOrigPadded(t *testing.T) {
 	bRef := testGrid(n, 6, n, n, 2)
 	JacobiOrig(aRef, bRef, 1.0/6.0)
 
-	aPad := grid.New3DPadded(n, n, 6, n+13, n+5)
-	bPad := grid.New3DPadded(n, n, 6, n+13, n+5)
+	aPad := grid.Must3DPadded(n, n, 6, n+13, n+5)
+	bPad := grid.Must3DPadded(n, n, 6, n+13, n+5)
 	aPad.CopyLogical(testGrid(n, 6, n, n, 1))
 	bPad.CopyLogical(testGrid(n, 6, n, n, 2))
 	JacobiTiled(aPad, bPad, 1.0/6.0, 6, 9)

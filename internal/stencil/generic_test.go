@@ -112,7 +112,7 @@ func TestShapeSelectionRoundTrip(t *testing.T) {
 	st := shape.Spec()
 	n := 40
 	plan := core.Select(core.MethodPad, 512, n, n, st)
-	src := grid.New3DPadded(n, n, 10, plan.DI, plan.DJ)
+	src := grid.Must3DPadded(n, n, 10, plan.DI, plan.DJ)
 	src.FillFunc(func(i, j, k int) float64 { return float64(i*j) - float64(k*k) })
 	dst := src.Clone()
 	refSrc := grid.New3D(n, n, 10)

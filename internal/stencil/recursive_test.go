@@ -40,7 +40,7 @@ func TestJacobiRecursiveTraceCount(t *testing.T) {
 func TestRecursiveCapturesReuseButNotConflicts(t *testing.T) {
 	sim := func(n, leaf int) float64 {
 		w := NewWorkload(Jacobi, n, 10, planFor(n, 1, 1), DefaultCoeffs())
-		h := cache.NewHierarchy(cache.UltraSparc2L1())
+		h := cache.MustHierarchy(cache.UltraSparc2L1())
 		trace := func() { JacobiRecursiveTrace(w.Grids[0], w.Grids[1], h, leaf) }
 		trace()
 		h.ResetStats()
@@ -50,7 +50,7 @@ func TestRecursiveCapturesReuseButNotConflicts(t *testing.T) {
 	simOrig := func(n int) float64 {
 		w := NewWorkload(Jacobi, n, 10, planFor(n, 1, 1), DefaultCoeffs())
 		w.Plan.Tiled = false
-		h := cache.NewHierarchy(cache.UltraSparc2L1())
+		h := cache.MustHierarchy(cache.UltraSparc2L1())
 		w.RunTrace(h)
 		h.ResetStats()
 		w.RunTrace(h)

@@ -23,8 +23,8 @@ import (
 // so callers can assert the fast path was actually exercised.
 func steadyCompare(t *testing.T, label string, w *stencil.Workload, sweeps int, cfgs ...cache.Config) uint64 {
 	t.Helper()
-	full := cache.NewHierarchy(cfgs...)
-	fast := cache.NewHierarchy(cfgs...)
+	full := cache.MustHierarchy(cfgs...)
+	fast := cache.MustHierarchy(cfgs...)
 	st := cache.NewSteady(fast)
 	st.MinUnitAccesses = 1
 	for sweep := 0; sweep < sweeps; sweep++ {
@@ -168,7 +168,7 @@ func TestSteadyTLBDifferential(t *testing.T) {
 	} {
 		mems := make([]*cache.MemoryWithTLB, 3)
 		for i := range mems {
-			h := cache.NewHierarchy(smallCfgs()...)
+			h := cache.MustHierarchy(smallCfgs()...)
 			mems[i] = cache.NewMemoryWithTLB(h, cache.TLB(8, tc.page))
 		}
 		w := stencil.NewTraceWorkload(stencil.Jacobi, 64, 20, tc.plan)

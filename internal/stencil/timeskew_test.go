@@ -59,7 +59,7 @@ func TestJacobiTimeFusedRejectsPadding(t *testing.T) {
 			t.Error("padded grids not rejected")
 		}
 	}()
-	JacobiTimeFused(grid.New3DPadded(4, 4, 4, 6, 4), grid.New3D(4, 4, 4), 1.0/6, 2)
+	JacobiTimeFused(grid.Must3DPadded(4, 4, 4, 6, 4), grid.New3D(4, 4, 4), 1.0/6, 2)
 }
 
 // BenchmarkTimeFusion measures the memory-traffic advantage: steps

@@ -58,8 +58,8 @@ func TestReplayTraceMatchesRunTrace(t *testing.T) {
 			for _, tc := range replayCases(k) {
 				t.Run(fmt.Sprintf("%s/%v/%s", hname, k, tc.name), func(t *testing.T) {
 					w := NewTraceWorkload(k, tc.n, tc.depth, tc.plan)
-					want := cache.NewHierarchy(cfgs...)
-					got := cache.NewHierarchy(cfgs...)
+					want := cache.MustHierarchy(cfgs...)
+					got := cache.MustHierarchy(cfgs...)
 					// Warm sweep plus measured sweep on each path, the
 					// shape SimulateStats uses.
 					w.RunTrace(want)
@@ -109,8 +109,8 @@ func TestTraceWorkloadMatchesBacked(t *testing.T) {
 func TestRunRecorderRoundTrip(t *testing.T) {
 	w := NewTraceWorkload(Jacobi, 20, 6, core.Plan{DI: 20, DJ: 20})
 	var rec cache.RunRecorder
-	direct := cache.NewHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
-	replayed := cache.NewHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
+	direct := cache.MustHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
+	replayed := cache.MustHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
 	w.ReplayTrace(direct)
 	w.ReplayTrace(&rec)
 	replayed.ReplayRuns(rec.Runs)

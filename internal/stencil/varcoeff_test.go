@@ -124,7 +124,7 @@ func TestVarCoeffTilingStillWins(t *testing.T) {
 		arena.Place(w)
 	}
 	rate := func(tiled bool) float64 {
-		h := cache.NewHierarchy(cache.UltraSparc2L1())
+		h := cache.MustHierarchy(cache.UltraSparc2L1())
 		s.Trace(dst, src, h, 30, 14, tiled)
 		h.ResetStats()
 		s.Trace(dst, src, h, 30, 14, tiled)

@@ -66,11 +66,14 @@ func newWorkloadShaped(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []
 		if a < len(gaps) {
 			arena.Gap(gaps[a])
 		}
+		// Extents are vetted by the plan check above (and selection never
+		// shrinks dims), so the Must constructors' panics are internal
+		// invariants here.
 		var g *grid.Grid3D
 		if backed {
-			g = grid.New3DPadded(n, n, depth, plan.DI, plan.DJ)
+			g = grid.Must3DPadded(n, n, depth, plan.DI, plan.DJ)
 		} else {
-			g = grid.New3DShape(n, n, depth, plan.DI, plan.DJ)
+			g = grid.Must3DShape(n, n, depth, plan.DI, plan.DJ)
 		}
 		arena.Place(g)
 		w.Grids = append(w.Grids, g)

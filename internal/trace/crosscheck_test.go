@@ -53,8 +53,8 @@ func TestIRMatchesJacobiTiled(t *testing.T) {
 	var ref, got cache.Recorder
 	for _, tile := range []core.Tile{{TI: 4, TJ: 5}, {TI: 1, TJ: 1}, {TI: 30, TJ: 3}} {
 		arena := grid.NewArena()
-		a := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
-		b := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
+		a := arena.Place(grid.Must3DPadded(n, n, depth, n+3, n+1))
+		b := arena.Place(grid.Must3DPadded(n, n, depth, n+3, n+1))
 		ref.Reset()
 		stencil.JacobiTiledTrace(a, b, &ref, tile.TI, tile.TJ)
 
@@ -81,8 +81,8 @@ func TestIRBatchedMatchesKernelBatched(t *testing.T) {
 	var rec cache.RunRecorder
 	for _, tile := range []core.Tile{{TI: 4, TJ: 5}, {TI: 1, TJ: 1}, {TI: 30, TJ: 3}} {
 		arena := grid.NewArena()
-		a := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
-		b := arena.Place(grid.New3DPadded(n, n, depth, n+3, n+1))
+		a := arena.Place(grid.Must3DPadded(n, n, depth, n+3, n+1))
+		b := arena.Place(grid.Must3DPadded(n, n, depth, n+3, n+1))
 		ref.Reset()
 		stencil.JacobiTiledRuns(a, b, &ref, tile.TI, tile.TJ)
 
@@ -107,9 +107,9 @@ func TestIRBatchedMatchesResid(t *testing.T) {
 	n, depth := 13, 9
 	tile := core.Tile{TI: 5, TJ: 4}
 	arena := grid.NewArena()
-	r := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
-	v := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
-	u := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
+	r := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
+	v := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
+	u := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
 	var ref cache.Recorder
 	stencil.ResidTiledRuns(r, v, u, &ref, tile.TI, tile.TJ)
 
@@ -129,9 +129,9 @@ func TestIRMatchesResidTiled(t *testing.T) {
 	n, depth := 13, 9
 	tile := core.Tile{TI: 5, TJ: 4}
 	arena := grid.NewArena()
-	r := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
-	v := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
-	u := arena.Place(grid.New3DPadded(n, n, depth, n+7, n))
+	r := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
+	v := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
+	u := arena.Place(grid.Must3DPadded(n, n, depth, n+7, n))
 	var ref cache.Recorder
 	stencil.ResidTiledTrace(r, v, u, &ref, tile.TI, tile.TJ)
 

@@ -213,7 +213,7 @@ func TestFusionPreservesReuse(t *testing.T) {
 	n2 := copyBackNest(n, depth)
 
 	missRate := func(replay func(mem cache.Memory) error) float64 {
-		h := cache.NewHierarchy(cache.Config{SizeBytes: 256 << 10, LineBytes: 32, Assoc: 1, WriteAllocate: true})
+		h := cache.MustHierarchy(cache.Config{SizeBytes: 256 << 10, LineBytes: 32, Assoc: 1, WriteAllocate: true})
 		if err := replay(h); err != nil {
 			t.Fatal(err)
 		}

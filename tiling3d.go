@@ -67,9 +67,19 @@ const (
 )
 
 // Select runs a selection method for an array with lower dimensions
-// (di, dj) targeting a direct-mapped cache of cs elements.
+// (di, dj) targeting a direct-mapped cache of cs elements. Inputs are
+// assumed valid (positive dims, well-formed stencil, a power-of-two cs
+// for the GcdPad family); use SelectChecked for unvetted input.
 func Select(m Method, cs, di, dj int, st Stencil) Plan {
 	return core.Select(m, cs, di, dj, st)
+}
+
+// SelectChecked is Select with input validation: it never panics, and
+// returns an error for malformed stencils, non-positive or oversized
+// dimensions, unknown methods, or method preconditions (the GcdPad
+// family needs a power-of-two cache size).
+func SelectChecked(m Method, cs, di, dj int, st Stencil) (Plan, error) {
+	return core.SelectChecked(m, cs, di, dj, st)
 }
 
 // Euc3D returns the minimum-cost non-conflicting iteration tile
@@ -115,9 +125,16 @@ const (
 func NewGrid3D(ni, nj, nk int) *Grid3D { return grid.New3D(ni, nj, nk) }
 
 // NewGrid3DPadded allocates a grid with padded leading dimensions, e.g.
-// from a Plan's DI and DJ.
-func NewGrid3DPadded(ni, nj, nk, di, dj int) *Grid3D {
+// from a Plan's DI and DJ. It returns an error for non-positive extents
+// or padded dimensions smaller than the logical ones; MustGrid3DPadded
+// panics instead, for dimensions that come from a Plan.
+func NewGrid3DPadded(ni, nj, nk, di, dj int) (*Grid3D, error) {
 	return grid.New3DPadded(ni, nj, nk, di, dj)
+}
+
+// MustGrid3DPadded is NewGrid3DPadded for pre-validated dimensions.
+func MustGrid3DPadded(ni, nj, nk, di, dj int) *Grid3D {
+	return grid.Must3DPadded(ni, nj, nk, di, dj)
 }
 
 // DefaultCoeffs returns convergent kernel constants.
@@ -159,5 +176,12 @@ type (
 // direct-mapped).
 func UltraSparc2() *Hierarchy { return cache.UltraSparc2() }
 
-// NewHierarchy builds a cache hierarchy from level configs, L1 first.
-func NewHierarchy(cfgs ...CacheConfig) *Hierarchy { return cache.NewHierarchy(cfgs...) }
+// NewHierarchy builds a cache hierarchy from level configs, L1 first,
+// returning an error for invalid geometry (non-positive sizes, a line
+// size that is not a power of two or does not divide the capacity, an
+// associativity that does not divide the line count).
+func NewHierarchy(cfgs ...CacheConfig) (*Hierarchy, error) { return cache.NewHierarchy(cfgs...) }
+
+// MustHierarchy is NewHierarchy for pre-validated configurations; it
+// panics on invalid geometry.
+func MustHierarchy(cfgs ...CacheConfig) *Hierarchy { return cache.MustHierarchy(cfgs...) }
