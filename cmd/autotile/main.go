@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"tiling3d/internal/core"
+	"tiling3d/internal/deps"
 	"tiling3d/internal/ir"
 	"tiling3d/internal/stencil"
 	"tiling3d/internal/transform"
@@ -26,6 +27,7 @@ func main() {
 		cacheBytes = flag.Int("cache", 16384, "target cache capacity (bytes)")
 		methodName = flag.String("method", "Pad", "selection method")
 		showIR     = flag.Bool("ir", false, "also print the nest IR before and after tiling")
+		certify    = flag.Bool("certify", false, "run the dependence certifier on the transformed nest")
 	)
 	flag.Parse()
 
@@ -74,6 +76,12 @@ func main() {
 	if *showIR {
 		fmt.Println("// transformed nest:")
 		printCommented(tiled.String())
+	}
+	if *certify {
+		if err := deps.Certify(nest, tiled); err != nil {
+			fail(err)
+		}
+		fmt.Println("// certified: the transformed nest preserves every dependence of the original")
 	}
 	src, err := transform.GenGo(tiled, funcName)
 	if err != nil {

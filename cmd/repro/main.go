@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
@@ -12,7 +13,13 @@ import (
 )
 
 func main() {
+	certify := flag.Bool("certify", false, "also run dependence-preservation certification for every kernel x method")
+	flag.Parse()
+
 	results := repro.RunAll()
+	if *certify {
+		results = append(results, repro.RunCertify()...)
+	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	failures := 0
 	for _, r := range results {

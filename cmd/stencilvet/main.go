@@ -1,0 +1,194 @@
+// Command stencilvet is the dependence diagnostics tool: point it at a
+// stencil listing (or a named built-in kernel) and it prints the loop
+// nests, their dependence tables, per-array reuse classes, warnings for
+// subscripts the analyzer cannot model (with source positions), and a
+// tiling-legality verdict — the plan a selection method picks, applied
+// and certified, or the named dependence that makes tiling illegal.
+//
+//	stencilvet -kernel jacobi
+//	stencilvet -file sweep.st -params N=300,TSTEPS=10 -method Euc3D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/deps"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/lang"
+	"tiling3d/internal/transform"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "", "built-in kernel: jacobi, resid or redblack")
+		file       = flag.String("file", "", "stencil listing to analyze")
+		paramsFlag = flag.String("params", "N=64,M=64,TSTEPS=8", "size parameters for -file, NAME=VALUE comma-separated")
+		n          = flag.Int("n", 300, "problem size N for built-in kernels and the plan")
+		k          = flag.Int("k", 30, "third array extent for built-in kernels")
+		cacheBytes = flag.Int("cache", 16384, "target cache capacity (bytes) for the plan")
+		methodName = flag.String("method", "Euc3D", "selection method for the legality verdict")
+	)
+	flag.Parse()
+
+	method, err := core.ParseMethod(*methodName)
+	if err != nil {
+		fail(err)
+	}
+
+	nests, err := loadNests(*kernelName, *file, *paramsFlag, *n, *k)
+	if err != nil {
+		fail(err)
+	}
+
+	warnings := 0
+	for idx, nest := range nests {
+		if len(nests) > 1 {
+			fmt.Printf("=== nest %d of %d ===\n", idx+1, len(nests))
+		}
+		fmt.Println(nest.String())
+		warnings += vetNest(nest, method, *cacheBytes/8, *n)
+		fmt.Println()
+	}
+
+	// Multi-nest programs: report the retiming each consecutive pair
+	// needs to fuse legally.
+	for i := 0; i+1 < len(nests); i++ {
+		shift, binding, err := deps.MinFusionShift(nests[i], nests[i+1])
+		switch {
+		case err != nil:
+			fmt.Printf("fusion of nests %d,%d: not analyzable: %v\n", i+1, i+2, err)
+		case shift == 0:
+			fmt.Printf("fusion of nests %d,%d: legal with no shift\n", i+1, i+2)
+		default:
+			fmt.Printf("fusion of nests %d,%d: minimum legal shift %d, bound by %s\n", i+1, i+2, shift, binding)
+		}
+	}
+
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "stencilvet: %d warning(s)\n", warnings)
+		os.Exit(1)
+	}
+}
+
+// vetNest prints the dependence table, reuse classes, warnings, and the
+// tiling verdict for one nest; it returns the warning count.
+func vetNest(nest *ir.Nest, method core.Method, cs, n int) int {
+	tab, err := deps.Dependences(nest)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(tab.String())
+
+	classes, err := deps.ReuseClasses(nest)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(deps.ReuseString(nest, classes))
+
+	for _, w := range tab.IssueStrings() {
+		fmt.Printf("warning: %s\n", w)
+	}
+
+	fmt.Printf("verdict: %s\n", verdict(nest, tab, method, cs, n))
+	return len(tab.Issues)
+}
+
+// verdict runs the full pipeline — stencil analysis, plan selection,
+// transformation, certification — and reports the outcome in one line.
+func verdict(nest *ir.Nest, tab *deps.Table, method core.Method, cs, n int) string {
+	if tab.HasUnknown() {
+		return "tiling blocked: unanalyzable subscripts (see warnings)"
+	}
+	// Same conservative guard TileInner2 applies: any loop-carried
+	// dependence makes the tile-reordered schedule unprovable.
+	if carried := tab.Carried(); len(carried) > 0 {
+		return fmt.Sprintf("tiling refused: nest carries %s", carried[0])
+	}
+	st, err := ir.Analyze(nest)
+	if err != nil {
+		return fmt.Sprintf("tiling not attempted: %v", err)
+	}
+	plan, err := core.SelectChecked(method, cs, n, n, st)
+	if err != nil {
+		return fmt.Sprintf("tiling not attempted: %v", err)
+	}
+	after, err := transform.ApplyPlan(nest, plan)
+	if err != nil {
+		return fmt.Sprintf("tiling illegal: %v", err)
+	}
+	if err := deps.Certify(nest, after); err != nil {
+		return fmt.Sprintf("certification failed: %v", err)
+	}
+	if !plan.Tiled {
+		return fmt.Sprintf("legal, untiled by %s (plan %v)", method, plan.Tile)
+	}
+	return fmt.Sprintf("tiling legal (certified): %s tile %v, array dims %dx%d", method, plan.Tile, plan.DI, plan.DJ)
+}
+
+// loadNests resolves the input: a named built-in kernel or a listing.
+func loadNests(kernel, file, paramsFlag string, n, k int) ([]*ir.Nest, error) {
+	switch {
+	case kernel != "" && file != "":
+		return nil, fmt.Errorf("stencilvet: -kernel and -file are mutually exclusive")
+	case kernel != "":
+		switch strings.ToLower(kernel) {
+		case "jacobi":
+			return []*ir.Nest{ir.JacobiNest(n, k)}, nil
+		case "resid":
+			return []*ir.Nest{ir.ResidNest(n, k)}, nil
+		case "redblack":
+			return []*ir.Nest{ir.RedBlackNest(n, k)}, nil
+		default:
+			return nil, fmt.Errorf("stencilvet: unknown kernel %q (jacobi, resid or redblack)", kernel)
+		}
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		params, err := parseParams(paramsFlag)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.ParseProgramNamed(file, string(src), params)
+		if err != nil {
+			return nil, err
+		}
+		if prog.TimeVar != "" {
+			fmt.Printf("time loop %s, %d steps, %d nest(s)\n\n", prog.TimeVar, prog.Steps, len(prog.Nests))
+		}
+		return prog.Nests, nil
+	default:
+		return nil, fmt.Errorf("stencilvet: pass -kernel or -file (try -kernel jacobi)")
+	}
+}
+
+func parseParams(s string) (map[string]int, error) {
+	params := map[string]int{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("stencilvet: bad -params entry %q (want NAME=VALUE)", kv)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("stencilvet: bad -params value in %q: %v", kv, err)
+		}
+		params[strings.ToUpper(strings.TrimSpace(name))] = v
+	}
+	return params, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// Command tilinglint is the repo's multichecker: it runs the custom
+// analyzers of internal/lint (mustcheck, rawindex) over the given
+// packages and exits non-zero on findings.
+//
+//	tilinglint ./...
+//	tilinglint internal/grid internal/stencil
+//
+// Deliberate exceptions are annotated in the source with
+// `//lint:allow <analyzer>` on the same line or the line above.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tiling3d/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(patterns, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tilinglint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -46,7 +46,7 @@ func ProbeBoundary3D(cfg cache.Config, margin int, opt Options) BoundaryProbe {
 	b := MaxN3D(cfg)
 	probe := func(n int) float64 {
 		w := stencil.NewTraceWorkload(stencil.Jacobi, n, 8, core.Plan{DI: n, DJ: n})
-		h := cache.MustHierarchy(cfg)
+		h := cache.MustHierarchy(cfg) //lint:allow mustcheck -- cfg comes from validated Options
 		sink := opt.simSink(h)
 		w.ReplayTrace(sink)
 		h.ResetStats()

@@ -121,7 +121,7 @@ func SimulatePoint(k stencil.Kernel, m core.Method, n int, opt Options) MissPoin
 // invariant — and inside the sweep engine even that is isolated per
 // point.
 func cacheHierarchy(opt Options) *cache.Hierarchy {
-	return cache.MustHierarchy(opt.L1, opt.L2)
+	return cache.MustHierarchy(opt.L1, opt.L2) //lint:allow mustcheck -- Options geometry validated upstream
 }
 
 // AverageMiss returns the mean L1 and L2 miss rates of a series,

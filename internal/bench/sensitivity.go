@@ -43,7 +43,7 @@ func AssocSensitivity(k stencil.Kernel, n int, assocs []int, opt Options) []Asso
 		for i, a := range assocs {
 			cfg := opt.L1
 			cfg.Assoc = a
-			caches[i] = cache.MustNew(cfg) // capacity/line vetted upstream; assoc divides by construction
+			caches[i] = cache.MustNew(cfg) //lint:allow mustcheck -- capacity/line vetted upstream; assoc divides by construction
 			sinks[i] = opt.simSinkCache(caches[i])
 		}
 		replay := func() {

@@ -31,7 +31,7 @@ func TwoDSeries(sizes []int, l1 cache.Config, opt Options) []TwoDPoint {
 			arena := grid.NewArena()
 			a := arena.Place2D(grid.New2D(n, n))
 			b := arena.Place2D(grid.New2D(n, n))
-			h := cache.MustHierarchy(l1)
+			h := cache.MustHierarchy(l1) //lint:allow mustcheck -- l1 comes from validated Options
 			sink := opt.simSink(h)
 			trace := func() {
 				if tiled {

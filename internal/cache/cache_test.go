@@ -126,7 +126,7 @@ func TestWriteAllocate(t *testing.T) {
 
 func TestWritebackAccounting(t *testing.T) {
 	c := MustNew(Config{SizeBytes: 64, LineBytes: 32, Assoc: 1, WriteAllocate: true}) // 2 sets
-	c.Store(0)                                                                    // set 0, allocated dirty
+	c.Store(0)                                                                        // set 0, allocated dirty
 	if c.Stats().Writebacks != 0 {
 		t.Error("allocation counted as writeback")
 	}

@@ -48,7 +48,7 @@ func MustHierarchy(cfgs ...Config) *Hierarchy {
 // direct-mapped L1 (32B lines) and 2MB direct-mapped L2 (64B lines), both
 // write-around.
 func UltraSparc2() *Hierarchy {
-	return MustHierarchy(UltraSparc2L1(), UltraSparc2L2())
+	return MustHierarchy(UltraSparc2L1(), UltraSparc2L2()) //lint:allow mustcheck -- fixed valid hardware configs
 }
 
 // Levels returns the cache levels, L1 first.

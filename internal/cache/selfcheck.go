@@ -35,7 +35,7 @@ func NewSelfCheck(h *Hierarchy) *SelfCheck {
 	return &SelfCheck{
 		Steady: NewSteady(h),
 		main:   h,
-		shadow: MustHierarchy(cfgs...), // geometry copied from a built hierarchy, so valid
+		shadow: MustHierarchy(cfgs...), //lint:allow mustcheck -- geometry copied from a built hierarchy, so valid
 	}
 }
 

@@ -36,7 +36,7 @@ type MemoryWithTLB struct {
 // valid (TLB() produces valid ones by construction); invalid geometry
 // panics like MustNew.
 func NewMemoryWithTLB(h *Hierarchy, tlb Config) *MemoryWithTLB {
-	return &MemoryWithTLB{Caches: h, TLB: MustNew(tlb)}
+	return &MemoryWithTLB{Caches: h, TLB: MustNew(tlb)} //lint:allow mustcheck -- documented to panic like MustNew
 }
 
 // Load replays a read through the TLB and the cache hierarchy.

@@ -1,0 +1,164 @@
+package deps
+
+import (
+	"fmt"
+
+	"tiling3d/internal/ir"
+)
+
+// Certify proves a transformed nest preserves every dependence of the
+// original: it re-derives the dependence table on `before`, maps each
+// distance vector into `after`'s loop order, and verifies the source
+// still executes before the sink under the new schedule.
+//
+// The mapping understands the two shapes our transformations produce:
+//
+//   - a loop of `after` that is also a loop of `before` contributes the
+//     original element-space distance exactly (interchange);
+//   - a loop of `after` absent from `before` must be a strip-mine
+//     tile-control loop — recognized because some element loop's lower
+//     bound references it — and contributes the interval
+//     [floor(d/S), ceil(d/S)] of tile-index distances a d-apart pair
+//     can have under tile size S (strip-mining).
+//
+// The check is exact for constant components and conservative for
+// intervals: a component that could be negative while everything outer
+// could be zero fails certification, so Certify never approves a
+// schedule it cannot prove. The zero-distance case falls through to
+// program order, which every transformation here preserves (the body is
+// cloned, never reordered).
+func Certify(before, after *ir.Nest) error {
+	tb, err := Dependences(before)
+	if err != nil {
+		return fmt.Errorf("deps: certify: %w", err)
+	}
+	for _, d := range tb.Deps {
+		if d.Unknown {
+			return fmt.Errorf("deps: certify: %s is not analyzable; refusing to certify", d)
+		}
+	}
+	if err := sameBody(before, after); err != nil {
+		return fmt.Errorf("deps: certify: %w", err)
+	}
+
+	// Every original loop must survive into the transformed nest (our
+	// transformations rename nothing and delete nothing).
+	for _, l := range before.Loops {
+		if after.LoopIndex(l.Name) < 0 {
+			return fmt.Errorf("deps: certify: loop %s of the original nest is missing from the transformed nest", l.Name)
+		}
+	}
+
+	// Classify after's loops: element loops (shared with before) map
+	// distances exactly; extra loops must be recognizable tile-control
+	// loops over an element loop.
+	type level struct {
+		name string
+		// elemVar is the before-loop whose distance this level reflects.
+		elemVar string
+		// tileSize is 0 for element loops, the strip-mine factor for
+		// tile-control loops.
+		tileSize int
+	}
+	levels := make([]level, len(after.Loops))
+	for i, l := range after.Loops {
+		if before.LoopIndex(l.Name) >= 0 {
+			levels[i] = level{name: l.Name, elemVar: l.Name}
+			continue
+		}
+		elem, err := controlledElemLoop(before, after, l.Name)
+		if err != nil {
+			return fmt.Errorf("deps: certify: %w", err)
+		}
+		if l.Step < 1 {
+			return fmt.Errorf("deps: certify: tile loop %s has non-positive step %d", l.Name, l.Step)
+		}
+		levels[i] = level{name: l.Name, elemVar: elem, tileSize: l.Step}
+	}
+
+	for _, d := range tb.Deps {
+		distOf := func(v string) int { return d.Dist[before.LoopIndex(v)] }
+	scan:
+		for li, lv := range levels {
+			var lo, hi int
+			if lv.tileSize == 0 {
+				lo = distOf(lv.elemVar)
+				hi = lo
+			} else {
+				de := distOf(lv.elemVar)
+				lo, hi = floorDiv(de, lv.tileSize), ceilDiv(de, lv.tileSize)
+			}
+			switch {
+			case lo > 0:
+				// Source strictly precedes sink at this level.
+				break scan
+			case lo == 0:
+				// Possibly equal here; the decision moves inward. (hi>0
+				// realizations are strictly preserved already.)
+				continue
+			case hi < 0:
+				return fmt.Errorf("deps: certify: transformed loop order reverses %s at loop %s (level %d)", d, lv.name, li)
+			default: // lo < 0 <= hi
+				return fmt.Errorf("deps: certify: cannot prove loop %s preserves %s (tile-index distance spans [%d,%d])", lv.name, d, lo, hi)
+			}
+		}
+		// All levels can be zero simultaneously only for the zero
+		// vector, where program order decides — and the body order is
+		// unchanged (checked by sameBody), so Src still precedes Dst.
+	}
+	return nil
+}
+
+// sameBody verifies the transformed nest executes the same references
+// in the same program order — true of every reordering transformation
+// here, and the anchor that lets Certify match dependences by index.
+func sameBody(before, after *ir.Nest) error {
+	if len(before.Body) != len(after.Body) {
+		return fmt.Errorf("body length changed: %d vs %d references", len(before.Body), len(after.Body))
+	}
+	for i := range before.Body {
+		a, b := before.Body[i], after.Body[i]
+		if a.Array != b.Array || a.Store != b.Store || len(a.Subs) != len(b.Subs) {
+			return fmt.Errorf("body reference #%d changed: %s vs %s", i, refString(a), refString(b))
+		}
+		for s := range a.Subs {
+			if a.Subs[s].String() != b.Subs[s].String() {
+				return fmt.Errorf("body reference #%d subscript %d changed: %s vs %s", i, s, a.Subs[s], b.Subs[s])
+			}
+		}
+	}
+	return nil
+}
+
+// controlledElemLoop identifies which element loop a tile-control loop
+// drives: the after-loop whose lower bound references it and whose name
+// is a loop of the original nest.
+func controlledElemLoop(before, after *ir.Nest, tileName string) (string, error) {
+	for _, l := range after.Loops {
+		for _, e := range l.Lo.Exprs {
+			if c, ok := e.Coeff[tileName]; ok && c != 0 {
+				if before.LoopIndex(l.Name) < 0 {
+					return "", fmt.Errorf("loop %s bounds reference %s but is not an original loop", l.Name, tileName)
+				}
+				return l.Name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("loop %s is neither an original loop nor a recognizable tile-control loop", tileName)
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}

@@ -1,0 +1,445 @@
+// Package deps is the dependence-and-reuse analyzer for the loop-nest
+// IR: the single legality abstraction behind every transformation in
+// internal/transform.
+//
+// For every pair of references to the same array with at least one
+// store it computes the constant distance vector in loop-nest order
+// (outermost first), orients it from the access that executes first
+// (the source) to the one that executes later (the sink), and
+// classifies it: store→load is a flow (true) dependence, load→store is
+// an anti dependence, store→store is an output dependence. Distances
+// the iteration space cannot realize are pruned: a loop of step s only
+// separates iterations by multiples of s, and constant-bound loops only
+// by at most their trip span — which is how the analyzer proves the
+// red-black color pass carries no unit-stride I dependences even though
+// the subscripts suggest them.
+//
+// Subscripts outside the loopVar+const model the paper's kernels use
+// (and mixed variable/constant dimensions across a pair) do not abort
+// the analysis: they are recorded as Issues, with source positions when
+// the nest was parsed, and the affected pairs become Unknown
+// dependences that conservatively block any transformation consulting
+// the table. The transformations in internal/transform (Interchange,
+// TileInner2/ApplyPlan, FuseShifted) all consult this table, and
+// Certify re-derives dependences on a transformed nest to prove every
+// original dependence still executes source before sink.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiling3d/internal/ir"
+)
+
+// Kind classifies a dependence by which endpoints write.
+type Kind int
+
+const (
+	// Flow is store→load: the sink reads what the source wrote.
+	Flow Kind = iota
+	// Anti is load→store: the sink overwrites what the source read.
+	Anti
+	// Output is store→store: the sink overwrites the source's value.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Dependence is one dependence between two body references of a nest.
+// Src and Dst index Nest.Body; the source executes first. Dist is the
+// iteration distance per loop (outermost first), lexicographically
+// non-negative by construction; nil when Unknown.
+type Dependence struct {
+	Kind  Kind
+	Array string
+	Src   int
+	Dst   int
+	Dist  []int
+	// Unknown marks a pair whose distance is not a compile-time
+	// constant (subscripts outside the loopVar+const model). Unknown
+	// dependences conservatively block every transformation.
+	Unknown bool
+}
+
+// String renders the dependence with its distance vector, the form the
+// transformation diagnostics quote.
+func (d Dependence) String() string {
+	if d.Unknown {
+		return fmt.Sprintf("%s %s distance unknown (#%d -> #%d)", d.Kind, d.Array, d.Src, d.Dst)
+	}
+	return fmt.Sprintf("%s %s distance %s (#%d -> #%d)", d.Kind, d.Array, distString(d.Dist), d.Src, d.Dst)
+}
+
+// Carried returns the name of the outermost loop with nonzero distance,
+// or "" for a loop-independent (same-iteration) dependence.
+func (d Dependence) Carried(n *ir.Nest) string {
+	for i, v := range d.Dist {
+		if v != 0 {
+			return n.Loops[i].Name
+		}
+	}
+	return ""
+}
+
+func distString(dist []int) string {
+	parts := make([]string, len(dist))
+	for i, v := range dist {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Issue is one subscript the analyzer could not put into the
+// loopVar+const model, with its source position when known.
+type Issue struct {
+	RefIndex int
+	Dim      int
+	Pos      ir.Pos
+	Reason   string
+}
+
+func (is Issue) String() string {
+	if is.Pos.IsValid() {
+		return fmt.Sprintf("%s: body #%d dim %d: %s", is.Pos, is.RefIndex, is.Dim, is.Reason)
+	}
+	return fmt.Sprintf("body #%d dim %d: %s", is.RefIndex, is.Dim, is.Reason)
+}
+
+// Table is the dependence table of one nest.
+type Table struct {
+	Nest   *ir.Nest
+	Deps   []Dependence
+	Issues []Issue
+}
+
+// HasUnknown reports whether any dependence lacks a constant distance;
+// such tables block every transformation.
+func (t *Table) HasUnknown() bool {
+	for _, d := range t.Deps {
+		if d.Unknown {
+			return true
+		}
+	}
+	return false
+}
+
+// Carried returns the dependences with nonzero distance — the
+// loop-carried ones that constrain reordering transformations.
+func (t *Table) Carried() []Dependence {
+	var out []Dependence
+	for _, d := range t.Deps {
+		if d.Unknown {
+			out = append(out, d)
+			continue
+		}
+		for _, v := range d.Dist {
+			if v != 0 {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders the table, one dependence per line, for golden tests
+// and stencilvet.
+func (t *Table) String() string {
+	var b strings.Builder
+	names := make([]string, len(t.Nest.Loops))
+	for i, l := range t.Nest.Loops {
+		names[i] = l.Name
+	}
+	fmt.Fprintf(&b, "dependences (loop order %s):\n", strings.Join(names, ","))
+	if len(t.Deps) == 0 {
+		b.WriteString("  none\n")
+	}
+	for _, d := range t.Deps {
+		fmt.Fprintf(&b, "  %-6s %s %s: %s -> %s\n",
+			d.Kind, d.Array, depDist(d), refString(t.Nest.Body[d.Src]), refString(t.Nest.Body[d.Dst]))
+	}
+	return b.String()
+}
+
+func depDist(d Dependence) string {
+	if d.Unknown {
+		return "(?)"
+	}
+	return distString(d.Dist)
+}
+
+// refString renders a reference the way Nest.String does.
+func refString(r ir.Ref) string {
+	subs := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = s.String()
+	}
+	op := "load"
+	if r.Store {
+		op = "store"
+	}
+	return fmt.Sprintf("%s %s(%s)", op, r.Array, strings.Join(subs, ","))
+}
+
+// Dependences computes the dependence table of the nest. The only hard
+// error is a structurally malformed nest (an array referenced with
+// different subscript counts); everything else degrades into Issues and
+// Unknown dependences.
+func Dependences(n *ir.Nest) (*Table, error) {
+	t := &Table{Nest: n}
+	dims := map[string]int{}
+	for _, r := range n.Body {
+		if d, ok := dims[r.Array]; ok && d != len(r.Subs) {
+			return nil, fmt.Errorf("deps: array %s referenced with %d and %d subscripts", r.Array, d, len(r.Subs))
+		}
+		dims[r.Array] = len(r.Subs)
+	}
+
+	seenIssue := map[[2]int]bool{}
+	issue := func(refIdx, dim int, reason string) {
+		key := [2]int{refIdx, dim}
+		if seenIssue[key] {
+			return
+		}
+		seenIssue[key] = true
+		t.Issues = append(t.Issues, Issue{RefIndex: refIdx, Dim: dim, Pos: n.Body[refIdx].Pos, Reason: reason})
+	}
+
+	// Ref-driven issues: subscripts that are neither a constant nor
+	// loopVar+const over an enclosing loop.
+	analyzable := make([]bool, len(n.Body))
+	for ri, r := range n.Body {
+		analyzable[ri] = true
+		for dim, s := range r.Subs {
+			if len(s.Coeff) == 0 || isConst(s) {
+				continue
+			}
+			v, _, ok := ir.AsVarPlusConst(s)
+			if !ok {
+				issue(ri, dim, fmt.Sprintf("subscript %q is not loopVar+const", s))
+				analyzable[ri] = false
+				continue
+			}
+			if n.LoopIndex(v) < 0 {
+				issue(ri, dim, fmt.Sprintf("subscript variable %s is not a loop of the nest", v))
+				analyzable[ri] = false
+			}
+		}
+	}
+
+	for si := 0; si < len(n.Body); si++ {
+		for ri := si + 1; ri < len(n.Body); ri++ {
+			a, b := n.Body[si], n.Body[ri]
+			if a.Array != b.Array || (!a.Store && !b.Store) {
+				continue
+			}
+			if !analyzable[si] || !analyzable[ri] {
+				t.Deps = append(t.Deps, unknownDep(a.Array, si, ri, a.Store, b.Store))
+				continue
+			}
+			dist, status := pairDistance(n, a, b, func(dim, which int, reason string) {
+				idx := si
+				if which == 1 {
+					idx = ri
+				}
+				issue(idx, dim, reason)
+			})
+			switch status {
+			case pairNone:
+				continue
+			case pairUnknown:
+				t.Deps = append(t.Deps, unknownDep(a.Array, si, ri, a.Store, b.Store))
+			case pairConst:
+				if !realizable(n, dist) {
+					continue
+				}
+				t.Deps = append(t.Deps, orient(a, b, si, ri, dist))
+			}
+		}
+	}
+	return t, nil
+}
+
+func isConst(e ir.Expr) bool {
+	for _, c := range e.Coeff {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func unknownDep(array string, si, ri int, aStore, bStore bool) Dependence {
+	// Orientation is unknown; report in program order.
+	return Dependence{Kind: kindOf(aStore, bStore), Array: array, Src: si, Dst: ri, Unknown: true}
+}
+
+func kindOf(srcStore, dstStore bool) Kind {
+	switch {
+	case srcStore && dstStore:
+		return Output
+	case srcStore:
+		return Flow
+	default:
+		return Anti
+	}
+}
+
+type pairStatus int
+
+const (
+	pairNone pairStatus = iota // the refs never touch a common element
+	pairConst
+	pairUnknown
+)
+
+// pairDistance computes the raw per-loop distance between a and b: b's
+// iteration minus a's for a common element. status pairNone means the
+// subscripts can never match; pairUnknown means the distance is not a
+// single constant vector.
+func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason string)) ([]int, pairStatus) {
+	dist := make([]int, len(n.Loops))
+	set := make([]bool, len(n.Loops))
+	unknown := false
+	for dim := range a.Subs {
+		as, bs := a.Subs[dim], b.Subs[dim]
+		aConst, bConst := isConst(as), isConst(bs)
+		switch {
+		case aConst && bConst:
+			if as.Const != bs.Const {
+				return nil, pairNone
+			}
+		case aConst != bConst:
+			// One side pins the dimension to a constant plane: the pair
+			// overlaps only on that plane, so no uniform distance exists.
+			which := 0
+			if bConst {
+				which = 1
+			}
+			report(dim, which, "mixes a loop subscript with a constant; dependence distance is not uniform")
+			unknown = true
+		default:
+			av, ac, _ := ir.AsVarPlusConst(as)
+			bv, bc, _ := ir.AsVarPlusConst(bs)
+			if av != bv {
+				// Different index spaces (A(I,J) vs A(J,I)): overlap is
+				// possible but not at a constant distance.
+				report(dim, 0, fmt.Sprintf("indexed by %s in one reference and %s in another", av, bv))
+				unknown = true
+				continue
+			}
+			li := n.LoopIndex(av)
+			d := ac - bc
+			if set[li] && dist[li] != d {
+				// Two dimensions constrain the same loop inconsistently:
+				// no common element exists.
+				return nil, pairNone
+			}
+			dist[li], set[li] = d, true
+		}
+	}
+	if unknown {
+		return nil, pairUnknown
+	}
+	return dist, pairConst
+}
+
+// realizable prunes distances the iteration space cannot produce: a
+// step-s loop separates iterations only by multiples of s, and a loop
+// with constant bounds only by at most its span.
+func realizable(n *ir.Nest, dist []int) bool {
+	for li, d := range dist {
+		if d == 0 {
+			continue
+		}
+		l := n.Loops[li]
+		if l.Step > 1 && d%l.Step != 0 {
+			return false
+		}
+		if lo, hi, ok := constBounds(l); ok {
+			span := hi - lo
+			if d > span || d < -span {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func constBounds(l ir.Loop) (lo, hi int, ok bool) {
+	if len(l.Lo.Exprs) != 1 || len(l.Hi.Exprs) != 1 || !isConst(l.Lo.Exprs[0]) || !isConst(l.Hi.Exprs[0]) {
+		return 0, 0, false
+	}
+	return l.Lo.Exprs[0].Const, l.Hi.Exprs[0].Const, true
+}
+
+// orient builds the dependence from raw distance dist (b's iteration
+// minus a's), flipping it so the source executes first.
+func orient(a, b ir.Ref, si, ri int, dist []int) Dependence {
+	switch lexSign(dist) {
+	case 1:
+		// a executes first.
+		return Dependence{Kind: kindOf(a.Store, b.Store), Array: a.Array, Src: si, Dst: ri, Dist: dist}
+	case -1:
+		neg := make([]int, len(dist))
+		for i, v := range dist {
+			neg[i] = -v
+		}
+		return Dependence{Kind: kindOf(b.Store, a.Store), Array: a.Array, Src: ri, Dst: si, Dist: neg}
+	default:
+		// Same iteration: program order decides (si precedes ri).
+		return Dependence{Kind: kindOf(a.Store, b.Store), Array: a.Array, Src: si, Dst: ri, Dist: dist}
+	}
+}
+
+// lexSign returns the sign of the lexicographically first nonzero
+// component, or 0 for the zero vector.
+func lexSign(d []int) int {
+	for _, v := range d {
+		if v > 0 {
+			return 1
+		}
+		if v < 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// PermutedSign returns the lexicographic sign of the dependence's
+// distance under a loop permutation perm (perm[newPos] = oldPos) — the
+// quantity interchange legality rests on.
+func (d Dependence) PermutedSign(perm []int) int {
+	for _, old := range perm {
+		if d.Dist[old] > 0 {
+			return 1
+		}
+		if d.Dist[old] < 0 {
+			return -1
+		}
+	}
+	return 0
+}
+
+// IssueStrings renders Issues deterministically for display.
+func (t *Table) IssueStrings() []string {
+	out := make([]string, len(t.Issues))
+	for i, is := range t.Issues {
+		out[i] = is.String()
+	}
+	sort.Strings(out)
+	return out
+}

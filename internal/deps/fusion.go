@@ -1,0 +1,138 @@
+package deps
+
+import (
+	"fmt"
+
+	"tiling3d/internal/ir"
+)
+
+// Cross-nest dependence analysis for fusion with retiming (the paper's
+// Figure 5 compute/copy-back pair and the Figure 12 fused red-black
+// passes): when two nests sharing an outer loop are interleaved with
+// the second shifted back by `shift` planes, every dependence from the
+// first nest to the second must still see its source executed first,
+// which holds exactly when shift covers every cross-nest outer-loop
+// distance.
+
+// CrossDependence is one dependence from a reference of the first nest
+// (Src indexes n1.Body) to one of the second (Dst indexes n2.Body).
+// OuterDist is the outer-loop distance: the second nest's access to a
+// common element happens OuterDist planes below the first nest's.
+type CrossDependence struct {
+	Kind      Kind
+	Array     string
+	Src, Dst  int
+	OuterDist int
+}
+
+// String renders the dependence the way fusion diagnostics quote it.
+func (d CrossDependence) String() string {
+	return fmt.Sprintf("%s %s outer distance %d (nest1 #%d -> nest2 #%d)", d.Kind, d.Array, d.OuterDist, d.Src, d.Dst)
+}
+
+// CrossDependences computes every cross-nest dependence pair over the
+// shared outer loop. Both nests must have the same unit-step outer loop
+// variable with constant bounds, and references may use the outer
+// variable only with unit coefficient.
+func CrossDependences(n1, n2 *ir.Nest) ([]CrossDependence, error) {
+	outer, err := sharedOuter(n1, n2)
+	if err != nil {
+		return nil, err
+	}
+	var out []CrossDependence
+	for i1, r1 := range n1.Body {
+		for i2, r2 := range n2.Body {
+			if r1.Array != r2.Array || (!r1.Store && !r2.Store) {
+				continue
+			}
+			c1, err := outerOffset(r1, outer)
+			if err != nil {
+				return nil, err
+			}
+			c2, err := outerOffset(r2, outer)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CrossDependence{
+				Kind:      kindOf(r1.Store, r2.Store),
+				Array:     r1.Array,
+				Src:       i1,
+				Dst:       i2,
+				OuterDist: c2 - c1,
+			})
+		}
+	}
+	return out, nil
+}
+
+// MinFusionShift returns the smallest shift preserving sequential
+// semantics (first nest entirely before the second): the maximum
+// cross-nest outer distance, floored at zero, together with a binding
+// dependence achieving it (zero CrossDependence when none constrain).
+func MinFusionShift(n1, n2 *ir.Nest) (int, CrossDependence, error) {
+	cross, err := CrossDependences(n1, n2)
+	if err != nil {
+		return 0, CrossDependence{}, err
+	}
+	shift := 0
+	var binding CrossDependence
+	for _, d := range cross {
+		if d.OuterDist > shift {
+			shift = d.OuterDist
+			binding = d
+		}
+	}
+	return shift, binding, nil
+}
+
+// sharedOuter validates the two outer loops match and returns the
+// shared variable name.
+func sharedOuter(n1, n2 *ir.Nest) (string, error) {
+	o1, err := outerLoopOf(n1)
+	if err != nil {
+		return "", err
+	}
+	o2, err := outerLoopOf(n2)
+	if err != nil {
+		return "", err
+	}
+	if o1 != o2 {
+		return "", fmt.Errorf("deps: outer loops differ: %q vs %q", o1, o2)
+	}
+	return o1, nil
+}
+
+func outerLoopOf(n *ir.Nest) (string, error) {
+	if len(n.Loops) == 0 {
+		return "", fmt.Errorf("deps: empty nest")
+	}
+	l := n.Loops[0]
+	if l.Step != 1 {
+		return "", fmt.Errorf("deps: fusion requires unit-step outer loop")
+	}
+	if _, _, ok := constBounds(l); !ok {
+		return "", fmt.Errorf("deps: fusion requires constant outer bounds")
+	}
+	return l.Name, nil
+}
+
+// outerOffset extracts the constant offset of the outer variable in the
+// reference's subscripts; zero if the reference does not use it.
+func outerOffset(r ir.Ref, outer string) (int, error) {
+	for _, s := range r.Subs {
+		if c, ok := s.Coeff[outer]; ok && c != 0 {
+			if c != 1 {
+				return 0, fmt.Errorf("deps: non-unit outer coefficient in %s%s", r.Array, atPos(r.Pos))
+			}
+			return s.Const, nil
+		}
+	}
+	return 0, nil
+}
+
+func atPos(p ir.Pos) string {
+	if !p.IsValid() {
+		return ""
+	}
+	return fmt.Sprintf(" (at %s)", p)
+}

@@ -1,0 +1,216 @@
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tiling3d/internal/ir"
+)
+
+// Wolf–Lam-style reuse classification per reference group (one group
+// per array, as in ir.Groups): the data reuse the paper's Section 2
+// tiling exists to convert into cache locality.
+//
+//   - self-temporal: a reference touches the same element again across
+//     iterations of a loop its subscripts do not mention.
+//   - self-spatial: consecutive iterations of the innermost loop touch
+//     adjacent elements of the fastest-varying dimension — the same
+//     cache line.
+//   - group-temporal: a reference touches an element another reference
+//     of the group touched a constant iteration distance earlier (the
+//     B(I,J,K-1)/B(I,J,K+1) pair that makes three Jacobi planes live at
+//     once).
+
+// PairReuse is one group-temporal reuse edge: Dst re-touches, Dist
+// iterations later, the element Src touched (Dist is lexicographically
+// non-negative, loop order outermost first). Loop names the outermost
+// loop carrying the reuse.
+type PairReuse struct {
+	Src, Dst int
+	Dist     []int
+	Loop     string
+}
+
+// Reuse is the reuse classification of one array's reference group.
+type Reuse struct {
+	Array string
+	// Refs are the body indices of the group's references.
+	Refs []int
+	// SelfTemporal lists the loops granting every reference of the
+	// group self-temporal reuse (their variables appear in no subscript
+	// of the group).
+	SelfTemporal []string
+	// SelfSpatial names the innermost loop when it carries unit-stride
+	// spatial reuse in the fastest-varying dimension; "" otherwise.
+	SelfSpatial string
+	// GroupTemporal lists the constant-distance reuse pairs.
+	GroupTemporal []PairReuse
+}
+
+// ReuseClasses classifies every array's reference group. Arrays with
+// unanalyzable subscripts get an entry with no classes (the analyzer
+// cannot promise reuse it cannot see); structural malformation errors.
+func ReuseClasses(n *ir.Nest) ([]Reuse, error) {
+	var order []string
+	refs := map[string][]int{}
+	for i, r := range n.Body {
+		if _, ok := refs[r.Array]; !ok {
+			order = append(order, r.Array)
+		}
+		refs[r.Array] = append(refs[r.Array], i)
+		if len(n.Body[refs[r.Array][0]].Subs) != len(r.Subs) {
+			return nil, fmt.Errorf("deps: array %s referenced with inconsistent dimensionality", r.Array)
+		}
+	}
+
+	var out []Reuse
+	for _, array := range order {
+		g := Reuse{Array: array, Refs: refs[array]}
+
+		// Variables used by any subscript of the group.
+		used := map[string]bool{}
+		clean := true
+		for _, ri := range g.Refs {
+			for _, s := range n.Body[ri].Subs {
+				if isConst(s) {
+					continue
+				}
+				v, _, ok := ir.AsVarPlusConst(s)
+				if !ok || n.LoopIndex(v) < 0 {
+					clean = false
+					continue
+				}
+				used[v] = true
+			}
+		}
+		if !clean {
+			out = append(out, g)
+			continue
+		}
+
+		for _, l := range n.Loops {
+			if !used[l.Name] {
+				g.SelfTemporal = append(g.SelfTemporal, l.Name)
+			}
+		}
+
+		g.SelfSpatial = selfSpatial(n, g.Refs)
+		g.GroupTemporal = groupTemporal(n, g.Refs)
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// selfSpatial reports the innermost loop's name when every reference of
+// the group uses it only in the fastest-varying dimension with unit
+// coefficient and unit step — adjacent iterations, adjacent elements.
+func selfSpatial(n *ir.Nest, refIdx []int) string {
+	if len(n.Loops) == 0 {
+		return ""
+	}
+	inner := n.Loops[len(n.Loops)-1]
+	if inner.Step != 1 {
+		return ""
+	}
+	for _, ri := range refIdx {
+		r := n.Body[ri]
+		if len(r.Subs) == 0 {
+			return ""
+		}
+		v, _, ok := ir.AsVarPlusConst(r.Subs[0])
+		if !ok || v != inner.Name {
+			return ""
+		}
+		for _, s := range r.Subs[1:] {
+			if c, okc := s.Coeff[inner.Name]; okc && c != 0 {
+				return ""
+			}
+		}
+	}
+	return inner.Name
+}
+
+// groupTemporal lists the constant-distance reuse edges among the
+// group's references, source first, pruned to realizable distances.
+func groupTemporal(n *ir.Nest, refIdx []int) []PairReuse {
+	var out []PairReuse
+	for x := 0; x < len(refIdx); x++ {
+		for y := x + 1; y < len(refIdx); y++ {
+			si, ri := refIdx[x], refIdx[y]
+			a, b := n.Body[si], n.Body[ri]
+			dist, status := pairDistance(n, a, b, func(int, int, string) {})
+			if status != pairConst || !realizable(n, dist) {
+				continue
+			}
+			var pr PairReuse
+			switch lexSign(dist) {
+			case -1:
+				neg := make([]int, len(dist))
+				for i, v := range dist {
+					neg[i] = -v
+				}
+				pr = PairReuse{Src: ri, Dst: si, Dist: neg}
+			default:
+				pr = PairReuse{Src: si, Dst: ri, Dist: dist}
+			}
+			for i, v := range pr.Dist {
+				if v != 0 {
+					pr.Loop = n.Loops[i].Name
+					break
+				}
+			}
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// ReuseString renders the classification for one nest, grouped per
+// array, summarizing group-temporal edges by carrying loop.
+func ReuseString(n *ir.Nest, classes []Reuse) string {
+	var b strings.Builder
+	b.WriteString("reuse classes:\n")
+	for _, g := range classes {
+		fmt.Fprintf(&b, "  %s (%d refs):", g.Array, len(g.Refs))
+		var parts []string
+		if len(g.SelfTemporal) > 0 {
+			parts = append(parts, "self-temporal in "+strings.Join(g.SelfTemporal, ","))
+		}
+		if g.SelfSpatial != "" {
+			parts = append(parts, "self-spatial in "+g.SelfSpatial)
+		}
+		if s := summarizeGroup(g.GroupTemporal); s != "" {
+			parts = append(parts, s)
+		}
+		if len(parts) == 0 {
+			parts = append(parts, "none")
+		}
+		fmt.Fprintf(&b, " %s\n", strings.Join(parts, "; "))
+	}
+	return b.String()
+}
+
+func summarizeGroup(pairs []PairReuse) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	byLoop := map[string]int{}
+	var loops []string
+	for _, p := range pairs {
+		name := p.Loop
+		if name == "" {
+			name = "(same iteration)"
+		}
+		if byLoop[name] == 0 {
+			loops = append(loops, name)
+		}
+		byLoop[name]++
+	}
+	sort.Strings(loops)
+	parts := make([]string, len(loops))
+	for i, l := range loops {
+		parts[i] = fmt.Sprintf("%s x%d", l, byLoop[l])
+	}
+	return "group-temporal carried by " + strings.Join(parts, ", ")
+}

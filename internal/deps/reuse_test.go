@@ -1,0 +1,140 @@
+package deps
+
+import (
+	"strings"
+	"testing"
+
+	"tiling3d/internal/ir"
+)
+
+func classOf(t *testing.T, classes []Reuse, array string) Reuse {
+	t.Helper()
+	for _, g := range classes {
+		if g.Array == array {
+			return g
+		}
+	}
+	t.Fatalf("no reuse class for %s in %v", array, classes)
+	return Reuse{}
+}
+
+// TestJacobiReuse pins the classification driving the paper's tiling
+// argument: B's six loads share cache lines along I (self-spatial) and
+// re-touch each other's elements at constant distances (group-temporal,
+// dominated by the J- and K-carried plane reuse tiling tries to keep in
+// cache); neither array has self-temporal reuse — every loop appears in
+// the subscripts.
+func TestJacobiReuse(t *testing.T) {
+	n := ir.JacobiNest(12, 8)
+	classes, err := ReuseClasses(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+
+	b := classOf(t, classes, "B")
+	if len(b.Refs) != 6 || len(b.SelfTemporal) != 0 || b.SelfSpatial != "I" {
+		t.Errorf("B = %+v", b)
+	}
+	// 6 refs -> 15 pairs, all at constant realizable distances.
+	if len(b.GroupTemporal) != 15 {
+		t.Errorf("B group-temporal edges = %d, want 15", len(b.GroupTemporal))
+	}
+	byLoop := map[string]int{}
+	for _, p := range b.GroupTemporal {
+		byLoop[p.Loop]++
+	}
+	// K carries every pair involving a K-offset ref (2 refs x 4 others
+	// + the K-1/K+1 pair = 9), J every remaining pair involving a
+	// J-offset ref (2 x 2 + the J-1/J+1 pair = 5), I the I-1/I+1 pair.
+	if byLoop["K"] != 9 || byLoop["J"] != 5 || byLoop["I"] != 1 {
+		t.Errorf("edges per carrying loop = %v", byLoop)
+	}
+
+	a := classOf(t, classes, "A")
+	if len(a.Refs) != 1 || a.SelfSpatial != "I" || len(a.GroupTemporal) != 0 {
+		t.Errorf("A = %+v", a)
+	}
+}
+
+// TestSelfTemporal: a 2D reference inside a 3D nest reuses the same
+// element across every iteration of the loop it does not mention.
+func TestSelfTemporal(t *testing.T) {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+	n := &ir.Nest{
+		Loops: []ir.Loop{
+			ir.SimpleLoop("K", 1, 6),
+			ir.SimpleLoop("J", 1, 10),
+			ir.SimpleLoop("I", 1, 10),
+		},
+		Body: []ir.Ref{ir.Load("P", i, j), ir.StoreRef("A", i, j, ir.Var("K", 0))},
+	}
+	classes, err := ReuseClasses(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := classOf(t, classes, "P")
+	if len(p.SelfTemporal) != 1 || p.SelfTemporal[0] != "K" {
+		t.Errorf("P self-temporal = %v", p.SelfTemporal)
+	}
+	a := classOf(t, classes, "A")
+	if len(a.SelfTemporal) != 0 {
+		t.Errorf("A self-temporal = %v", a.SelfTemporal)
+	}
+}
+
+// TestRedBlackReuseNoSpatial: the step-2 inner loop skips every other
+// element, so the group gets no self-spatial class even though I indexes
+// the fastest dimension.
+func TestRedBlackReuseNoSpatial(t *testing.T) {
+	classes, err := ReuseClasses(ir.RedBlackNest(12, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := classOf(t, classes, "A")
+	if a.SelfSpatial != "" {
+		t.Errorf("step-2 nest classified self-spatial in %q", a.SelfSpatial)
+	}
+	if len(a.GroupTemporal) == 0 {
+		t.Error("in-place stencil has no group-temporal reuse?")
+	}
+	for _, p := range a.GroupTemporal {
+		if p.Loop == "I" && p.Dist[2]%2 != 0 {
+			t.Errorf("unrealizable odd I-distance reuse %+v", p)
+		}
+	}
+}
+
+// TestUnanalyzableGroupGetsNoClasses: reuse must not be promised for
+// subscripts the analyzer cannot model.
+func TestUnanalyzableGroupGetsNoClasses(t *testing.T) {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+	ij := ir.Expr{Coeff: map[string]int{"I": 1, "J": 1}}
+	classes, err := ReuseClasses(twoDeep(ir.StoreRef("A", ij, j), ir.Load("A", i, j)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := classOf(t, classes, "A")
+	if len(a.SelfTemporal) != 0 || a.SelfSpatial != "" || len(a.GroupTemporal) != 0 {
+		t.Errorf("unanalyzable group classified: %+v", a)
+	}
+}
+
+func TestReuseString(t *testing.T) {
+	n := ir.Jacobi2DNest(12)
+	classes, err := ReuseClasses(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ReuseString(n, classes)
+	for _, want := range []string{
+		"B (4 refs): self-spatial in I; group-temporal carried by I x1, J x5",
+		"A (1 refs): self-spatial in I",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ReuseString missing %q:\n%s", want, out)
+		}
+	}
+}

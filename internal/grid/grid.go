@@ -55,7 +55,7 @@ func Check3D(ni, nj, nk, di, dj int) error {
 // only place unchecked literal extents appear); validated construction
 // goes through New3DPadded.
 func New3D(ni, nj, nk int) *Grid3D {
-	return Must3DPadded(ni, nj, nk, ni, nj)
+	return Must3DPadded(ni, nj, nk, ni, nj) //lint:allow mustcheck -- documented panic-on-bad-extents constructor
 }
 
 // New3DPadded allocates an NI x NJ x NK grid with allocated leading

@@ -27,7 +27,7 @@ func Check2D(ni, nj, di int) error {
 
 // New2D allocates an unpadded NI x NJ grid. Like New3D it panics on
 // non-positive extents; validated construction goes through New2DPadded.
-func New2D(ni, nj int) *Grid2D { return Must2DPadded(ni, nj, ni) }
+func New2D(ni, nj int) *Grid2D { return Must2DPadded(ni, nj, ni) } //lint:allow mustcheck -- documented panic-on-bad-extents constructor
 
 // New2DPadded allocates an NI x NJ grid with leading dimension DI,
 // returning an error for invalid extents.

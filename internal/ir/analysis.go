@@ -108,16 +108,16 @@ func offsetRange(n *Nest, array string, d int) (lo, hi int, err error) {
 			continue
 		}
 		e := r.Subs[d]
-		v, c, ok := asVarPlusConst(e)
+		v, c, ok := AsVarPlusConst(e)
 		if !ok {
-			return 0, 0, fmt.Errorf("ir: %s dim %d subscript %q is not loopVar+const", array, d, e)
+			return 0, 0, fmt.Errorf("ir: %s dim %d subscript %q is not loopVar+const%s", array, d, e, atPos(r.Pos))
 		}
 		if first {
 			baseVar, lo, hi, first = v, c, c, false
 			continue
 		}
 		if v != baseVar {
-			return 0, 0, fmt.Errorf("ir: %s dim %d indexed by both %s and %s", array, d, baseVar, v)
+			return 0, 0, fmt.Errorf("ir: %s dim %d indexed by both %s and %s%s", array, d, baseVar, v, atPos(r.Pos))
 		}
 		if c < lo {
 			lo = c
@@ -132,7 +132,18 @@ func offsetRange(n *Nest, array string, d int) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
-func asVarPlusConst(e Expr) (v string, c int, ok bool) {
+// atPos renders " (at line:col)" for diagnostics, or "" when the
+// reference has no source position.
+func atPos(p Pos) string {
+	if !p.IsValid() {
+		return ""
+	}
+	return fmt.Sprintf(" (at %s)", p)
+}
+
+// AsVarPlusConst decomposes e as loopVar+const: a single variable with
+// coefficient 1 plus a constant. ok is false for any other form.
+func AsVarPlusConst(e Expr) (v string, c int, ok bool) {
 	nvars := 0
 	for name, coeff := range e.Coeff {
 		if coeff == 0 {
@@ -184,8 +195,8 @@ func DependenceDistances(n *Nest) ([][]int, error) {
 func distance(n *Nest, store, other Ref) ([]int, bool, error) {
 	d := make([]int, len(n.Loops))
 	for dim := range store.Subs {
-		sv, sc, ok1 := asVarPlusConst(store.Subs[dim])
-		ov, oc, ok2 := asVarPlusConst(other.Subs[dim])
+		sv, sc, ok1 := AsVarPlusConst(store.Subs[dim])
+		ov, oc, ok2 := AsVarPlusConst(other.Subs[dim])
 		if !ok1 || !ok2 {
 			return nil, false, fmt.Errorf("ir: non-affine subscript in dependence test")
 		}

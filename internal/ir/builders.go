@@ -33,6 +33,40 @@ func JacobiNest(n, depth int) *Nest {
 	return nest
 }
 
+// RedBlackNest builds one color pass of the red-black SOR sweep
+// (Figure 12) as a rectangular step-2 nest over one n x n x depth array:
+// A(i,j,k) = C1*A(i,j,k) + C2*(6-point sum of A). The IR's rectangular
+// iteration space cannot carry the per-row parity offset of the real
+// kernel, so the nest over-approximates one color by a fixed stride-2
+// start — exactly what a dependence analyzer must handle conservatively:
+// the in-place update carries plane- and row-distance dependences, and
+// the unit I-distances are unrealizable under the step-2 inner loop.
+func RedBlackNest(n, depth int) *Nest {
+	i, j, k := Var("I", 0), Var("J", 0), Var("K", 0)
+	nest := &Nest{
+		Loops: []Loop{
+			SimpleLoop("K", 1, depth-2),
+			SimpleLoop("J", 1, n-2),
+			{Name: "I", Lo: BoundOf(Con(1)), Hi: BoundOf(Con(n - 2)), Step: 2},
+		},
+	}
+	nest.SetCompute(Assign{
+		LHS: Ref{Array: "A", Subs: []Expr{i, j, k}},
+		Terms: []Term{
+			{Coeff: "C1", Refs: []Ref{Load("A", i, j, k)}},
+			{Coeff: "C2", Refs: []Ref{
+				Load("A", i.Plus(-1), j, k),
+				Load("A", i.Plus(1), j, k),
+				Load("A", i, j.Plus(-1), k),
+				Load("A", i, j.Plus(1), k),
+				Load("A", i, j, k.Plus(-1)),
+				Load("A", i, j, k.Plus(1)),
+			}},
+		},
+	})
+	return nest
+}
+
 // Jacobi2DNest builds the 2D Jacobi nest (Figure 1) over n x n arrays.
 // 2D arrays carry no compute semantics (the interpreter is 3D); only the
 // reference body is set.

@@ -137,12 +137,33 @@ func SimpleLoop(name string, lo, hi int) Loop {
 	return Loop{Name: name, Lo: BoundOf(Con(lo)), Hi: BoundOf(Con(hi)), Step: 1}
 }
 
+// Pos is an optional source position (1-based line and column) carried
+// from the surface language; the zero value means "unknown" and is what
+// programmatic builders produce.
+type Pos struct {
+	Line, Col int
+}
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "?" for the zero position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "?"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Ref is one array reference: Array[Subs[0], Subs[1], ...] in column-major
 // subscript order (fastest dimension first).
 type Ref struct {
 	Array string
 	Store bool
 	Subs  []Expr
+	// Pos is where the reference appeared in the source program, when it
+	// was parsed rather than built; diagnostics use it.
+	Pos Pos
 }
 
 // Load builds a read reference.
@@ -198,7 +219,7 @@ func (n *Nest) Clone() *Nest {
 }
 
 func cloneRef(r Ref) Ref {
-	nr := Ref{Array: r.Array, Store: r.Store}
+	nr := Ref{Array: r.Array, Store: r.Store, Pos: r.Pos}
 	for _, s := range r.Subs {
 		nr.Subs = append(nr.Subs, s.clone())
 	}

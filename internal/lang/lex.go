@@ -22,6 +22,11 @@
 // Loop bounds may reference named parameters (e.g. N) supplied at parse
 // time. Subscripts are translated from the source's 1-based convention
 // to the IR's 0-based one (every subscript and bound is shifted by -1).
+//
+// Every token carries its line and column, so parse and analysis errors
+// report file:line:col positions (ParseNamed / ParseProgramNamed supply
+// the file name) and the IR references the parser builds carry their
+// source position for downstream diagnostics (cmd/stencilvet).
 package lang
 
 import (
@@ -50,6 +55,7 @@ type token struct {
 	text string
 	val  int
 	line int
+	col  int
 }
 
 func (t token) String() string {
@@ -64,16 +70,20 @@ func (t token) String() string {
 }
 
 // lex tokenizes the source. Comments run from "//" or "!" to end of line.
-func lex(src string) ([]token, error) {
+// name labels positions in errors; empty means anonymous input.
+func lex(name, src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // byte offset of the current line's first column
 	i := 0
+	col := func() int { return i - lineStart + 1 }
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '!' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
@@ -81,20 +91,26 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case unicode.IsDigit(rune(c)):
+			startCol := col()
 			j := i
 			v := 0
 			for j < len(src) && unicode.IsDigit(rune(src[j])) {
-				v = v*10 + int(src[j]-'0')
+				d := int(src[j] - '0')
+				if v > (1<<31-1-d)/10 {
+					return nil, fmt.Errorf("lang: %s: integer literal too large", posString(name, line, startCol))
+				}
+				v = v*10 + d
 				j++
 			}
-			toks = append(toks, token{kind: tokInt, val: v, line: line})
+			toks = append(toks, token{kind: tokInt, val: v, line: line, col: startCol})
 			i = j
 		case unicode.IsLetter(rune(c)) || c == '_':
+			startCol := col()
 			j := i
 			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
 				j++
 			}
-			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line, col: startCol})
 			i = j
 		default:
 			kind := tokEOF
@@ -114,14 +130,22 @@ func lex(src string) ([]token, error) {
 			case '=':
 				kind = tokAssign
 			default:
-				return nil, fmt.Errorf("lang: line %d: unexpected character %q", line, c)
+				return nil, fmt.Errorf("lang: %s: unexpected character %q", posString(name, line, col()), c)
 			}
-			toks = append(toks, token{kind: kind, text: string(c), line: line})
+			toks = append(toks, token{kind: kind, text: string(c), line: line, col: col()})
 			i++
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line, col: col()})
 	return toks, nil
+}
+
+// posString renders "name:line:col", omitting the name when empty.
+func posString(name string, line, col int) string {
+	if name == "" {
+		return fmt.Sprintf("%d:%d", line, col)
+	}
+	return fmt.Sprintf("%s:%d:%d", name, line, col)
 }
 
 // isKeyword reports a case-insensitive keyword match.

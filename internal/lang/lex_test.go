@@ -11,7 +11,7 @@ func kinds(toks []token) []tokKind {
 }
 
 func TestLexTokens(t *testing.T) {
-	toks, err := lex("do I = 2, N-1\n A(I) = C*(B(I+1))")
+	toks, err := lex("", "do I = 2, N-1\n A(I) = C*(B(I+1))")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestLexTokens(t *testing.T) {
 }
 
 func TestLexComments(t *testing.T) {
-	toks, err := lex("do I = 1, 5 ! fortran comment\n// go comment\nA(I) = B(I)")
+	toks, err := lex("", "do I = 1, 5 ! fortran comment\n// go comment\nA(I) = B(I)")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestLexComments(t *testing.T) {
 }
 
 func TestLexLineNumbers(t *testing.T) {
-	toks, err := lex("a\nb\n\nc")
+	toks, err := lex("", "a\nb\n\nc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +59,14 @@ func TestLexLineNumbers(t *testing.T) {
 
 func TestLexRejectsGarbage(t *testing.T) {
 	for _, src := range []string{"a & b", "x # y", "A(I) = B[I]"} {
-		if _, err := lex(src); err == nil {
+		if _, err := lex("", src); err == nil {
 			t.Errorf("%q lexed without error", src)
 		}
 	}
 }
 
 func TestLexNumbers(t *testing.T) {
-	toks, err := lex("12345 007")
+	toks, err := lex("", "12345 007")
 	if err != nil {
 		t.Fatal(err)
 	}

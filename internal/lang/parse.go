@@ -12,11 +12,17 @@ import (
 // 1-based indexing (do I = 2, N-1) is converted to the IR's 0-based
 // form, so bounds and subscript constants shift by one.
 func Parse(src string, params map[string]int) (*ir.Nest, error) {
-	toks, err := lex(src)
+	return ParseNamed("", src, params)
+}
+
+// ParseNamed is Parse with a file name: every error position reads
+// name:line:col instead of the bare line:col.
+func ParseNamed(name, src string, params map[string]int) (*ir.Nest, error) {
+	toks, err := lex(name, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, params: params}
+	p := &parser{file: name, toks: toks, params: params}
 	nest, err := p.program()
 	if err != nil {
 		return nil, err
@@ -28,6 +34,7 @@ func Parse(src string, params map[string]int) (*ir.Nest, error) {
 }
 
 type parser struct {
+	file   string
 	toks   []token
 	pos    int
 	params map[string]int
@@ -39,7 +46,14 @@ func (p *parser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) at(k tokKind) bool { return p.peek().kind == k }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("lang: line %d: %s (at %q)", p.peek().line, fmt.Sprintf(format, args...), p.peek().String())
+	t := p.peek()
+	return fmt.Errorf("lang: %s: %s (at %q)", posString(p.file, t.line, t.col), fmt.Sprintf(format, args...), t.String())
+}
+
+// errAt reports an error anchored at a specific token rather than the
+// parser's current position.
+func (p *parser) errAt(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("lang: %s: %s", posString(p.file, t.line, t.col), fmt.Sprintf(format, args...))
 }
 
 func (p *parser) expect(k tokKind, what string) (token, error) {
@@ -136,7 +150,7 @@ func (p *parser) bound() (int, error) {
 		v, ok = p.params[strings.ToUpper(name.text)]
 	}
 	if !ok {
-		return 0, fmt.Errorf("lang: line %d: unknown size parameter %q", name.line, name.text)
+		return 0, p.errAt(name, "unknown size parameter %q", name.text)
 	}
 	switch {
 	case p.at(tokPlus):
@@ -237,7 +251,7 @@ func (p *parser) ref() (ir.Ref, error) {
 	if _, err := p.expect(tokLParen, "'(' after array name"); err != nil {
 		return ir.Ref{}, err
 	}
-	r := ir.Ref{Array: strings.ToUpper(name.text)}
+	r := ir.Ref{Array: strings.ToUpper(name.text), Pos: ir.Pos{Line: name.line, Col: name.col}}
 	for {
 		s, err := p.sub()
 		if err != nil {
@@ -276,7 +290,7 @@ func (p *parser) sub() (ir.Expr, error) {
 		}
 	}
 	if !inScope {
-		return ir.Expr{}, fmt.Errorf("lang: line %d: subscript %q is not an enclosing loop variable", name.line, name.text)
+		return ir.Expr{}, p.errAt(name, "subscript %q is not an enclosing loop variable", name.text)
 	}
 	e := ir.Var(strings.ToUpper(name.text), 0)
 	switch {

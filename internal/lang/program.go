@@ -31,11 +31,16 @@ type Program struct {
 // its variable never appearing in an array subscript (true of every
 // stencil time loop, never of a spatial loop).
 func ParseProgram(src string, params map[string]int) (*Program, error) {
-	toks, err := lex(src)
+	return ParseProgramNamed("", src, params)
+}
+
+// ParseProgramNamed is ParseProgram with a file name for error positions.
+func ParseProgramNamed(filename string, src string, params map[string]int) (*Program, error) {
+	toks, err := lex(filename, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks, params: params}
+	p := &parser{file: filename, toks: toks, params: params}
 	if !isKeyword(p.peek(), "do") {
 		return nil, p.errorf("expected a do loop")
 	}
@@ -71,7 +76,7 @@ func ParseProgram(src string, params map[string]int) (*Program, error) {
 	if len(nests) == 0 {
 		// The outer loop is itself the start of a single bare nest:
 		// reparse the whole source as one nest.
-		nest, err := Parse(src, params)
+		nest, err := ParseNamed(filename, src, params)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,47 @@
+// Package analysis is a minimal, API-compatible subset of the
+// golang.org/x/tools go/analysis framework, implemented on the standard
+// library only (this module carries no external dependencies). It
+// supports exactly what the repo's analyzers need: purely syntactic
+// single-file passes over parsed ASTs with position-carrying
+// diagnostics. Analyzers written against it port to the real framework
+// by changing one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Analyzer describes one analysis: a name (used in diagnostics and
+// //lint:allow suppressions), documentation, and the pass function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (interface{}, error)
+}
+
+// Pass carries one analyzer's view of one package's worth of files.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

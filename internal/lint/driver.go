@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// Finding is one unsuppressed diagnostic, ready for display.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the repo's analyzer set.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Mustcheck, Rawindex}
+}
+
+// Run lints the Go files matched by the patterns (a directory, a file,
+// or a `dir/...` tree pattern) with the given analyzers, returning the
+// findings that survive //lint:allow suppression, sorted by position.
+func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	files, err := collectFiles(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	allow := buildAllowIndex(fset, parsed)
+
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    parsed,
+			Report: func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if allow.allows(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectFiles expands the patterns into a deduplicated list of .go
+// files. `dir/...` walks the tree (skipping hidden directories);
+// anything else is a file or a single directory.
+func collectFiles(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if strings.HasSuffix(path, ".go") {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", pat, err)
+		}
+		if info.IsDir() {
+			entries, err := os.ReadDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(filepath.Join(pat, e.Name()))
+				}
+			}
+			continue
+		}
+		add(pat)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// allowIndex records, per file, the lines carrying //lint:allow
+// comments for each analyzer.
+type allowIndex map[string]map[int]map[string]bool
+
+// allows reports whether a finding at pos is suppressed: an allow
+// comment for the analyzer on the same line or the line above.
+func (ai allowIndex) allows(analyzer string, pos token.Position) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				// Anything after "--" is the human justification.
+				rest, _, _ = strings.Cut(rest, "--")
+				pos := fset.Position(c.Pos())
+				byLine := ai[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					ai[pos.Filename] = byLine
+				}
+				byAnalyzer := byLine[pos.Line]
+				if byAnalyzer == nil {
+					byAnalyzer = map[string]bool{}
+					byLine[pos.Line] = byAnalyzer
+				}
+				for _, name := range strings.Fields(rest) {
+					byAnalyzer[name] = true
+				}
+			}
+		}
+	}
+	return ai
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintSource writes the sources into a temp tree and runs both
+// analyzers over it; keys are paths relative to the tree root.
+func lintSource(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	findings, err := Run([]string{dir + "/..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func onlyAnalyzer(findings []Finding, name string) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Analyzer == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestMustcheck(t *testing.T) {
+	findings := lintSource(t, map[string]string{
+		"pkg/a.go": `package pkg
+
+import "tiling3d/internal/cache"
+
+func build() *cache.Hierarchy {
+	return cache.MustHierarchy() // finding: production code
+}
+
+// MustBuild is a Must* wrapper: the sanctioned home of a Must* call.
+func MustBuild() *cache.Hierarchy {
+	return cache.MustHierarchy()
+}
+
+func allowed() *cache.Hierarchy {
+	return cache.MustHierarchy() //lint:allow mustcheck -- test fixture
+}
+
+func allowedAbove() *cache.Hierarchy {
+	//lint:allow mustcheck -- validated by caller
+	return cache.MustHierarchy()
+}
+
+func mustang() { mustard() } // lowercase and non-Must names don't match
+func mustard() {}
+`,
+		"pkg/a_test.go": `package pkg
+
+import "tiling3d/internal/cache"
+
+func helper() *cache.Hierarchy { return cache.MustHierarchy() }
+`,
+		"examples/demo/main.go": `package main
+
+import "tiling3d/internal/cache"
+
+func main() { _ = cache.MustHierarchy() }
+`,
+	})
+	got := onlyAnalyzer(findings, "mustcheck")
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the one unannotated production call", got)
+	}
+	f := got[0]
+	if !strings.HasSuffix(f.Pos.Filename, "pkg/a.go") || f.Pos.Line != 6 {
+		t.Errorf("finding at %s:%d", f.Pos.Filename, f.Pos.Line)
+	}
+	if !strings.Contains(f.Message, "MustHierarchy") {
+		t.Errorf("message = %q", f.Message)
+	}
+	if !strings.Contains(f.String(), "[mustcheck]") {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestRawindex(t *testing.T) {
+	findings := lintSource(t, map[string]string{
+		"pkg/b.go": `package pkg
+
+type Grid struct {
+	Data       []float64
+	NI, NJ, DI int
+}
+
+func (g *Grid) Index(i, j int) int { return j*g.DI + i }
+
+func bad(g *Grid, i, j int) float64 {
+	return g.Data[j*g.NI+i] // finding: hand-rolled stride
+}
+
+func good(g *Grid, i, j int) float64 {
+	return g.Data[g.Index(i, j)]
+}
+
+func hoisted(g *Grid, i, row int) float64 {
+	return g.Data[row+i]
+}
+
+func slice(g *Grid, j int) []float64 {
+	return g.Data[j*g.NI : (j+1)*g.NI] // slicing a plane is the sanctioned bulk idiom
+}
+
+func allowed(g *Grid, i, j int) float64 {
+	return g.Data[j*g.NI+i] //lint:allow rawindex -- probing raw layout on purpose
+}
+
+func accessor(g *Grid, i, j int) float64 {
+	return g.Index(i*2, j) // Index() args may multiply freely
+}
+`,
+	})
+	got := onlyAnalyzer(findings, "rawindex")
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the one raw stride index", got)
+	}
+	if got[0].Pos.Line != 11 || !strings.Contains(got[0].Message, "g.Data") {
+		t.Errorf("finding = %+v", got[0])
+	}
+}
+
+// TestRepoIsClean is the in-test mirror of the CI gate: the tree itself
+// must lint clean (findings are either fixed or annotated).
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Run([]string{"../..." /* internal/ */, "../../cmd/...", "../../tiling3d.go"}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

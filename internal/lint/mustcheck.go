@@ -1,0 +1,80 @@
+// Package lint holds the repo's custom analyzers and the driver that
+// runs them over the source tree. Two analyzers enforce library
+// conventions the compiler cannot:
+//
+//   - mustcheck: Must* constructors panic on bad input, so production
+//     code must use the error-returning variants; Must* belongs in
+//     tests, examples, and Must* wrappers.
+//   - rawindex: flat-index arithmetic on grid buffers bypasses the
+//     padded-layout accessors and silently breaks under padding.
+//
+// Deliberate exceptions carry a `//lint:allow <analyzer>` comment on
+// the same line or the line above.
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+var mustName = regexp.MustCompile(`^Must[A-Z0-9]`)
+
+// Mustcheck reports calls to Must* constructors outside test files,
+// examples, and Must* wrapper functions.
+var Mustcheck = &analysis.Analyzer{
+	Name: "mustcheck",
+	Doc:  "flag Must* constructor calls in production code (use the error-returning variant)",
+	Run:  runMustcheck,
+}
+
+func runMustcheck(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		name := pass.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") || underExamples(name) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A Must* wrapper is the sanctioned home of a Must* call (or
+			// of the panic-on-error pattern it wraps).
+			if mustName.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeName(call); callee != "" && mustName.MatchString(callee) {
+					pass.Reportf(call.Pos(), "call to %s in production code; use the error-returning variant", callee)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// calleeName extracts the bare function name of a call: F(...) or
+// pkg.F(...) / recv.F(...); anything else (calls through values) is "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	default:
+		return ""
+	}
+}
+
+// underExamples reports whether the file sits in an examples/ tree.
+func underExamples(path string) bool {
+	return strings.Contains(path, "/examples/") || strings.HasPrefix(path, "examples/")
+}

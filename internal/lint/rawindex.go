@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// Rawindex reports indexing a grid's flat Data buffer with hand-rolled
+// stride arithmetic (any multiplication inside the index expression):
+// `g.Data[k*nij+j*ni+i]` silently reads the wrong element once the grid
+// is padded, which is the whole point of the padding methods. Compute
+// the base with Index()/row helpers instead, or annotate deliberate
+// stride math with //lint:allow rawindex.
+var Rawindex = &analysis.Analyzer{
+	Name: "rawindex",
+	Doc:  "flag hand-rolled flat-index arithmetic on grid Data buffers",
+	Run:  runRawindex,
+}
+
+func runRawindex(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			idx, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := idx.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Data" {
+				return true
+			}
+			if containsMul(idx.Index) {
+				pass.Reportf(idx.Pos(), "hand-rolled stride arithmetic indexing %s.Data; use Index() or a row-base helper (padding changes the strides)", exprText(sel.X))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// containsMul reports whether the expression tree contains a
+// multiplication — the signature of stride recomputation.
+func containsMul(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.MUL {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders simple receiver expressions for the message.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	default:
+		return "grid"
+	}
+}

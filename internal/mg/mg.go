@@ -96,14 +96,14 @@ func New(p Params) *Solver {
 	}
 	for l := 1; l <= p.LM; l++ {
 		m, di, dj := dims(l)
-		s.u[l] = arena.Place(grid.Must3DPadded(m, m, m, di, dj))
+		s.u[l] = arena.Place(grid.Must3DPadded(m, m, m, di, dj)) //lint:allow mustcheck -- dims derived from validated Params
 	}
 	for l := 1; l <= p.LM; l++ {
 		m, di, dj := dims(l)
-		s.r[l] = arena.Place(grid.Must3DPadded(m, m, m, di, dj))
+		s.r[l] = arena.Place(grid.Must3DPadded(m, m, m, di, dj)) //lint:allow mustcheck -- dims derived from validated Params
 	}
 	fm, fdi, fdj := dims(p.LM)
-	s.v = arena.Place(grid.Must3DPadded(fm, fm, fm, fdi, fdj))
+	s.v = arena.Place(grid.Must3DPadded(fm, fm, fm, fdi, fdj)) //lint:allow mustcheck -- dims derived from validated Params
 	return s
 }
 
@@ -264,7 +264,7 @@ func (s *Solver) partialVCycle(top int, rhs *grid.Grid3D) {
 	for l := 2; l <= top; l++ {
 		m := s.u[l].NI
 		di, dj := s.u[l].DI, s.u[l].DJ
-		corr[l] = grid.Must3DPadded(m, m, m, di, dj)
+		corr[l] = grid.Must3DPadded(m, m, m, di, dj) //lint:allow mustcheck -- dims copied from existing grids
 		interp(corr[l], corr[l-1])
 		if l < top {
 			stencil.ResidOrig(s.r[l], s.r[l], corr[l], s.p.A)

@@ -71,7 +71,7 @@ func RunSimulatedExperiment(lm, cs int, m core.Method, l1, l2 cache.Config, acce
 
 	cycles := func(p core.Plan) (float64, float64) {
 		s := New(Params{LM: lm, Plan: p})
-		h := cache.MustHierarchy(l1, l2)
+		h := cache.MustHierarchy(l1, l2) //lint:allow mustcheck -- fixed valid configs from the caller
 		s.TraceVCycle(h)
 		s.TraceResid(h)
 		h.ResetStats()

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/deps"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/transform"
+)
+
+// Certification checks: for every paper kernel and every selection
+// method, the transformed nest must provably preserve the original's
+// dependence structure (deps.Certify). These are not paper claims, so
+// they run behind cmd/repro's -certify flag rather than inside RunAll.
+
+// CertifyChecks returns one check per paper kernel covering every
+// selection method.
+func CertifyChecks() []Check {
+	kernels := []struct {
+		id   string
+		nest *ir.Nest
+	}{
+		{"certify-jacobi", ir.JacobiNest(64, 16)},
+		{"certify-resid", ir.ResidNest(64, 16)},
+	}
+	var out []Check
+	for _, k := range kernels {
+		nest := k.nest
+		out = append(out, Check{
+			ID:    k.id,
+			Claim: "every selection method's plan certifies dependence-preserving",
+			Run: func() (string, bool) {
+				const cs, n = 2048, 64
+				st, err := ir.Analyze(nest)
+				if err != nil {
+					return err.Error(), false
+				}
+				var certified []string
+				for _, m := range core.AllMethods() {
+					plan, err := core.SelectChecked(m, cs, n, n, st)
+					if err != nil {
+						return fmt.Sprintf("%s: select: %v", m, err), false
+					}
+					after, err := transform.ApplyPlan(nest, plan)
+					if err != nil {
+						return fmt.Sprintf("%s: apply: %v", m, err), false
+					}
+					if err := deps.Certify(nest, after); err != nil {
+						return fmt.Sprintf("%s: %v", m, err), false
+					}
+					certified = append(certified, m.String())
+				}
+				return fmt.Sprintf("certified: %s", strings.Join(certified, ",")), true
+			},
+		})
+	}
+	return out
+}
+
+// RunCertify executes the certification checks.
+func RunCertify() []Result {
+	var out []Result
+	for _, c := range CertifyChecks() {
+		got, pass := c.Run()
+		out = append(out, Result{ID: c.ID, Claim: c.Claim, Got: got, Pass: pass})
+	}
+	return out
+}

@@ -244,7 +244,7 @@ func Checks() []Check {
 
 // simulateWorkload measures one workload's warm L1 miss rate.
 func simulateWorkload(w *stencil.Workload, opt bench.Options) float64 {
-	h := cache.MustHierarchy(opt.L1, opt.L2)
+	h := cache.MustHierarchy(opt.L1, opt.L2) //lint:allow mustcheck -- Options geometry validated upstream
 	w.RunTrace(h)
 	h.ResetStats()
 	w.RunTrace(h)

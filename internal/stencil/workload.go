@@ -71,9 +71,9 @@ func newWorkloadShaped(k Kernel, n, depth int, plan core.Plan, c Coeffs, gaps []
 		// invariants here.
 		var g *grid.Grid3D
 		if backed {
-			g = grid.Must3DPadded(n, n, depth, plan.DI, plan.DJ)
+			g = grid.Must3DPadded(n, n, depth, plan.DI, plan.DJ) //lint:allow mustcheck -- plan dims validated by SelectChecked
 		} else {
-			g = grid.Must3DShape(n, n, depth, plan.DI, plan.DJ)
+			g = grid.Must3DShape(n, n, depth, plan.DI, plan.DJ) //lint:allow mustcheck -- plan dims validated by SelectChecked
 		}
 		arena.Place(g)
 		w.Grids = append(w.Grids, g)

@@ -1,0 +1,170 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/deps"
+	"tiling3d/internal/ir"
+)
+
+// The legality-edge suite for the deps rewiring: the transformations now
+// consult the shared dependence table, and these tests pin (a) that the
+// deps-routed guards accept and reject exactly where the old private
+// checks did, (b) that refusals name the violated dependence, and
+// (c) that deps.Certify approves every paper kernel under every
+// selection method's plan.
+
+// paperKernels pairs each paper kernel nest with its stencil spec.
+func paperKernels() []struct {
+	name string
+	nest *ir.Nest
+	st   core.Stencil
+} {
+	return []struct {
+		name string
+		nest *ir.Nest
+		st   core.Stencil
+	}{
+		{"jacobi", ir.JacobiNest(64, 64), core.Jacobi6pt()},
+		{"resid", ir.ResidNest(64, 64), core.Resid27pt()},
+	}
+}
+
+// TestCertifyKernelsAcrossMethods runs the post-transformation certifier
+// over every paper kernel x selection method: whatever plan the method
+// picks, the tiled schedule must provably preserve the (empty) within-
+// sweep dependence structure.
+func TestCertifyKernelsAcrossMethods(t *testing.T) {
+	const cacheSize = 16384
+	for _, k := range paperKernels() {
+		for _, m := range core.AllMethods() {
+			plan, err := core.SelectChecked(m, cacheSize, 64, 64, k.st)
+			if err != nil {
+				t.Fatalf("%s/%s: select: %v", k.name, m, err)
+			}
+			after, err := ApplyPlan(k.nest, plan)
+			if err != nil {
+				t.Fatalf("%s/%s: apply: %v", k.name, m, err)
+			}
+			if err := deps.Certify(k.nest, after); err != nil {
+				t.Errorf("%s/%s: certify: %v", k.name, m, err)
+			}
+		}
+	}
+}
+
+// carriedNest has the interchange-blocking flow dependence (1,-1) in
+// (J,I) order: store A(I-1,J+1), load A(I,J).
+func carriedNest() *ir.Nest {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+	return &ir.Nest{
+		Loops: []ir.Loop{ir.SimpleLoop("J", 1, 30), ir.SimpleLoop("I", 1, 30)},
+		Body:  []ir.Ref{ir.StoreRef("A", i.Plus(-1), j.Plus(1)), ir.Load("A", i, j)},
+	}
+}
+
+// TestInterchangeRefusalNamesDependence: the deps-routed guard must
+// reject the same permutation the old sign check rejected, now quoting
+// the violated distance vector.
+func TestInterchangeRefusalNamesDependence(t *testing.T) {
+	n := carriedNest()
+	if _, err := Interchange(n, []string{"J", "I"}); err != nil {
+		t.Errorf("identity permutation refused: %v", err)
+	}
+	_, err := Interchange(n, []string{"I", "J"})
+	if err == nil {
+		t.Fatal("reversing interchange accepted")
+	}
+	if !strings.Contains(err.Error(), "flow A distance (1,-1)") {
+		t.Errorf("refusal does not name the dependence: %v", err)
+	}
+}
+
+// TestInterchangeBlockedByUnknown: unanalyzable subscripts must block
+// interchange outright rather than slip past as "no distance vectors".
+func TestInterchangeBlockedByUnknown(t *testing.T) {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+	n := &ir.Nest{
+		Loops: []ir.Loop{ir.SimpleLoop("J", 1, 30), ir.SimpleLoop("I", 1, 30)},
+		Body:  []ir.Ref{ir.StoreRef("A", i, j), ir.Load("A", i, ir.Con(5))},
+	}
+	_, err := Interchange(n, []string{"I", "J"})
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown dependence not blocking: %v", err)
+	}
+}
+
+// TestTileInner2RefusalNamesDependence: tiling a nest with any carried
+// dependence is refused, naming it; loop-independent (same-iteration)
+// dependences do not block.
+func TestTileInner2RefusalNamesDependence(t *testing.T) {
+	i, j, k := ir.Var("I", 0), ir.Var("J", 0), ir.Var("K", 0)
+	carried := &ir.Nest{
+		Loops: []ir.Loop{
+			ir.SimpleLoop("K", 1, 30),
+			ir.SimpleLoop("J", 1, 30),
+			ir.SimpleLoop("I", 1, 30),
+		},
+		Body: []ir.Ref{ir.StoreRef("A", i, j, k), ir.Load("A", i, j, k.Plus(-1))},
+	}
+	_, err := TileInner2(carried, core.Tile{TI: 8, TJ: 8})
+	if err == nil || !strings.Contains(err.Error(), "flow A distance (1,0,0)") {
+		t.Errorf("carried nest: %v", err)
+	}
+
+	independent := carried.Clone()
+	independent.Body[1] = ir.Load("A", i, j, k)
+	if _, err := TileInner2(independent, core.Tile{TI: 8, TJ: 8}); err != nil {
+		t.Errorf("loop-independent dependence blocked tiling: %v", err)
+	}
+}
+
+// TestMinLegalShiftEdges drives the fusion guard at shifts 0, 1 and >1,
+// and checks FuseShifted's refusal names the binding dependence.
+func TestMinLegalShiftEdges(t *testing.T) {
+	i, j, k := ir.Var("I", 0), ir.Var("J", 0), ir.Var("K", 0)
+	loops := func() []ir.Loop {
+		return []ir.Loop{
+			ir.SimpleLoop("K", 1, 30),
+			ir.SimpleLoop("J", 1, 30),
+			ir.SimpleLoop("I", 1, 30),
+		}
+	}
+	// Shift 0: the second nest reads only planes the first has already
+	// written (same plane, flow distance 0).
+	n1 := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.StoreRef("A", i, j, k)}}
+	n2 := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.Load("A", i, j, k), ir.StoreRef("B", i, j, k)}}
+	if s, err := MinLegalShift(n1, n2); err != nil || s != 0 {
+		t.Errorf("shift-0 pair: s=%d err=%v", s, err)
+	}
+	if _, err := FuseShifted(n1, n2, 0); err != nil {
+		t.Errorf("legal shift refused: %v", err)
+	}
+
+	// Shift 1: classic compute + copy-back (the Figure 5 pair). The
+	// copy-back's store of B(K) must trail the compute's read of B(K-1).
+	cmp := &ir.Nest{Loops: loops(), Body: []ir.Ref{
+		ir.Load("B", i, j, k.Plus(-1)),
+		ir.Load("B", i, j, k.Plus(1)),
+		ir.StoreRef("A", i, j, k),
+	}}
+	cpy := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.Load("A", i, j, k), ir.StoreRef("B", i, j, k)}}
+	if s, err := MinLegalShift(cmp, cpy); err != nil || s != 1 {
+		t.Errorf("copy-back pair: s=%d err=%v", s, err)
+	}
+
+	// Shift >1: the second nest reads three planes ahead.
+	n2far := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.Load("A", i, j, k.Plus(3)), ir.StoreRef("B", i, j, k)}}
+	if s, err := MinLegalShift(n1, n2far); err != nil || s != 3 {
+		t.Errorf("far pair: s=%d err=%v", s, err)
+	}
+	_, err := FuseShifted(n1, n2far, 2)
+	if err == nil {
+		t.Fatal("under-shifted fusion accepted")
+	}
+	if !strings.Contains(err.Error(), "minimum legal shift 3") || !strings.Contains(err.Error(), "flow A outer distance 3") {
+		t.Errorf("refusal does not name the binding dependence: %v", err)
+	}
+}

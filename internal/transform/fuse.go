@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tiling3d/internal/cache"
+	"tiling3d/internal/deps"
 	"tiling3d/internal/grid"
 	"tiling3d/internal/ir"
 	"tiling3d/internal/trace"
@@ -26,54 +27,24 @@ type Fused struct {
 }
 
 // MinLegalShift returns the smallest shift that preserves the sequential
-// semantics (first nest entirely before second): the maximum outer-loop
-// dependence distance c2-c1 over all cross-nest reference pairs to the
-// same array where at least one is a store. Both nests must have the
-// same outer loop variable with constant bounds and loopVar+const
-// subscripts in the outer dimension.
+// semantics (first nest entirely before second): the maximum cross-nest
+// outer-loop dependence distance, from the shared dependence analyzer.
+// Both nests must have the same outer loop variable with constant bounds
+// and loopVar+const subscripts in the outer dimension.
 func MinLegalShift(n1, n2 *ir.Nest) (int, error) {
-	outer1, err := outerInfo(n1)
-	if err != nil {
-		return 0, err
-	}
-	outer2, err := outerInfo(n2)
-	if err != nil {
-		return 0, err
-	}
-	if outer1.name != outer2.name {
-		return 0, fmt.Errorf("transform: outer loops differ: %q vs %q", outer1.name, outer2.name)
-	}
-	minShift := 0
-	for _, r1 := range n1.Body {
-		for _, r2 := range n2.Body {
-			if r1.Array != r2.Array || (!r1.Store && !r2.Store) {
-				continue
-			}
-			c1, err := outerOffset(r1, outer1.name)
-			if err != nil {
-				return 0, err
-			}
-			c2, err := outerOffset(r2, outer2.name)
-			if err != nil {
-				return 0, err
-			}
-			if d := c2 - c1; d > minShift {
-				minShift = d
-			}
-		}
-	}
-	return minShift, nil
+	shift, _, err := deps.MinFusionShift(n1, n2)
+	return shift, err
 }
 
 // FuseShifted fuses the nests with the given shift, refusing shifts
-// smaller than MinLegalShift.
+// smaller than MinLegalShift and naming the binding dependence.
 func FuseShifted(n1, n2 *ir.Nest, shift int) (*Fused, error) {
-	min, err := MinLegalShift(n1, n2)
+	min, binding, err := deps.MinFusionShift(n1, n2)
 	if err != nil {
 		return nil, err
 	}
 	if shift < min {
-		return nil, fmt.Errorf("transform: shift %d below minimum legal shift %d", shift, min)
+		return nil, fmt.Errorf("transform: shift %d below minimum legal shift %d required by %s", shift, min, binding)
 	}
 	return &Fused{First: n1.Clone(), Second: n2.Clone(), Shift: shift}, nil
 }
@@ -96,20 +67,6 @@ func outerInfo(n *ir.Nest) (outerLoop, error) {
 		return outerLoop{}, fmt.Errorf("transform: fusion requires constant outer bounds")
 	}
 	return outerLoop{name: l.Name, lo: l.Lo.Exprs[0].Const, hi: l.Hi.Exprs[0].Const}, nil
-}
-
-// outerOffset extracts the constant offset of the outer variable in the
-// reference's subscripts; zero if the reference does not use it.
-func outerOffset(r ir.Ref, outer string) (int, error) {
-	for _, s := range r.Subs {
-		if c, ok := s.Coeff[outer]; ok && c != 0 {
-			if c != 1 {
-				return 0, fmt.Errorf("transform: non-unit outer coefficient in %s", r.Array)
-			}
-			return s.Const, nil
-		}
-	}
-	return 0, nil
 }
 
 // OuterRange returns the fused outer iteration range: the union of the

@@ -4,18 +4,21 @@
 // two inner loops, move the tile-controlling loops outermost), driven by
 // a tile plan from the selection algorithms in internal/core.
 //
-// Interchange is guarded by the classical dependence-legality test: a
-// permutation is legal when every dependence distance vector remains
-// lexicographically non-negative. The paper's kernels carry no
-// loop-carried dependences within a sweep (they write arrays they do not
-// read), so tiling is always legal there; the check exists so the driver
-// refuses nests where it would not be.
+// Legality rests on the shared dependence table of internal/deps:
+// Interchange keeps every oriented distance vector lexicographically
+// non-negative under the permutation, and TileInner2 requires a nest
+// with no loop-carried dependences at all (tile boundaries reorder
+// iterations arbitrarily). The paper's kernels carry nothing within a
+// sweep (they write arrays they do not read), so tiling is always legal
+// there; the checks exist so the driver refuses nests where it would
+// not be, with diagnostics naming the violated dependence.
 package transform
 
 import (
 	"fmt"
 
 	"tiling3d/internal/core"
+	"tiling3d/internal/deps"
 	"tiling3d/internal/ir"
 )
 
@@ -104,41 +107,24 @@ func Interchange(n *ir.Nest, order []string) (*ir.Nest, error) {
 	return out, nil
 }
 
-// checkPermutationLegal verifies no dependence is reversed: every
-// distance vector must keep its lexicographic sign under the permutation
-// (the vectors are unoriented, so a vector and its negation describe the
-// same dependence; reversing the sign reverses execution order across the
-// dependence).
+// checkPermutationLegal consults the dependence table: a permutation is
+// legal when every oriented distance vector stays lexicographically
+// non-negative in the new loop order. Unknown dependences (subscripts
+// the analyzer cannot model) conservatively block.
 func checkPermutationLegal(n *ir.Nest, perm []int) error {
-	dists, err := ir.DependenceDistances(n)
+	tab, err := deps.Dependences(n)
 	if err != nil {
 		return err
 	}
-	for _, d := range dists {
-		before := lexSign(d, nil)
-		after := lexSign(d, perm)
-		if before != 0 && after != before {
-			return fmt.Errorf("transform: permutation reverses dependence %v", d)
+	for _, d := range tab.Deps {
+		if d.Unknown {
+			return fmt.Errorf("transform: %s blocks interchange", d)
+		}
+		if d.PermutedSign(perm) < 0 {
+			return fmt.Errorf("transform: permutation reverses %s", d)
 		}
 	}
 	return nil
-}
-
-// lexSign returns the sign of d under the loop order perm (nil = identity).
-func lexSign(d []int, perm []int) int {
-	for pos := range d {
-		idx := pos
-		if perm != nil {
-			idx = perm[pos]
-		}
-		if d[idx] > 0 {
-			return 1
-		}
-		if d[idx] < 0 {
-			return -1
-		}
-	}
-	return 0
 }
 
 // TileInner2 applies the paper's tiling transformation (Section 2.2,
@@ -158,17 +144,14 @@ func TileInner2(n *ir.Nest, tile core.Tile) (*ir.Nest, error) {
 	// dependences at all (true of the paper's kernels, which never read
 	// the array they write within a sweep). Distance vectors over
 	// strip-mined loops are not constant, so the finer-grained
-	// Interchange check cannot be reused here.
-	dists, err := ir.DependenceDistances(n)
+	// Interchange check cannot be reused here; deps.Certify re-proves
+	// the composed result from exact distances plus tile intervals.
+	tab, err := deps.Dependences(n)
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range dists {
-		for _, v := range d {
-			if v != 0 {
-				return nil, fmt.Errorf("transform: nest carries dependence %v; tiling refused", d)
-			}
-		}
+	if carried := tab.Carried(); len(carried) > 0 {
+		return nil, fmt.Errorf("transform: nest carries %s; tiling refused", carried[0])
 	}
 	kName, jName, iName := n.Loops[0].Name, n.Loops[1].Name, n.Loops[2].Name
 	jj, ii := jName+jName, iName+iName
