@@ -102,7 +102,11 @@ func vetNest(nest *ir.Nest, method core.Method, cs, n int) int {
 // transformation, certification — and reports the outcome in one line.
 func verdict(nest *ir.Nest, tab *deps.Table, method core.Method, cs, n int) string {
 	if tab.HasUnknown() {
-		return "tiling blocked: unanalyzable subscripts (see warnings)"
+		for _, d := range tab.Deps {
+			if d.Unknown {
+				return fmt.Sprintf("tiling blocked: %s", d)
+			}
+		}
 	}
 	// Same conservative guard TileInner2 applies: any loop-carried
 	// dependence makes the tile-reordered schedule unprovable.

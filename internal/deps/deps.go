@@ -19,10 +19,15 @@
 // the analysis: they are recorded as Issues, with source positions when
 // the nest was parsed, and the affected pairs become Unknown
 // dependences that conservatively block any transformation consulting
-// the table. The transformations in internal/transform (Interchange,
-// TileInner2/ApplyPlan, FuseShifted) all consult this table, and
-// Certify re-derives dependences on a transformed nest to prove every
-// original dependence still executes source before sink.
+// the table. A pair whose subscripts leave some loop of the nest
+// entirely unconstrained (store A(I,J) under a K loop) aliases at
+// *every* realizable distance in that loop — a direction-* component no
+// single constant vector can express — so it too becomes an Unknown
+// dependence, and a store with such a loop carries an Unknown output
+// dependence on itself. The transformations in internal/transform
+// (Interchange, TileInner2/ApplyPlan, FuseShifted) all consult this
+// table, and Certify re-derives dependences on a transformed nest to
+// prove every original dependence still executes source before sink.
 package deps
 
 import (
@@ -69,15 +74,22 @@ type Dependence struct {
 	Dst   int
 	Dist  []int
 	// Unknown marks a pair whose distance is not a compile-time
-	// constant (subscripts outside the loopVar+const model). Unknown
-	// dependences conservatively block every transformation.
+	// constant (subscripts outside the loopVar+const model, or a loop
+	// the pair's subscripts leave unconstrained). Unknown dependences
+	// conservatively block every transformation.
 	Unknown bool
+	// Why explains an Unknown dependence when the cause is not already
+	// covered by a positioned Issue (the unconstrained-loop case).
+	Why string
 }
 
 // String renders the dependence with its distance vector, the form the
 // transformation diagnostics quote.
 func (d Dependence) String() string {
 	if d.Unknown {
+		if d.Why != "" {
+			return fmt.Sprintf("%s %s distance unknown (%s) (#%d -> #%d)", d.Kind, d.Array, d.Why, d.Src, d.Dst)
+		}
 		return fmt.Sprintf("%s %s distance unknown (#%d -> #%d)", d.Kind, d.Array, d.Src, d.Dst)
 	}
 	return fmt.Sprintf("%s %s distance %s (#%d -> #%d)", d.Kind, d.Array, distString(d.Dist), d.Src, d.Dst)
@@ -240,8 +252,12 @@ func Dependences(n *ir.Nest) (*Table, error) {
 		}
 	}
 
+	// si == ri pairs a store with itself: with every loop constrained
+	// the distance is the zero vector (no dependence), but a store whose
+	// subscripts omit a loop rewrites the same element across that
+	// loop's iterations — an output self-dependence.
 	for si := 0; si < len(n.Body); si++ {
-		for ri := si + 1; ri < len(n.Body); ri++ {
+		for ri := si; ri < len(n.Body); ri++ {
 			a, b := n.Body[si], n.Body[ri]
 			if a.Array != b.Array || (!a.Store && !b.Store) {
 				continue
@@ -250,7 +266,7 @@ func Dependences(n *ir.Nest) (*Table, error) {
 				t.Deps = append(t.Deps, unknownDep(a.Array, si, ri, a.Store, b.Store))
 				continue
 			}
-			dist, status := pairDistance(n, a, b, func(dim, which int, reason string) {
+			dist, constrained, status := pairDistance(n, a, b, func(dim, which int, reason string) {
 				idx := si
 				if which == 1 {
 					idx = ri
@@ -266,11 +282,96 @@ func Dependences(n *ir.Nest) (*Table, error) {
 				if !realizable(n, dist) {
 					continue
 				}
+				if free := unconstrainedLoops(n, dist, constrained); len(free) > 0 {
+					d := unknownDep(a.Array, si, ri, a.Store, b.Store)
+					d.Why = fmt.Sprintf("loop %s unconstrained by the subscripts", strings.Join(free, ","))
+					t.Deps = append(t.Deps, d)
+					continue
+				}
+				if si == ri {
+					// Fully constrained self-pair: zero distance, no
+					// dependence.
+					continue
+				}
 				t.Deps = append(t.Deps, orient(a, b, si, ri, dist))
 			}
 		}
 	}
 	return t, nil
+}
+
+// unconstrainedLoops returns the loops no subscript pair constrains and
+// that can realize a nonzero distance — the direction-* components that
+// make a pair's distance non-constant. A strip-mine tile-control loop
+// is exempt when its element loop is constrained at distance 0: the
+// element value pins the tile value (J in [JJ, JJ+S-1] with JJ stepping
+// by S has exactly one JJ per J), so the tile distance is exactly 0 too.
+func unconstrainedLoops(n *ir.Nest, dist []int, constrained []bool) []string {
+	var free []string
+	for li, l := range n.Loops {
+		if constrained[li] || !loopCanAdvance(l) {
+			continue
+		}
+		if yi := tileControlElem(n, li); yi >= 0 && constrained[yi] && dist[yi] == 0 {
+			continue
+		}
+		free = append(free, l.Name)
+	}
+	return free
+}
+
+// tileControlElem returns the index of the element loop the loop li
+// tile-controls in the exact StripMine shape — the element loop's lower
+// bound is the tile variable alone and its upper bound caps at
+// tileVar+step-1 — or -1 when li is not a tile-control loop. In that
+// shape any element value determines the tile value uniquely.
+func tileControlElem(n *ir.Nest, li int) int {
+	name, step := n.Loops[li].Name, n.Loops[li].Step
+	if step < 1 {
+		return -1
+	}
+	for yi, y := range n.Loops {
+		if yi == li || len(y.Lo.Exprs) != 1 {
+			continue
+		}
+		lo := y.Lo.Exprs[0]
+		if lo.Const != 0 || lo.Coeff[name] != 1 || !soleCoeff(lo, name) {
+			continue
+		}
+		for _, e := range y.Hi.Exprs {
+			if e.Coeff[name] == 1 && e.Const == step-1 && soleCoeff(e, name) {
+				return yi
+			}
+		}
+	}
+	return -1
+}
+
+// soleCoeff reports whether name is the only variable with a nonzero
+// coefficient in e.
+func soleCoeff(e ir.Expr, name string) bool {
+	for v, c := range e.Coeff {
+		if c != 0 && v != name {
+			return false
+		}
+	}
+	return true
+}
+
+// loopCanAdvance reports whether the loop can execute two distinct
+// iterations, i.e. whether a pair unconstrained in it can be separated
+// by a nonzero distance. Non-constant bounds conservatively count as
+// advancing.
+func loopCanAdvance(l ir.Loop) bool {
+	lo, hi, ok := constBounds(l)
+	if !ok {
+		return true
+	}
+	step := l.Step
+	if step < 1 {
+		step = 1
+	}
+	return lo+step <= hi
 }
 
 func isConst(e ir.Expr) bool {
@@ -309,9 +410,12 @@ const (
 // pairDistance computes the raw per-loop distance between a and b: b's
 // iteration minus a's for a common element. status pairNone means the
 // subscripts can never match; pairUnknown means the distance is not a
-// single constant vector.
-func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason string)) ([]int, pairStatus) {
-	dist := make([]int, len(n.Loops))
+// single constant vector. constrained marks the loops some subscript
+// pair actually pins; components of unconstrained loops are reported as
+// 0 — the *nearest* alias, which is what reuse analysis wants, while
+// Dependences treats such loops as direction-* via unconstrainedLoops.
+func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason string)) (dist []int, constrained []bool, status pairStatus) {
+	dist = make([]int, len(n.Loops))
 	set := make([]bool, len(n.Loops))
 	unknown := false
 	for dim := range a.Subs {
@@ -320,7 +424,7 @@ func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason st
 		switch {
 		case aConst && bConst:
 			if as.Const != bs.Const {
-				return nil, pairNone
+				return nil, nil, pairNone
 			}
 		case aConst != bConst:
 			// One side pins the dimension to a constant plane: the pair
@@ -346,15 +450,15 @@ func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason st
 			if set[li] && dist[li] != d {
 				// Two dimensions constrain the same loop inconsistently:
 				// no common element exists.
-				return nil, pairNone
+				return nil, nil, pairNone
 			}
 			dist[li], set[li] = d, true
 		}
 	}
 	if unknown {
-		return nil, pairUnknown
+		return nil, nil, pairUnknown
 	}
-	return dist, pairConst
+	return dist, set, pairConst
 }
 
 // realizable prunes distances the iteration space cannot produce: a

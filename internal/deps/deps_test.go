@@ -114,8 +114,8 @@ func TestPairsThatNeverAlias(t *testing.T) {
 		name string
 		nest *ir.Nest
 	}{
-		{"distinct constant planes", twoDeep(ir.StoreRef("A", i, ir.Con(2)), ir.Load("A", i, ir.Con(3)))},
-		{"conflicting same-var constraints", twoDeep(ir.StoreRef("A", i, i), ir.Load("A", i, i.Plus(1)))},
+		{"distinct constant planes", twoDeep(ir.StoreRef("A", i, j, ir.Con(2)), ir.Load("A", i, j, ir.Con(3)))},
+		{"conflicting same-var constraints", twoDeep(ir.StoreRef("A", i, j, i), ir.Load("A", i, j, i.Plus(1)))},
 		{"distance beyond loop span", twoDeep(ir.StoreRef("A", i, j), ir.Load("A", i, j.Plus(11)))},
 		{"no store in pair", twoDeep(ir.Load("A", i, j), ir.Load("A", i, j.Plus(1)))},
 		{"different arrays", twoDeep(ir.StoreRef("A", i, j), ir.Load("B", i, j))},
@@ -185,11 +185,120 @@ func TestUnknownSubscripts(t *testing.T) {
 		t.Errorf("non-affine: deps = %v issues = %v", tab.Deps, tab.IssueStrings())
 	}
 
-	// A loop variable that is not a loop of the nest.
+	// A loop variable that is not a loop of the nest: the store/load
+	// pair is Unknown, and the unanalyzable store conservatively carries
+	// an Unknown output dependence on itself too.
 	q := ir.Var("Q", 0)
 	tab = mustTable(t, twoDeep(ir.StoreRef("A", i, q), ir.Load("A", i, q)))
-	if len(tab.Deps) != 1 || !tab.Deps[0].Unknown {
-		t.Errorf("free var: deps = %v", tab.Deps)
+	if len(tab.Deps) != 2 {
+		t.Fatalf("free var: deps = %v", tab.Deps)
+	}
+	for _, d := range tab.Deps {
+		if !d.Unknown {
+			t.Errorf("free var: dep %v not unknown", d)
+		}
+	}
+}
+
+// threeDeep builds do K=1,10 { do J=1,10 { do I=1,10 { body } } }.
+func threeDeep(body ...ir.Ref) *ir.Nest {
+	return &ir.Nest{
+		Loops: []ir.Loop{
+			ir.SimpleLoop("K", 1, 10),
+			ir.SimpleLoop("J", 1, 10),
+			ir.SimpleLoop("I", 1, 10),
+		},
+		Body: body,
+	}
+}
+
+// TestUnconstrainedLoopDependences pins the direction-* handling: a
+// pair whose subscripts leave a loop of the nest unconstrained aliases
+// at *every* realizable distance in it, so no constant vector exists.
+// The old analyzer reported distance 0 in the free loop, hiding the
+// anti dependences (d,-1,0) that make a K<->J interchange of
+// A(I,J)=A(I,J-1) illegal.
+func TestUnconstrainedLoopDependences(t *testing.T) {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+
+	tab := mustTable(t, threeDeep(ir.StoreRef("A", i, j), ir.Load("A", i, j.Plus(-1))))
+	if len(tab.Deps) != 2 || !tab.HasUnknown() {
+		t.Fatalf("deps = %v", tab.Deps)
+	}
+	var self, pair *Dependence
+	for idx := range tab.Deps {
+		d := &tab.Deps[idx]
+		if !d.Unknown || !strings.Contains(d.String(), "loop K unconstrained") {
+			t.Errorf("dep = %v", d)
+		}
+		if d.Src == d.Dst {
+			self = d
+		} else {
+			pair = d
+		}
+	}
+	if self == nil || self.Kind != Output || self.Src != 0 {
+		t.Errorf("missing output self-dependence: %v", tab.Deps)
+	}
+	if pair == nil || pair.Kind != Flow {
+		t.Errorf("missing flow pair dependence: %v", tab.Deps)
+	}
+	// Unknown deps count as carried: they must block reordering.
+	if len(tab.Carried()) != 2 {
+		t.Errorf("Carried() = %v", tab.Carried())
+	}
+
+	// Certify refuses a table it cannot express, even for the identity.
+	n := threeDeep(ir.StoreRef("A", i, j), ir.Load("A", i, j.Plus(-1)))
+	if err := Certify(n, n.Clone()); err == nil || !strings.Contains(err.Error(), "not analyzable") {
+		t.Errorf("Certify = %v", err)
+	}
+
+	// A lone store omitting a loop carries the output self-dependence
+	// on its own (same element rewritten every K iteration).
+	tab = mustTable(t, threeDeep(ir.StoreRef("A", i, j)))
+	if len(tab.Deps) != 1 || tab.Deps[0].Kind != Output || !tab.Deps[0].Unknown {
+		t.Errorf("store-only deps = %v", tab.Deps)
+	}
+
+	// A free loop that cannot advance (single iteration) realizes only
+	// distance 0, so the zero vector is exact: no dependence.
+	one := &ir.Nest{
+		Loops: []ir.Loop{ir.SimpleLoop("K", 5, 5), ir.SimpleLoop("J", 1, 10), ir.SimpleLoop("I", 1, 10)},
+		Body:  []ir.Ref{ir.StoreRef("A", i, j), ir.Load("A", i, j.Plus(-1))},
+	}
+	tabOne := mustTable(t, one)
+	if len(tabOne.Deps) != 1 || tabOne.Deps[0].Unknown || tabOne.Deps[0].Dist[1] != 1 {
+		t.Errorf("trip-1 free loop deps = %v", tabOne.Deps)
+	}
+}
+
+// TestCrossNestOuterInvariantRefused: a cross-nest reference to a
+// shared array that never subscripts the outer loop is touched on
+// every outer iteration — no finite shift bounds the dependence, so
+// MinFusionShift must refuse instead of silently assuming offset 0.
+func TestCrossNestOuterInvariantRefused(t *testing.T) {
+	i, j, k := ir.Var("I", 0), ir.Var("J", 0), ir.Var("K", 0)
+	loops := func() []ir.Loop {
+		return []ir.Loop{
+			ir.SimpleLoop("K", 1, 10),
+			ir.SimpleLoop("J", 1, 10),
+			ir.SimpleLoop("I", 1, 10),
+		}
+	}
+	n1 := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.StoreRef("A", i, j, k)}}
+	fixed := ir.Load("A", i, j, ir.Con(5))
+	fixed.Pos = ir.Pos{Line: 7, Col: 3}
+	n2 := &ir.Nest{Loops: loops(), Body: []ir.Ref{fixed, ir.StoreRef("B", i, j, k)}}
+	_, _, err := MinFusionShift(n1, n2)
+	if err == nil || !strings.Contains(err.Error(), "does not subscript outer loop K") || !strings.Contains(err.Error(), "7:3") {
+		t.Errorf("MinFusionShift = %v", err)
+	}
+	// Outer-invariant refs to arrays the nests do not share stay out of
+	// scope: no cross pair, no refusal.
+	n2only := &ir.Nest{Loops: loops(), Body: []ir.Ref{ir.Load("C", i, j, ir.Con(5)), ir.StoreRef("B", i, j, k)}}
+	if shift, _, err := MinFusionShift(n1, n2only); err != nil || shift != 0 {
+		t.Errorf("unshared array: shift=%d err=%v", shift, err)
 	}
 }
 

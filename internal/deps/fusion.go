@@ -32,8 +32,12 @@ func (d CrossDependence) String() string {
 
 // CrossDependences computes every cross-nest dependence pair over the
 // shared outer loop. Both nests must have the same unit-step outer loop
-// variable with constant bounds, and references may use the outer
-// variable only with unit coefficient.
+// variable with constant bounds, and every reference participating in a
+// cross-nest pair must subscript the outer variable with unit
+// coefficient: a ref that does not use it at all (a constant plane, or
+// an outer-invariant array) touches its elements on *every* outer
+// iteration, so no finite shift bounds the dependence and the analysis
+// refuses rather than understate the minimum legal shift.
 func CrossDependences(n1, n2 *ir.Nest) ([]CrossDependence, error) {
 	outer, err := sharedOuter(n1, n2)
 	if err != nil {
@@ -117,7 +121,10 @@ func outerLoopOf(n *ir.Nest) (string, error) {
 }
 
 // outerOffset extracts the constant offset of the outer variable in the
-// reference's subscripts; zero if the reference does not use it.
+// reference's subscripts. A reference that does not use the outer
+// variable has no single outer-plane coordinate — every outer iteration
+// touches it — so it is refused rather than treated as offset 0, which
+// would understate cross-nest distances.
 func outerOffset(r ir.Ref, outer string) (int, error) {
 	for _, s := range r.Subs {
 		if c, ok := s.Coeff[outer]; ok && c != 0 {
@@ -127,7 +134,7 @@ func outerOffset(r ir.Ref, outer string) (int, error) {
 			return s.Const, nil
 		}
 	}
-	return 0, nil
+	return 0, fmt.Errorf("deps: reference to %s does not subscript outer loop %s%s; cross-nest distance unbounded", r.Array, outer, atPos(r.Pos))
 }
 
 func atPos(p ir.Pos) string {

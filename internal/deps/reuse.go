@@ -133,13 +133,16 @@ func selfSpatial(n *ir.Nest, refIdx []int) string {
 
 // groupTemporal lists the constant-distance reuse edges among the
 // group's references, source first, pruned to realizable distances.
+// Loops the pair leaves unconstrained contribute distance 0 — the
+// nearest re-touch, which is the distance that matters for reuse (the
+// dependence side instead treats them as direction-*).
 func groupTemporal(n *ir.Nest, refIdx []int) []PairReuse {
 	var out []PairReuse
 	for x := 0; x < len(refIdx); x++ {
 		for y := x + 1; y < len(refIdx); y++ {
 			si, ri := refIdx[x], refIdx[y]
 			a, b := n.Body[si], n.Body[ri]
-			dist, status := pairDistance(n, a, b, func(int, int, string) {})
+			dist, _, status := pairDistance(n, a, b, func(int, int, string) {})
 			if status != pairConst || !realizable(n, dist) {
 				continue
 			}

@@ -121,6 +121,41 @@ func TestTileInner2RefusalNamesDependence(t *testing.T) {
 	}
 }
 
+// TestInterchangeUnconstrainedLoopBlocked: for A(I,J)=A(I,J-1) under a
+// K loop the anti dependences (d,-1,0) exist at every K distance d>0,
+// so moving J outside K is illegal even though the only constant-
+// distance dependence, flow (0,1,0), survives the swap. The guard must
+// block via the direction-* (Unknown) dependences.
+func TestInterchangeUnconstrainedLoopBlocked(t *testing.T) {
+	i, j := ir.Var("I", 0), ir.Var("J", 0)
+	n := &ir.Nest{
+		Loops: []ir.Loop{
+			ir.SimpleLoop("K", 1, 30),
+			ir.SimpleLoop("J", 1, 30),
+			ir.SimpleLoop("I", 1, 30),
+		},
+		Body: []ir.Ref{ir.StoreRef("A", i, j), ir.Load("A", i, j.Plus(-1))},
+	}
+	_, err := Interchange(n, []string{"J", "K", "I"})
+	if err == nil || !strings.Contains(err.Error(), "unknown") || !strings.Contains(err.Error(), "unconstrained") {
+		t.Errorf("K<->J interchange not blocked: %v", err)
+	}
+	// Certify agrees with the guard.
+	swapped := n.Clone()
+	swapped.Loops[0], swapped.Loops[1] = swapped.Loops[1], swapped.Loops[0]
+	if err := deps.Certify(n, swapped); err == nil {
+		t.Error("Certify approved the illegal K<->J interchange")
+	}
+
+	// A lone store omitting K carries an output self-dependence across
+	// K, so tiling (which reorders across tile boundaries) must refuse.
+	st := n.Clone()
+	st.Body = st.Body[:1]
+	if _, err := TileInner2(st, core.Tile{TI: 8, TJ: 8}); err == nil || !strings.Contains(err.Error(), "output A") {
+		t.Errorf("tiling of K-invariant store not refused: %v", err)
+	}
+}
+
 // TestMinLegalShiftEdges drives the fusion guard at shifts 0, 1 and >1,
 // and checks FuseShifted's refusal names the binding dependence.
 func TestMinLegalShiftEdges(t *testing.T) {
