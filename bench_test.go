@@ -391,6 +391,33 @@ func BenchmarkSteady(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmShare measures cross-point warm-baseline sharing on one
+// kernel's sweep grid: points whose selection plans are identical are
+// grouped, one lead simulates, and the rest copy its result. The grid is
+// a slice of the paper's (REDBLACK has the most plan-identical method
+// pairs at these sizes). Results are bit-identical with sharing off
+// (TestWarmShareIdentical proves it); the benchmark reports how much
+// wall time the copies buy.
+func BenchmarkWarmShare(b *testing.B) {
+	opt := benchOpt()
+	opt.NMin, opt.NMax, opt.NStep = 200, 248, 16
+	for _, on := range []bool{false, true} {
+		name := "Off"
+		if on {
+			name = "On"
+		}
+		b.Run(name, func(b *testing.B) {
+			o := opt
+			o.DisableWarmShare = !on
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.MissSweep(stencil.RedBlack, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func reportAccessRate(b *testing.B, accessesPerOp float64) {
 	b.Helper()
 	secs := b.Elapsed().Seconds()

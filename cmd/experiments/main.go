@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 
@@ -64,6 +65,8 @@ func main() {
 		withPerf   = flag.Bool("perf", true, "include native wall-clock measurements")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		warmShare  = flag.Bool("warmshare", true, "share results between sweep points with identical selection plans (identical results; -warmshare=false simulates every point)")
+		verbose    = flag.Bool("v", false, "per-point diagnostics on stderr: how each sweep point was resolved (simulated/shared/degraded) and steady-engine counters")
 		checkpoint = flag.String("checkpoint", "", "journal completed simulation points to this file (JSONL)")
 		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
 		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
@@ -101,10 +104,20 @@ func main() {
 	opt := bench.DefaultOptions()
 	opt.Workers = *workers
 	opt.DisableSteady = !*steady
+	opt.DisableWarmShare = !*warmShare
 	opt.Ctx = ctx
 	opt.PointTimeout = *pointTO
 	opt.ParanoidEvery = *paranoid
 	opt.InjectPanicN = *injectN
+	if *verbose {
+		// The hook runs on worker goroutines; the mutex keeps lines whole.
+		var diagMu sync.Mutex
+		opt.DiagHook = func(d bench.PointDiag) {
+			diagMu.Lock()
+			fmt.Fprintln(os.Stderr, "point:", d)
+			diagMu.Unlock()
+		}
+	}
 	if *quick {
 		opt.NStep = 50
 	}

@@ -57,6 +57,10 @@ type PointOutcome struct {
 	Degraded bool      `json:"degraded,omitempty"`
 	Failed   bool      `json:"failed,omitempty"`
 	Err      string    `json:"err,omitempty"`
+	// Shared names the method whose simulated result this point copied
+	// under warm sharing (the lead of its plan-identity group); empty
+	// when the point was simulated itself.
+	Shared string `json:"shared,omitempty"`
 }
 
 // Journal is a checkpoint file of completed sweep points. Safe for

@@ -102,6 +102,11 @@ func SimulateStats(k stencil.Kernel, m core.Method, n int, opt Options) SimResul
 	for s := 0; s < sweeps; s++ {
 		w.ReplayTrace(sink)
 	}
+	if opt.steadyDiag != nil {
+		if sd, ok := sink.(*cache.Steady); ok {
+			*opt.steadyDiag = sd.Diag()
+		}
+	}
 	return SimResult{
 		N:     n,
 		L1:    h.Level(0).Stats(),

@@ -47,6 +47,15 @@ type Options struct {
 	// bit-identical either way, so the flag exists to time full
 	// simulation and as a safety valve.
 	DisableSteady bool
+	// DisableWarmShare turns off cross-point result sharing. By default
+	// the sweep engine groups points whose selection plans are identical
+	// (same tile, padding and tiling decision — cost-model values are
+	// ignored, they do not affect the trace): one lead point simulates,
+	// and the rest copy its result, which is exact because a point's
+	// statistics are a deterministic function of (kernel, N, plan,
+	// sweeps). Like DisableSteady this is an execution knob: results
+	// are bit-identical either way.
+	DisableWarmShare bool
 
 	// Ctx, when non-nil, cancels a sweep: in-flight points drain, not-
 	// yet-started points are skipped, and the experiment returns the
@@ -71,10 +80,21 @@ type Options struct {
 	// isolation end to end (cmd flag -inject-panic).
 	InjectPanicN int
 
+	// DiagHook, when non-nil, receives one PointDiag per completed sweep
+	// point: how it was resolved (simulated, shared, degraded, failed)
+	// and the steady engine's phase-handling counters. It is called from
+	// worker goroutines; the hook must be safe for concurrent use.
+	DiagHook func(PointDiag)
+
 	// pointHook, when non-nil, runs after each point completes and is
 	// journaled, with the number of points finished so far. Tests use it
 	// to cancel mid-sweep at a deterministic spot.
 	pointHook func(done int)
+	// steadyDiag, when non-nil, is filled by SimulateStats with the
+	// steady sink's diagnostic counters (zero when the steady engine is
+	// disabled). The sweep engine points it at a per-attempt local to
+	// feed DiagHook.
+	steadyDiag *cache.SteadyDiag
 	// faultInject, when non-nil, runs at the start of each point's
 	// simulation and may panic or sleep to exercise the degradation
 	// ladder (it sees the per-attempt options, so a fault can be keyed

@@ -30,6 +30,16 @@ import (
 // kernel, returning outcomes indexed [mi*len(sizes)+ni]. On
 // cancellation it returns the partial outcomes (unreached points are
 // zero-valued) together with the context's error.
+//
+// Unless opt.DisableWarmShare is set, points whose selection plans are
+// identical (see planShareKey) are grouped: the group's first point
+// simulates as the lead and the rest copy its result, marked Shared.
+// The copy is exact — a point's statistics are a deterministic function
+// of (kernel, N, plan, sweeps), which is precisely what the group key
+// holds fixed. Followers of a lead that failed or degraded run their
+// own ladder instead: a lead that only produced a fallback result may
+// have hit a point-specific fault, and sharing is a shortcut, never a
+// way to widen a failure's blast radius.
 func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -38,9 +48,10 @@ func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 	out := make([]PointOutcome, len(opt.Methods)*len(sizes))
 
 	type item struct {
-		slot int
-		m    core.Method
-		n    int
+		slot     int
+		m        core.Method
+		n        int
+		paranoid bool
 	}
 	var todo []item
 	for mi, m := range opt.Methods {
@@ -53,7 +64,43 @@ func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 					continue
 				}
 			}
-			todo = append(todo, item{slot: slot, m: m, n: n})
+			paranoid := opt.ParanoidEvery > 0 && len(todo)%opt.ParanoidEvery == 0
+			todo = append(todo, item{slot: slot, m: m, n: n, paranoid: paranoid})
+		}
+	}
+
+	// Group todo points by plan identity. groups[g][0] is the lead. A
+	// paranoid point may lead a group (its result is cross-checked, so
+	// copies inherit the scrutiny) but never follows one — it exists to
+	// exercise the full simulation path. Grouping also orders plan
+	// neighbors consecutively on one worker, so a lead's warm result is
+	// still in cache when its followers copy it.
+	groups := make([][]int, 0, len(todo))
+	if !opt.DisableWarmShare {
+		type shareKey struct {
+			n    int
+			plan core.Plan
+		}
+		idx := make(map[shareKey]int)
+		for i, it := range todo {
+			plan, ok := planShareKey(k, it.m, it.n, opt)
+			if !ok {
+				groups = append(groups, []int{i})
+				continue
+			}
+			key := shareKey{n: it.n, plan: plan}
+			if g, seen := idx[key]; seen && !it.paranoid {
+				groups[g] = append(groups[g], i)
+				continue
+			}
+			if _, seen := idx[key]; !seen {
+				idx[key] = len(groups)
+			}
+			groups = append(groups, []int{i})
+		}
+	} else {
+		for i := range todo {
+			groups = append(groups, []int{i})
 		}
 	}
 
@@ -76,22 +123,45 @@ func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 		}
 	}
 
-	perrs, cerr := cache.ForEachCtx(opt.ctx(), len(todo), opt.Workers, func(i int) {
-		it := todo[i]
-		paranoid := opt.ParanoidEvery > 0 && i%opt.ParanoidEvery == 0
-		outc := runPoint(k, it.m, it.n, opt, paranoid)
-		out[it.slot] = outc
-		record(outc)
+	perrs, cerr := cache.ForEachCtx(opt.ctx(), len(groups), opt.Workers, func(gi int) {
+		g := groups[gi]
+		it := todo[g[0]]
+		lead := runPoint(k, it.m, it.n, opt, it.paranoid)
+		out[it.slot] = lead
+		record(lead)
+		for _, fi := range g[1:] {
+			f := todo[fi]
+			var outc PointOutcome
+			if lead.Failed || lead.Degraded {
+				outc = runPoint(k, f.m, f.n, opt, f.paranoid)
+			} else {
+				outc = PointOutcome{
+					Key:    PointKey{Kernel: k.String(), Method: f.m.String(), N: f.n},
+					Res:    lead.Res,
+					Shared: lead.Key.Method,
+				}
+				if opt.DiagHook != nil {
+					opt.DiagHook(PointDiag{Key: outc.Key, Shared: outc.Shared})
+				}
+			}
+			out[f.slot] = outc
+			record(outc)
+		}
 	})
 	// runPoint recovers everything itself, so escaped panics mean the
 	// recovery machinery is broken; still, record them as failures
 	// rather than losing them.
 	for _, pe := range perrs {
-		it := todo[pe.Index]
-		out[it.slot] = PointOutcome{
-			Key:    PointKey{Kernel: k.String(), Method: it.m.String(), N: it.n},
-			Failed: true,
-			Err:    pe.Error(),
+		for _, fi := range groups[pe.Index] {
+			it := todo[fi]
+			if out[it.slot].Key != (PointKey{}) {
+				continue // completed before the panic escaped
+			}
+			out[it.slot] = PointOutcome{
+				Key:    PointKey{Kernel: k.String(), Method: it.m.String(), N: it.n},
+				Failed: true,
+				Err:    pe.Error(),
+			}
 		}
 	}
 	if cerr != nil {
@@ -117,6 +187,50 @@ func forEachCtx(opt Options, n int, fn func(i int)) {
 	}
 }
 
+// PointDiag is the per-point diagnostic record DiagHook receives: how
+// the point was resolved and, when the steady engine simulated it, the
+// engine's phase-handling counters. Shared points and degraded or
+// paranoid attempts carry a zero Steady (no steady sink ran, or its
+// counters were not collected).
+type PointDiag struct {
+	Key      PointKey
+	Shared   string // lead method whose result was copied; "" when simulated
+	Degraded bool
+	Failed   bool
+	Err      string
+	Steady   cache.SteadyDiag
+}
+
+// String renders the record for -v output.
+func (d PointDiag) String() string {
+	switch {
+	case d.Shared != "":
+		return fmt.Sprintf("%s: shared from %s", d.Key, d.Shared)
+	case d.Failed:
+		return fmt.Sprintf("%s: FAILED: %s", d.Key, d.Err)
+	case d.Degraded:
+		return fmt.Sprintf("%s: degraded (steady disabled): %s", d.Key, d.Err)
+	default:
+		return fmt.Sprintf("%s: %s", d.Key, d.Steady)
+	}
+}
+
+// planShareKey computes a point's plan identity for warm sharing. The
+// cost-model value is zeroed: two methods that pick the same tile and
+// padding by different cost reasoning still generate identical traces.
+// A selection panic (the ladder's business, not grouping's) makes the
+// point unshareable instead of propagating.
+func planShareKey(k stencil.Kernel, m core.Method, n int, opt Options) (p core.Plan, ok bool) {
+	defer func() {
+		if recover() != nil {
+			p, ok = core.Plan{}, false
+		}
+	}()
+	p = opt.Plan(k, m, n)
+	p.Cost = 0
+	return p, true
+}
+
 // runPoint simulates one point through the degradation ladder: a guarded
 // attempt with the configured engine; on failure (panic, watchdog
 // timeout, self-check mismatch) one retry with the steady engine
@@ -124,21 +238,51 @@ func forEachCtx(opt Options, n int, fn func(i int)) {
 // marked Degraded and keeps the primary error in Err.
 func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) PointOutcome {
 	key := PointKey{Kernel: k.String(), Method: m.String(), N: n}
+	outc, sd := runPointLadder(k, m, n, opt, paranoid, key)
+	if opt.DiagHook != nil {
+		d := PointDiag{
+			Key:      outc.Key,
+			Degraded: outc.Degraded,
+			Failed:   outc.Failed,
+			Err:      outc.Err,
+		}
+		// A failed attempt may have timed out, and its abandoned
+		// goroutine could write the counters later; don't read them.
+		if sd != nil && !outc.Failed {
+			d.Steady = *sd
+		}
+		opt.DiagHook(d)
+	}
+	return outc
+}
+
+// runPointLadder runs the ladder and returns the outcome together with
+// the steady-diagnostic counters of the attempt that produced it. Each
+// attempt writes a fresh counter target: a timed-out attempt's abandoned
+// goroutine may still write its own target later, which must not race
+// with reading the attempt that actually finished.
+func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool, key PointKey) (PointOutcome, *cache.SteadyDiag) {
+	if opt.DiagHook != nil {
+		opt.steadyDiag = new(cache.SteadyDiag)
+	}
 	res, err := simGuarded(k, m, n, opt, paranoid)
 	if err == nil {
-		return PointOutcome{Key: key, Res: res}
+		return PointOutcome{Key: key, Res: res}, opt.steadyDiag
 	}
 	if !opt.DisableSteady {
 		retry := opt
 		retry.DisableSteady = true
+		if opt.DiagHook != nil {
+			retry.steadyDiag = new(cache.SteadyDiag)
+		}
 		res2, err2 := simGuarded(k, m, n, retry, false)
 		if err2 == nil {
-			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}
+			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}, retry.steadyDiag
 		}
 		return PointOutcome{Key: key, Failed: true,
-			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}
+			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}, retry.steadyDiag
 	}
-	return PointOutcome{Key: key, Failed: true, Err: err.Error()}
+	return PointOutcome{Key: key, Failed: true, Err: err.Error()}, opt.steadyDiag
 }
 
 // simGuarded runs one simulation attempt under the watchdog. Go cannot

@@ -1,0 +1,202 @@
+package cache
+
+// Footprint masks for the steady-state engine. A footMask is a bitmap
+// over one cache level's sets recording which sets a stream of runs
+// probed. Masks are line-exact for fine strides (every marked set was
+// really probed, every probed set is marked); a run whose stride can
+// skip whole lines degrades the mask to full rather than recording a
+// loose superset, because the confirm-time frontier shift check and
+// the sparse skip reconstruction both assign each set its last-touch
+// period from the mask and a spuriously marked set would be
+// reconstructed from the wrong period. A full mask is always sound: it
+// simply collapses scoping back to the whole-state fingerprint.
+//
+// Masks support the two layouts every real level has: sets a multiple
+// of 64 (one bit per set, whole words rotate) and sets < 64 (a single
+// partial word). Levels with any other geometry are simply not scoped
+// (the engine falls back to whole-state fingerprints there).
+
+import "math/bits"
+
+// footMask is a bitmap with one bit per cache set. Bits at positions
+// >= sets are always zero (maskable enforces sets%64 == 0 or sets < 64,
+// and every op preserves the invariant).
+type footMask []uint64
+
+// maskableSets reports whether a level with the given set count can use
+// footprint masks.
+func maskableSets(sets int) bool {
+	return sets > 0 && (sets < 64 || sets%64 == 0)
+}
+
+func newFootMask(sets int) footMask {
+	return make(footMask, (sets+63)/64)
+}
+
+func (m footMask) clear() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+func (m footMask) copyFrom(src footMask) {
+	copy(m, src)
+}
+
+func (m footMask) bit(i int) bool {
+	return m[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// or folds src into m.
+func (m footMask) or(src footMask) {
+	for i, w := range src {
+		m[i] |= w
+	}
+}
+
+// count returns the number of marked sets.
+func (m footMask) count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// full reports whether every one of the level's sets is marked.
+func (m footMask) full(sets int) bool {
+	return m.count() == sets
+}
+
+// contains reports whether every set marked in sub is also marked in m.
+func (m footMask) contains(sub footMask) bool {
+	for i, w := range sub {
+		if w&^m[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fillAll marks every set.
+func (m footMask) fillAll(sets int) {
+	for i := range m {
+		m[i] = ^uint64(0)
+	}
+	if r := uint(sets) & 63; r != 0 {
+		m[len(m)-1] &= 1<<r - 1
+	}
+}
+
+// setRange marks the n sets starting at set lo, wrapping modulo sets.
+func (m footMask) setRange(lo, n, sets int) {
+	if n <= 0 {
+		return
+	}
+	if n >= sets {
+		m.fillAll(sets)
+		return
+	}
+	if end := lo + n; end <= sets {
+		m.fillSpan(lo, end)
+	} else {
+		m.fillSpan(lo, sets)
+		m.fillSpan(0, end-sets)
+	}
+}
+
+// fillSpan marks sets [lo, hi) with no wrapping.
+func (m footMask) fillSpan(lo, hi int) {
+	lw, hw := lo>>6, (hi-1)>>6
+	lb, hb := uint(lo)&63, uint(hi-1)&63
+	if lw == hw {
+		m[lw] |= (^uint64(0) << lb) & (^uint64(0) >> (63 - hb))
+		return
+	}
+	m[lw] |= ^uint64(0) << lb
+	for w := lw + 1; w < hw; w++ {
+		m[w] = ^uint64(0)
+	}
+	m[hw] |= ^uint64(0) >> (63 - hb)
+}
+
+// addRun marks every set a run's line range covers: the contiguous
+// span from its first to its last touched line. With |stride| <=
+// lineBytes consecutive accesses land on the same or adjacent lines,
+// so every line in the span is genuinely touched and the mask is
+// line-exact — the property the confirm-time frontier shift check and
+// translateScoped's last-touch reconstruction rely on. A stride that
+// can skip whole lines would make the span a loose superset, so it
+// degrades the mask to full instead (sound: scoping then falls back to
+// the whole-state compare and whole-cache translation).
+// lineShift and sets describe the level. prefetch extends the range by
+// one line for levels whose load misses install the next line.
+func (m footMask) addRun(r Run, lineShift uint, sets int, prefetch bool) {
+	n := int64(r.Count)
+	if n <= 0 {
+		return
+	}
+	st := int64(r.Stride)
+	if st < 0 {
+		st = -st
+	}
+	if st > int64(1)<<lineShift {
+		m.fillAll(sets)
+		return
+	}
+	lo := r.Base
+	hi := r.Base + (n-1)*int64(r.Stride)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	l0, l1 := lo>>lineShift, hi>>lineShift
+	if prefetch {
+		l1++
+	}
+	span := l1 - l0 + 1
+	if span >= int64(sets) {
+		m.fillAll(sets)
+		return
+	}
+	start := int(l0 % int64(sets))
+	if start < 0 {
+		start += sets
+	}
+	m.setRange(start, int(span), sets)
+}
+
+// orRotated folds rotate(src, +rot) into m: a set s marked in src marks
+// set (s+rot) mod sets in m. rot must be in [0, sets).
+func (m footMask) orRotated(src footMask, rot, sets int) {
+	if rot == 0 {
+		m.or(src)
+		return
+	}
+	if sets < 64 {
+		w := src[0]
+		m[0] |= ((w << uint(rot)) | (w >> uint(sets-rot))) & (1<<uint(sets) - 1)
+		return
+	}
+	words := len(src)
+	wr, br := rot>>6, uint(rot)&63
+	for i := 0; i < words; i++ {
+		w := src[i]
+		if w == 0 {
+			continue
+		}
+		j := i + wr
+		if j >= words {
+			j -= words
+		}
+		if br == 0 {
+			m[j] |= w
+			continue
+		}
+		m[j] |= w << br
+		j++
+		if j >= words {
+			j -= words
+		}
+		m[j] |= w >> (64 - br)
+	}
+}

@@ -1,0 +1,192 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMask builds the footprint of a run the slow, obviously-correct way:
+// enumerate every access, mark the set of its line (and of the next line
+// under prefetch). With |stride| <= lineBytes consecutive accesses land
+// on the same or adjacent lines, so this union is exactly the contiguous
+// span addRun paints; for coarser strides addRun must degrade to full.
+func refMask(r Run, lineShift uint, sets int, prefetch bool) footMask {
+	m := newFootMask(sets)
+	mark := func(line int64) {
+		s := int(line % int64(sets))
+		if s < 0 {
+			s += sets
+		}
+		m[s>>6] |= 1 << (uint(s) & 63)
+	}
+	for i := int64(0); i < int64(r.Count); i++ {
+		line := (r.Base + i*r.Stride) >> lineShift
+		mark(line)
+		if prefetch {
+			mark(line + 1)
+		}
+	}
+	return m
+}
+
+func maskEq(a, b footMask) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAddRun cross-checks addRun against refMask for one input. It
+// returns a non-empty description on mismatch.
+func checkAddRun(t *testing.T, r Run, lineShift uint, sets int, prefetch bool) {
+	t.Helper()
+	got := newFootMask(sets)
+	got.addRun(r, lineShift, sets, prefetch)
+	st := r.Stride
+	if st < 0 {
+		st = -st
+	}
+	if st > int64(1)<<lineShift {
+		// Line-skipping stride: the only sound answer is a full mask.
+		if r.Count > 0 && !got.full(sets) {
+			t.Fatalf("addRun(%+v, shift=%d, sets=%d, pf=%v): coarse stride must fill all, got %d/%d sets",
+				r, lineShift, sets, prefetch, got.count(), sets)
+		}
+		return
+	}
+	want := refMask(r, lineShift, sets, prefetch)
+	if !maskEq(got, want) {
+		t.Fatalf("addRun(%+v, shift=%d, sets=%d, pf=%v): mask mismatch\n got %064b\nwant %064b",
+			r, lineShift, sets, prefetch, got, want)
+	}
+}
+
+// FuzzFootprintMask fuzzes addRun against the per-access reference
+// model. Soundness of footprint-scoped fingerprints rests on this
+// exactness: a spuriously marked set would be reconstructed from the
+// wrong last-touch period at skip time.
+func FuzzFootprintMask(f *testing.F) {
+	f.Add(int64(0), int64(8), int32(100), uint8(1), uint8(2), false)
+	f.Add(int64(-128), int64(-32), int32(7), uint8(0), uint8(0), true)
+	f.Add(int64(1<<30), int64(64), int32(5000), uint8(2), uint8(4), true)
+	f.Add(int64(31), int64(0), int32(3), uint8(1), uint8(1), false)
+	f.Add(int64(4096), int64(96), int32(12), uint8(1), uint8(3), false)
+	shifts := []uint{4, 5, 6}
+	setsChoices := []int{1, 8, 32, 63, 64, 128, 512}
+	f.Fuzz(func(t *testing.T, base, stride int64, count int32, shiftSel, setsSel uint8, prefetch bool) {
+		lineShift := shifts[int(shiftSel)%len(shifts)]
+		sets := setsChoices[int(setsSel)%len(setsChoices)]
+		// Bound the inputs so the reference enumeration stays cheap and
+		// base + count*stride cannot overflow.
+		if count < 0 {
+			count = -count
+		}
+		count %= 1 << 12
+		stride %= 4096
+		base %= 1 << 40
+		checkAddRun(t, Run{Base: base, Stride: stride, Count: count}, lineShift, sets, prefetch)
+	})
+}
+
+// TestFootprintAddRunExhaustiveSmall sweeps a dense grid of fine-stride
+// runs over small geometries, including negative bases and strides and
+// wrap-around spans, deterministically (the fuzz seed corpus is thin
+// when `go test` runs without -fuzz).
+func TestFootprintAddRunExhaustiveSmall(t *testing.T) {
+	for _, sets := range []int{1, 8, 63, 64, 128} {
+		for _, base := range []int64{-4097, -64, -1, 0, 31, 32, 2047, 1 << 20} {
+			for _, stride := range []int64{-40, -32, -8, 0, 8, 24, 32, 33, 100} {
+				for _, count := range []int32{0, 1, 2, 7, 65, 300} {
+					for _, pf := range []bool{false, true} {
+						checkAddRun(t, Run{Base: base, Stride: stride, Count: count}, 5, sets, pf)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFootprintSetRangeWrap checks the wrapping paths of setRange
+// against a bit-at-a-time model.
+func TestFootprintSetRangeWrap(t *testing.T) {
+	for _, sets := range []int{7, 63, 64, 192} {
+		for lo := 0; lo < sets; lo += 5 {
+			for _, n := range []int{0, 1, 3, sets / 2, sets - 1, sets, sets + 10} {
+				got := newFootMask(sets)
+				got.setRange(lo, n, sets)
+				want := newFootMask(sets)
+				for i := 0; i < n && i < sets; i++ {
+					s := (lo + i) % sets
+					want[s>>6] |= 1 << (uint(s) & 63)
+				}
+				if !maskEq(got, want) {
+					t.Fatalf("setRange(lo=%d, n=%d, sets=%d): got %b want %b", lo, n, sets, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFootprintOrRotated checks orRotated against bit-at-a-time rotation
+// for both layouts (single partial word, multiple whole words).
+func TestFootprintOrRotated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sets := range []int{5, 63, 64, 256} {
+		for trial := 0; trial < 50; trial++ {
+			src := newFootMask(sets)
+			for i := 0; i < sets; i++ {
+				if rng.Intn(3) == 0 {
+					src[i>>6] |= 1 << (uint(i) & 63)
+				}
+			}
+			rot := rng.Intn(sets)
+			got := newFootMask(sets)
+			got.orRotated(src, rot, sets)
+			want := newFootMask(sets)
+			for i := 0; i < sets; i++ {
+				if src.bit(i) {
+					s := (i + rot) % sets
+					want[s>>6] |= 1 << (uint(s) & 63)
+				}
+			}
+			if !maskEq(got, want) {
+				t.Fatalf("orRotated(sets=%d, rot=%d): got %b want %b", sets, rot, got, want)
+			}
+			if got.count() != src.count() {
+				t.Fatalf("orRotated(sets=%d, rot=%d): count changed %d -> %d", sets, rot, src.count(), got.count())
+			}
+		}
+	}
+}
+
+// TestFootprintContainsFull covers the contains/full helpers the scoped
+// confirm path uses to decide whether a phase's footprint escaped its
+// recorded sets.
+func TestFootprintContainsFull(t *testing.T) {
+	const sets = 128
+	a, b := newFootMask(sets), newFootMask(sets)
+	a.setRange(10, 40, sets)
+	b.setRange(15, 20, sets)
+	if !a.contains(b) {
+		t.Fatal("superset must contain subset")
+	}
+	if b.contains(a) {
+		t.Fatal("subset must not contain superset")
+	}
+	b.setRange(100, 1, sets)
+	if a.contains(b) {
+		t.Fatal("escaped bit must break containment")
+	}
+	a.fillAll(sets)
+	if !a.full(sets) || a.count() != sets {
+		t.Fatalf("fillAll: count=%d full=%v", a.count(), a.full(sets))
+	}
+	if !a.contains(b) {
+		t.Fatal("full mask must contain everything")
+	}
+}

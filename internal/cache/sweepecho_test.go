@@ -1,0 +1,202 @@
+package cache
+
+import "testing"
+
+// Synthetic streams for the sweep-echo layer and the footprint rescue
+// gate. The stencil differential suite exercises both through real
+// kernels; these tests construct minimal streams that pin down the
+// specific machinery: phases the per-phase engine must refuse (so only
+// the sweep recorder can amortize them) and phases whose full-state
+// snapshots are unaffordable (so only footprint scoping can rescue
+// detection).
+
+// phaseEmitter replays one synthetic phase into a sink: planes units,
+// unit i's stream produced by unitRuns(i), each followed by its marker.
+func emitPhase(sink RunSink, planes int, delta int64, unitRuns func(i int) []Run) {
+	for i := 0; i < planes; i++ {
+		sink.ReplayRuns(unitRuns(i))
+		MarkPlane(sink, PlaneMark{Delta: delta, Index: i, Planes: planes})
+	}
+}
+
+// readUnit builds a unit stream of `repeat` sequential read passes over
+// `lines` cache lines starting at base (stride 8, the element size).
+func readUnit(base int64, lines, repeat int) []Run {
+	runs := make([]Run, repeat)
+	for r := range runs {
+		runs[r] = Run{Base: base, Stride: 8, Count: int32(lines * 4)} // 4 accesses per 32B line
+	}
+	return runs
+}
+
+// refusedSweep emits one synthetic "sweep": two 2-plane phases over
+// disjoint regions. planes=2 phases are categorically refused by the
+// per-phase engine (two units cannot carry a pin), so across repeated
+// sweeps only the sweep-echo layer can amortize this stream.
+func refusedSweep(sink RunSink) {
+	emitPhase(sink, 2, 32, func(i int) []Run {
+		return readUnit(int64(i)*32, 8, 4)
+	})
+	emitPhase(sink, 2, 32, func(i int) []Run {
+		return readUnit(4096+int64(i)*32, 8, 4)
+	})
+}
+
+// TestSweepEchoRefusedPhases drives repeated identical sweeps of
+// refused phases and checks that the sweep-echo layer engages (at least
+// one whole-sweep echo) while statistics and final state stay exactly
+// equal to a raw replay. The schedule mirrors the bench harness: one
+// warm-up sweep, a stats reset, then measured sweeps.
+func TestSweepEchoRefusedPhases(t *testing.T) {
+	cfg := Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1} // 32 sets
+	const sweeps = 6
+
+	c := MustNew(cfg)
+	st := NewSteadyCache(c)
+	refusedSweep(st)
+	c.ResetStats()
+	for i := 0; i < sweeps; i++ {
+		refusedSweep(st)
+	}
+
+	raw := MustNew(cfg)
+	refusedSweep(raw)
+	raw.ResetStats()
+	for i := 0; i < sweeps; i++ {
+		refusedSweep(raw)
+	}
+
+	if c.Stats() != raw.Stats() {
+		t.Errorf("stats diverged: steady %+v raw %+v", c.Stats(), raw.Stats())
+	}
+	if !c.StateEqual(raw) {
+		t.Error("final cache state diverged from raw replay")
+	}
+	d := st.Diag()
+	if d.SweepEchoes == 0 {
+		t.Errorf("sweep-echo layer never engaged on refused-phase stream: %s", d)
+	}
+	if d.Confirmed != 0 {
+		t.Errorf("2-plane phases must not confirm a cycle: %s", d)
+	}
+
+	// The sweep layer is an execution knob: disabling it must not change
+	// results, only cost.
+	c2 := MustNew(cfg)
+	st2 := NewSteadyCache(c2)
+	st2.DisableSweepEcho = true
+	refusedSweep(st2)
+	c2.ResetStats()
+	for i := 0; i < sweeps; i++ {
+		refusedSweep(st2)
+	}
+	if c2.Stats() != raw.Stats() || !c2.StateEqual(raw) {
+		t.Error("DisableSweepEcho changed results")
+	}
+	if st2.SweepEchoes() != 0 {
+		t.Error("DisableSweepEcho did not disable the sweep layer")
+	}
+}
+
+// scopedPhase emits one long frontier-marching phase against a 512-set
+// L1: each unit makes 512 accesses over 8 lines, then the next unit
+// shifts forward one line. A full-state snapshot costs 512 slots, so
+// the default budget gate (2x slots) refuses it at 512 accesses per
+// unit — only the footprint-scoped estimate (8 sets grown by the period
+// window) passes, making this the rescue path's canonical customer.
+func scopedPhase(sink RunSink, planes int) {
+	emitPhase(sink, planes, 32, func(i int) []Run {
+		return readUnit(int64(i)*32, 8, 16)
+	})
+}
+
+func runScoped(t *testing.T, tune func(*Steady), planes int) (*Cache, SteadyDiag) {
+	t.Helper()
+	cfg := Config{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1} // 512 sets
+	c := MustNew(cfg)
+	st := NewSteadyCache(c)
+	if tune != nil {
+		tune(st)
+	}
+	scopedPhase(st, planes)
+	return c, st.Diag()
+}
+
+// TestSteadyFootprintRescue checks the default budget gate end to end:
+// a phase whose full-state snapshot is unaffordable is rescued by
+// footprint scoping (scoped confirm, planes skipped), and the result is
+// bit-identical to a raw replay and to the same run with footprints
+// disabled (which must refuse the phase instead).
+func TestSteadyFootprintRescue(t *testing.T) {
+	const planes = 48
+	raw := MustNew(Config{SizeBytes: 16 << 10, LineBytes: 32, Assoc: 1})
+	scopedPhase(raw, planes)
+
+	c, d := runScoped(t, nil, planes)
+	if c.Stats() != raw.Stats() {
+		t.Errorf("stats diverged: steady %+v raw %+v", c.Stats(), raw.Stats())
+	}
+	if !c.StateEqual(raw) {
+		t.Error("final state diverged from raw replay")
+	}
+	if d.ScopedConfirms == 0 {
+		t.Errorf("default gate did not rescue the phase via footprints: %s", d)
+	}
+
+	// Footprints off: the gate must refuse (full snapshots stay
+	// unaffordable) but results must not change.
+	c2, d2 := runScoped(t, func(s *Steady) { s.DisableFootprints = true }, planes)
+	if c2.Stats() != raw.Stats() || !c2.StateEqual(raw) {
+		t.Error("DisableFootprints changed results")
+	}
+	if d2.ScopedConfirms != 0 || d2.Confirmed != 0 {
+		t.Errorf("DisableFootprints still confirmed a cycle: %s", d2)
+	}
+	if d2.RefusedBudget == 0 {
+		t.Errorf("unaffordable phase was not refused with footprints off: %s", d2)
+	}
+}
+
+// TestSteadyFootprintDefaultOff checks the other half of the gate:
+// when full-state snapshots ARE affordable, scoping stays off (it would
+// only add mask-accumulation cost), and the footForce test hook flips
+// that decision without changing results. The cache is small (32 sets)
+// and the phase long enough for the frontier to wrap all the way
+// around, so the WHOLE cache state translates by one line per unit —
+// the shape the full-state compare needs (a frontier that has not
+// wrapped leaves a stale tail behind it, which only scoping can skip).
+func TestSteadyFootprintDefaultOff(t *testing.T) {
+	const planes = 48
+	bigUnit := func(sink RunSink) {
+		// 128 accesses per unit >= 2*32 slots: full snapshots affordable.
+		emitPhase(sink, planes, 32, func(i int) []Run {
+			return readUnit(int64(i)*32, 8, 4)
+		})
+	}
+	cfg := Config{SizeBytes: 1024, LineBytes: 32, Assoc: 1}
+	raw := MustNew(cfg)
+	bigUnit(raw)
+
+	c := MustNew(cfg)
+	st := NewSteadyCache(c)
+	bigUnit(st)
+	d := st.Diag()
+	if c.Stats() != raw.Stats() || !c.StateEqual(raw) {
+		t.Error("steady run diverged from raw replay")
+	}
+	if d.Confirmed == 0 || d.ScopedConfirms != 0 {
+		t.Errorf("affordable phase should confirm unscoped: %s", d)
+	}
+
+	cf := MustNew(cfg)
+	stf := NewSteadyCache(cf)
+	stf.footForce = true
+	bigUnit(stf)
+	df := stf.Diag()
+	if cf.Stats() != raw.Stats() || !cf.StateEqual(raw) {
+		t.Error("footForce changed results")
+	}
+	if df.ScopedConfirms == 0 {
+		t.Errorf("footForce did not scope the affordable phase: %s", df)
+	}
+}

@@ -23,10 +23,22 @@ import (
 // so callers can assert the fast path was actually exercised.
 func steadyCompare(t *testing.T, label string, w *stencil.Workload, sweeps int, cfgs ...cache.Config) uint64 {
 	t.Helper()
+	return steadyCompareTuned(t, label, w, sweeps, func(st *cache.Steady) {
+		st.MinUnitAccesses = 1
+	}, cfgs...)
+}
+
+// steadyCompareTuned is steadyCompare with a hook to configure the
+// steady engine (gate, footprints, sweep echo) before replay; a nil
+// tune leaves the production defaults in place.
+func steadyCompareTuned(t *testing.T, label string, w *stencil.Workload, sweeps int, tune func(*cache.Steady), cfgs ...cache.Config) uint64 {
+	t.Helper()
 	full := cache.MustHierarchy(cfgs...)
 	fast := cache.MustHierarchy(cfgs...)
 	st := cache.NewSteady(fast)
-	st.MinUnitAccesses = 1
+	if tune != nil {
+		tune(st)
+	}
 	for sweep := 0; sweep < sweeps; sweep++ {
 		w.ReplayTrace(full)
 		w.ReplayTrace(st)
@@ -81,6 +93,43 @@ func TestSteadyDifferentialKernels(t *testing.T) {
 				t.Errorf("%s/orig: steady engine never skipped a plane", k)
 			}
 		}
+	}
+}
+
+// TestSteadyDifferentialAllMethods is the production-path differential:
+// every kernel under every paper method, with the REAL selection plans
+// (core.Select against a scaled cache) and the engine's production
+// gate — MinUnitAccesses zero, so the default budget gate, the
+// footprint rescue and the sweep-echo layer all run exactly as the
+// bench harness runs them. Each configuration is also replayed with
+// footprints and sweep echo disabled: all three must be bit-identical
+// to full replay.
+func TestSteadyDifferentialAllMethods(t *testing.T) {
+	cfgs := []cache.Config{
+		{SizeBytes: 4 << 10, LineBytes: 32},
+		{SizeBytes: 32 << 10, LineBytes: 64, WriteAllocate: true},
+	}
+	cacheElems := (4 << 10) / 8 // tile for the scaled L1, as the paper tiles for its L1
+	const n, depth, sweeps = 64, 12, 3
+	kernels := []stencil.Kernel{stencil.Jacobi, stencil.RedBlack, stencil.Resid}
+	var skipped uint64
+	for _, k := range kernels {
+		for _, m := range core.PaperMethods() {
+			if err := core.CheckSelect(m, cacheElems, n, n, k.Spec()); err != nil {
+				t.Fatalf("%s/%s: selection precondition: %v", k, m, err)
+			}
+			plan := core.Select(m, cacheElems, n, n, k.Spec())
+			label := k.String() + "/" + m.String()
+			w := stencil.NewTraceWorkload(k, n, depth, plan)
+			skipped += steadyCompareTuned(t, label, w, sweeps, nil, cfgs...)
+			steadyCompareTuned(t, label+"/nofoot", w, sweeps, func(st *cache.Steady) {
+				st.DisableFootprints = true
+				st.DisableSweepEcho = true
+			}, cfgs...)
+		}
+	}
+	if skipped == 0 {
+		t.Error("production gate never skipped a plane across any kernel/method")
 	}
 }
 
@@ -144,6 +193,9 @@ func TestSteadyRandomGeometry(t *testing.T) {
 		}
 		w := stencil.NewTraceWorkload(k, n, depth, plan)
 		steadyCompare(t, k.String()+"/random", w, 2, cfgs...)
+		// Same geometry under the production gate (default budget,
+		// footprint rescue, sweep echo): must also be exact.
+		steadyCompareTuned(t, k.String()+"/random-prod", w, 2, nil, cfgs...)
 	}
 }
 
