@@ -66,6 +66,7 @@ func main() {
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
 		warmShare  = flag.Bool("warmshare", true, "share results between sweep points with identical selection plans (identical results; -warmshare=false simulates every point)")
+		delta      = flag.Bool("delta", true, "cross-point delta simulation: trace each point's warm sweep into phase records, replay measured sweeps from them, and seed plan-identical neighbors (identical results; -delta=false replays every sweep)")
 		verbose    = flag.Bool("v", false, "per-point diagnostics on stderr: how each sweep point was resolved (simulated/shared/degraded) and steady-engine counters")
 		checkpoint = flag.String("checkpoint", "", "journal completed simulation points to this file (JSONL)")
 		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
@@ -105,19 +106,43 @@ func main() {
 	opt.Workers = *workers
 	opt.DisableSteady = !*steady
 	opt.DisableWarmShare = !*warmShare
+	opt.DisableDelta = !*delta
 	opt.Ctx = ctx
 	opt.PointTimeout = *pointTO
 	opt.ParanoidEvery = *paranoid
 	opt.InjectPanicN = *injectN
-	if *verbose {
-		// The hook runs on worker goroutines; the mutex keeps lines whole.
-		var diagMu sync.Mutex
-		opt.DiagHook = func(d bench.PointDiag) {
-			diagMu.Lock()
-			fmt.Fprintln(os.Stderr, "point:", d)
-			diagMu.Unlock()
+	// Tally how each point was resolved for the end-of-run summary; with
+	// -v also print every point. The hook runs on worker goroutines; the
+	// mutex keeps lines whole and the counters consistent.
+	var diagMu sync.Mutex
+	var nShared, nDelta, nSim, nDegraded, nFailed int
+	opt.DiagHook = func(d bench.PointDiag) {
+		diagMu.Lock()
+		switch {
+		case d.Shared != "":
+			nShared++
+		case d.Failed:
+			nFailed++
+		case d.Degraded:
+			nDegraded++
+		case d.DeltaReused():
+			nDelta++
+		default:
+			nSim++
 		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "point:", d)
+		}
+		diagMu.Unlock()
 	}
+	defer func() {
+		diagMu.Lock()
+		defer diagMu.Unlock()
+		if n := nShared + nDelta + nSim + nDegraded + nFailed; n > 0 {
+			fmt.Fprintf(os.Stderr, "points: %d total — %d shared, %d delta-replayed, %d fully simulated, %d degraded, %d failed\n",
+				n, nShared, nDelta, nSim, nDegraded, nFailed)
+		}
+	}()
 	if *quick {
 		opt.NStep = 50
 	}

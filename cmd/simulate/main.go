@@ -42,6 +42,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the series as JSON instead of a table")
 		workers    = flag.Int("workers", cache.DefaultWorkers(), "simulation worker goroutines (results are identical for any count)")
 		steady     = flag.Bool("steady", true, "steady-state plane-cycle detection (identical results; -steady=false simulates every plane)")
+		delta      = flag.Bool("delta", true, "cross-point delta simulation (identical results; -delta=false replays every sweep in full)")
 		checkpoint = flag.String("checkpoint", "", "journal completed simulation points to this file (JSONL)")
 		resume     = flag.Bool("resume", false, "with -checkpoint: load already-completed points instead of recomputing them")
 		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
@@ -67,6 +68,7 @@ func main() {
 	opt.NMin, opt.NMax, opt.NStep, opt.K, opt.Sweeps = *nMin, *nMax, *step, *k, *sweeps
 	opt.Workers = *workers
 	opt.DisableSteady = !*steady
+	opt.DisableDelta = !*delta
 	if *methodList != "" {
 		opt.Methods = nil
 		for _, name := range strings.Split(*methodList, ",") {

@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tiling3d/internal/cache"
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// Cross-point delta simulation must be invisible in the results: every
+// number a sweep produces has to be bit-identical with -delta=false
+// -steady=false -warmshare=false full simulation, for every kernel,
+// method, geometry, and interplay with resume and warm sharing.
+
+// fullSim returns opt with every acceleration engine disabled: the
+// ground-truth configuration.
+func fullSim(opt Options) Options {
+	opt.DisableSteady = true
+	opt.DisableWarmShare = true
+	opt.DisableDelta = true
+	return opt
+}
+
+func TestDeltaPointDifferential(t *testing.T) {
+	opt := smallOptions()
+	opt.Sweeps = 3
+	off := fullSim(opt)
+	for _, k := range stencil.Kernels() {
+		for _, m := range opt.Methods {
+			for _, n := range []int{40, 61} {
+				got := SimulateStats(k, m, n, opt)
+				want := SimulateStats(k, m, n, off)
+				if got != want {
+					t.Errorf("%s/%s N=%d: delta path diverged:\n  delta %+v\n  full  %+v", k, m, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSweepIdentical drives the sweep engine's donor scheduling
+// (warm sharing off, so plan-identical groups seed followers with the
+// lead's phase records) and requires bit-identical outcomes plus actual
+// donor traffic.
+func TestDeltaSweepIdentical(t *testing.T) {
+	seeded, reused := 0, 0
+	for _, k := range stencil.Kernels() {
+		opt := smallOptions()
+		opt.Sweeps = 2
+		opt.DisableWarmShare = true
+		var mu sync.Mutex
+		opt.DiagHook = func(d PointDiag) {
+			mu.Lock()
+			if d.Donor != "" {
+				seeded++
+			}
+			if d.DeltaReused() {
+				reused++
+			}
+			mu.Unlock()
+		}
+		a, errA := simGrid(k, opt)
+		b, errB := simGrid(k, fullSim(opt))
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: simGrid errors: %v, %v", k, errA, errB)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: point %s diverged under delta simulation:\n  delta %+v\n  full  %+v",
+					k, a[i].Key, a[i], b[i])
+			}
+		}
+	}
+	if reused == 0 {
+		t.Fatal("delta replay never fired across the small grids")
+	}
+	if seeded == 0 {
+		t.Fatal("no follower was ever donor-seeded: the neighbor scheduling path was never exercised")
+	}
+}
+
+// TestDeltaWarmShareInterplay: with both sharing layers on, followers
+// copy results and leads delta-replay; outcomes still match full
+// simulation exactly (Shared is the only field allowed to differ).
+func TestDeltaWarmShareInterplay(t *testing.T) {
+	for _, k := range stencil.Kernels() {
+		opt := smallOptions()
+		opt.Sweeps = 2
+		a, errA := simGrid(k, opt)
+		b, errB := simGrid(k, fullSim(opt))
+		if errA != nil || errB != nil {
+			t.Fatalf("%s: simGrid errors: %v, %v", k, errA, errB)
+		}
+		sa := stripShared(a)
+		for i := range sa {
+			if sa[i] != b[i] {
+				t.Errorf("%s: point %s diverged with warmshare+delta:\n  got  %+v\n  full %+v",
+					k, sa[i].Key, sa[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDeltaResumeInterplay: a sweep interrupted mid-run and resumed
+// from its journal — so some groups' leads complete in the first run
+// and their followers in the second, donor-less — must still match full
+// simulation point for point.
+func TestDeltaResumeInterplay(t *testing.T) {
+	k := stencil.Jacobi
+	base := smallOptions()
+	base.Sweeps = 2
+	base.DisableWarmShare = true
+	path := filepath.Join(t.TempDir(), "delta_resume.jsonl")
+
+	first := base
+	j1, err := OpenJournal(path, first, false)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	first.Ctx = ctx
+	first.Journal = j1
+	first.Workers = 1 // deterministic cut point
+	first.pointHook = func(done int) {
+		if done >= 3 {
+			cancel()
+		}
+	}
+	if _, err := simGrid(k, first); err != context.Canceled {
+		t.Fatalf("first run: want context.Canceled, got %v", err)
+	}
+	if err := j1.WriteErr(); err != nil {
+		t.Fatalf("journal write: %v", err)
+	}
+
+	second := base
+	j2, err := OpenJournal(path, second, true)
+	if err != nil {
+		t.Fatalf("resume journal: %v", err)
+	}
+	if j2.Resumed() == 0 {
+		t.Fatal("nothing resumed; the interrupted-lead path was never exercised")
+	}
+	second.Journal = j2
+	outs, err := simGrid(k, second)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+
+	ref, err := simGrid(k, fullSim(base))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	for i := range outs {
+		if outs[i] != ref[i] {
+			t.Errorf("point %s diverged across resume:\n  got  %+v\n  full %+v",
+				outs[i].Key, outs[i], ref[i])
+		}
+	}
+}
+
+// TestDeltaRandomGeometry: randomized cache geometries (including a
+// set-associative level, where end-state chaining is conservatively
+// unavailable and replay leans on pins) against full simulation.
+func TestDeltaRandomGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	geoms := []struct{ l1, l2 cache.Config }{
+		{cache.Config{SizeBytes: 4 << 10, LineBytes: 16, Assoc: 1},
+			cache.Config{SizeBytes: 128 << 10, LineBytes: 128, Assoc: 1, WriteAllocate: true}},
+		{cache.Config{SizeBytes: 2 << 10, LineBytes: 32, Assoc: 2},
+			cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, WriteAllocate: true}},
+		{cache.Config{SizeBytes: 8 << 10, LineBytes: 64, Assoc: 1, NextLinePrefetch: true},
+			cache.Config{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 1}},
+	}
+	kernels := stencil.Kernels()
+	for gi, g := range geoms {
+		opt := smallOptions()
+		opt.L1, opt.L2 = g.l1, g.l2
+		opt.Sweeps = 1 + rng.Intn(3)
+		k := kernels[rng.Intn(len(kernels))]
+		m := opt.Methods[rng.Intn(len(opt.Methods))]
+		n := 40 + rng.Intn(41)
+		got := SimulateStats(k, m, n, opt)
+		want := SimulateStats(k, m, n, fullSim(opt))
+		if got != want {
+			t.Errorf("geom %d %s/%s N=%d sweeps=%d: diverged:\n  delta %+v\n  full  %+v",
+				gi, k, m, n, opt.Sweeps, got, want)
+		}
+	}
+}
+
+// TestDeltaDegradedLeadNoDonor: a lead that degrades must not donate;
+// its followers run donor-less and still match full simulation. Mirrors
+// TestWarmShareDegradedLeadFallback on the delta scheduling path.
+func TestDeltaDegradedLeadNoDonor(t *testing.T) {
+	k := stencil.Jacobi
+	opt := smallOptions()
+	opt.Sweeps = 2
+	opt.DisableWarmShare = true
+
+	var lead PointKey
+	var followers []PointKey
+	for _, g := range shareGroups(k, opt) {
+		if len(g) > 1 {
+			lead, followers = g[0], g[1:]
+			break
+		}
+	}
+	if lead == (PointKey{}) {
+		t.Fatal("no shareable group in the small grid")
+	}
+	opt.faultInject = func(o Options, m core.Method, n int) {
+		if !o.DisableSteady && m.String() == lead.Method && n == lead.N {
+			panic("injected: lead's primary attempt")
+		}
+	}
+	var mu sync.Mutex
+	diags := map[PointKey]PointDiag{}
+	opt.DiagHook = func(d PointDiag) {
+		mu.Lock()
+		diags[d.Key] = d
+		mu.Unlock()
+	}
+	outs, err := simGrid(k, opt)
+	if err != nil {
+		t.Fatalf("simGrid: %v", err)
+	}
+	if ld := diags[lead]; !ld.Degraded {
+		t.Fatalf("lead %s did not degrade: %+v", lead, ld)
+	}
+	for _, f := range followers {
+		fd := diags[f]
+		if fd.Donor != "" {
+			t.Errorf("follower %s was seeded by a degraded lead", f)
+		}
+		if fd.Degraded || fd.Failed {
+			t.Errorf("follower %s should have simulated cleanly: %+v", f, fd)
+		}
+	}
+	ref, err := simGrid(k, fullSim(opt))
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for i := range outs {
+		got := outs[i]
+		got.Degraded, got.Err = false, ""
+		if got != ref[i] {
+			t.Errorf("point %s diverged under degraded lead:\n  got  %+v\n  full %+v",
+				got.Key, outs[i], ref[i])
+		}
+	}
+}

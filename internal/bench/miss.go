@@ -97,14 +97,37 @@ func SimulateStats(k stencil.Kernel, m core.Method, n int, opt Options) SimResul
 	if sweeps <= 0 {
 		sweeps = 1
 	}
+	sd, _ := sink.(*cache.Steady)
+	useDelta := sd != nil && !opt.DisableDelta
+	if useDelta {
+		if opt.deltaDonor != nil {
+			sd.SeedDelta(opt.deltaDonor)
+		}
+		sd.DeltaTraceBegin()
+	}
 	w.ReplayTrace(sink) // warm-up: exclude cold misses, as a long run would
+	traced := useDelta && sd.DeltaTraceEnd()
 	h.ResetStats()
 	for s := 0; s < sweeps; s++ {
+		// Delta replay reproduces the whole sweep from the traced phase
+		// records when every record validates; otherwise (or with no
+		// trace) the sweep replays through the walker as before.
+		if traced && sd.ReplayDeltaSweep() {
+			continue
+		}
 		w.ReplayTrace(sink)
 	}
-	if opt.steadyDiag != nil {
-		if sd, ok := sink.(*cache.Steady); ok {
-			*opt.steadyDiag = sd.Diag()
+	if opt.steadyDiag != nil && sd != nil {
+		*opt.steadyDiag = sd.Diag()
+	}
+	if opt.deltaDiag != nil && sd != nil {
+		*opt.deltaDiag = sd.DeltaInfo()
+	}
+	if opt.deltaExport != nil {
+		if traced {
+			*opt.deltaExport = sd.ExportDelta()
+		} else {
+			*opt.deltaExport = nil
 		}
 	}
 	return SimResult{

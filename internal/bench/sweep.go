@@ -75,8 +75,18 @@ func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 	// exercise the full simulation path. Grouping also orders plan
 	// neighbors consecutively on one worker, so a lead's warm result is
 	// still in cache when its followers copy it.
+	//
+	// The same grouping doubles as the delta layer's donor schedule when
+	// warm sharing is off: plan identity is exactly the relation under
+	// which two points' traces are byte-identical (differing plans change
+	// run counts and bases, so no phase of one is a translate of a phase
+	// of the other), which makes the plan-identical lead each point's
+	// maximally-similar completed donor. Leads run first, followers are
+	// seeded with the lead's phase records and simulate (exactly) instead
+	// of copying.
+	deltaShare := opt.DisableWarmShare && !opt.DisableSteady && !opt.DisableDelta
 	groups := make([][]int, 0, len(todo))
-	if !opt.DisableWarmShare {
+	if !opt.DisableWarmShare || deltaShare {
 		type shareKey struct {
 			n    int
 			plan core.Plan
@@ -126,15 +136,33 @@ func simGrid(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
 	perrs, cerr := cache.ForEachCtx(opt.ctx(), len(groups), opt.Workers, func(gi int) {
 		g := groups[gi]
 		it := todo[g[0]]
-		lead := runPoint(k, it.m, it.n, opt, it.paranoid)
+		lopt := opt
+		var donor *cache.DeltaDonor
+		if deltaShare && len(g) > 1 {
+			lopt.deltaExport = &donor
+		}
+		lead := runPoint(k, it.m, it.n, lopt, it.paranoid)
 		out[it.slot] = lead
 		record(lead)
 		for _, fi := range g[1:] {
 			f := todo[fi]
 			var outc PointOutcome
-			if lead.Failed || lead.Degraded {
+			switch {
+			case lead.Failed || lead.Degraded:
+				// A degraded or failed donor never propagates: followers
+				// run their own full ladder, donor-less.
 				outc = runPoint(k, f.m, f.n, opt, f.paranoid)
-			} else {
+			case deltaShare:
+				// Seed the follower with the lead's phase records: its warm
+				// sweep echoes from the first matching pin and its measured
+				// sweeps delta-replay, but it still simulates — exactly —
+				// rather than copying. A nil donor (lead traced nothing)
+				// just means a donor-less, still-exact run.
+				fopt := opt
+				fopt.deltaDonor = donor
+				fopt.donorFrom = lead.Key.Method
+				outc = runPoint(k, f.m, f.n, fopt, f.paranoid)
+			default:
 				outc = PointOutcome{
 					Key:    PointKey{Kernel: k.String(), Method: f.m.String(), N: f.n},
 					Res:    lead.Res,
@@ -195,10 +223,12 @@ func forEachCtx(opt Options, n int, fn func(i int)) {
 type PointDiag struct {
 	Key      PointKey
 	Shared   string // lead method whose result was copied; "" when simulated
+	Donor    string // lead method whose phase records seeded this point; "" when unseeded
 	Degraded bool
 	Failed   bool
 	Err      string
 	Steady   cache.SteadyDiag
+	Delta    cache.DeltaDiag
 }
 
 // String renders the record for -v output.
@@ -211,9 +241,20 @@ func (d PointDiag) String() string {
 	case d.Degraded:
 		return fmt.Sprintf("%s: degraded (steady disabled): %s", d.Key, d.Err)
 	default:
-		return fmt.Sprintf("%s: %s", d.Key, d.Steady)
+		s := fmt.Sprintf("%s: %s", d.Key, d.Steady)
+		if d.Delta.Traced || d.Delta.Seeded || d.Delta.Sweeps > 0 {
+			s += " | delta " + d.Delta.String()
+			if d.Donor != "" {
+				s += " donor=" + d.Donor
+			}
+		}
+		return s
 	}
 }
+
+// DeltaReused reports whether the point's measured sweeps were served by
+// delta replay rather than full walker simulation.
+func (d PointDiag) DeltaReused() bool { return d.Delta.Sweeps > 0 }
 
 // planShareKey computes a point's plan identity for warm sharing. The
 // cost-model value is zeroed: two methods that pick the same tile and
@@ -238,7 +279,7 @@ func planShareKey(k stencil.Kernel, m core.Method, n int, opt Options) (p core.P
 // marked Degraded and keeps the primary error in Err.
 func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) PointOutcome {
 	key := PointKey{Kernel: k.String(), Method: m.String(), N: n}
-	outc, sd := runPointLadder(k, m, n, opt, paranoid, key)
+	outc, sd, dd := runPointLadder(k, m, n, opt, paranoid, key)
 	if opt.DiagHook != nil {
 		d := PointDiag{
 			Key:      outc.Key,
@@ -251,38 +292,58 @@ func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool
 		if sd != nil && !outc.Failed {
 			d.Steady = *sd
 		}
+		if dd != nil && !outc.Failed {
+			d.Delta = *dd
+			if d.Delta.Seeded {
+				d.Donor = opt.donorFrom
+			}
+		}
 		opt.DiagHook(d)
 	}
 	return outc
 }
 
 // runPointLadder runs the ladder and returns the outcome together with
-// the steady-diagnostic counters of the attempt that produced it. Each
-// attempt writes a fresh counter target: a timed-out attempt's abandoned
-// goroutine may still write its own target later, which must not race
-// with reading the attempt that actually finished.
-func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool, key PointKey) (PointOutcome, *cache.SteadyDiag) {
+// the steady- and delta-diagnostic counters of the attempt that produced
+// it. Each attempt writes fresh counter (and donor-export) targets: a
+// timed-out attempt's abandoned goroutine may still write its own
+// targets later, which must not race with reading the attempt that
+// actually finished.
+func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool, key PointKey) (PointOutcome, *cache.SteadyDiag, *cache.DeltaDiag) {
+	export := opt.deltaExport
+	if export != nil {
+		opt.deltaExport = new(*cache.DeltaDonor)
+	}
 	if opt.DiagHook != nil {
 		opt.steadyDiag = new(cache.SteadyDiag)
+		opt.deltaDiag = new(cache.DeltaDiag)
 	}
 	res, err := simGuarded(k, m, n, opt, paranoid)
 	if err == nil {
-		return PointOutcome{Key: key, Res: res}, opt.steadyDiag
+		if export != nil {
+			*export = *opt.deltaExport
+		}
+		return PointOutcome{Key: key, Res: res}, opt.steadyDiag, opt.deltaDiag
 	}
 	if !opt.DisableSteady {
+		// The fallback attempt neither consumes nor produces donors: a
+		// degraded point must not propagate anything.
 		retry := opt
 		retry.DisableSteady = true
+		retry.deltaDonor = nil
+		retry.deltaExport = nil
 		if opt.DiagHook != nil {
 			retry.steadyDiag = new(cache.SteadyDiag)
+			retry.deltaDiag = new(cache.DeltaDiag)
 		}
 		res2, err2 := simGuarded(k, m, n, retry, false)
 		if err2 == nil {
-			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}, retry.steadyDiag
+			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}, retry.steadyDiag, retry.deltaDiag
 		}
 		return PointOutcome{Key: key, Failed: true,
-			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}, retry.steadyDiag
+			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}, retry.steadyDiag, retry.deltaDiag
 	}
-	return PointOutcome{Key: key, Failed: true, Err: err.Error()}, opt.steadyDiag
+	return PointOutcome{Key: key, Failed: true, Err: err.Error()}, opt.steadyDiag, opt.deltaDiag
 }
 
 // simGuarded runs one simulation attempt under the watchdog. Go cannot

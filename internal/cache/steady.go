@@ -82,11 +82,15 @@ const steadyInvalidEnc = -1 << 63
 // address streams (0 when the walker cannot guarantee a uniform
 // translation, e.g. arrays with mixed strides); Index is the 0-based
 // ordinal of the unit just completed; Planes is the total number of
-// units in the phase. Index==Planes-1 ends the phase.
+// units in the phase. Index==Planes-1 ends the phase. Level
+// distinguishes otherwise identically-shaped phases from different
+// contexts (multigrid emits one level per grid in the hierarchy, see
+// WithLevel); single-grid walkers leave it zero.
 type PlaneMark struct {
 	Delta  int64
 	Index  int
 	Planes int
+	Level  int
 }
 
 // PlaneSink is a RunSink that also understands plane-phase markers.
@@ -174,8 +178,10 @@ type steadyPin struct {
 type steadyPhase struct {
 	valid   bool
 	seq     uint64 // LRU stamp for eviction
+	gen     uint64 // content generation: bumped only when insertRecord rewrites the slot
 	delta   int64
 	planes  int
+	level   int
 	anchors []int
 	deltas  [][]Stats
 	pins    []steadyPin
@@ -217,6 +223,7 @@ type Steady struct {
 	unit    int
 	delta   int64
 	planes  int
+	level   int
 	t0      int
 	aViable bool // plane-cycle detection possible for this phase
 
@@ -245,7 +252,7 @@ type Steady struct {
 	lastA      []int32    // scratch: per-set last covering period
 	// refusedShapes counts budget-gate refusals per phase shape so a
 	// repeated sweep of a refused phase records for cross-phase echo.
-	refusedShapes map[[2]int64]uint8
+	refusedShapes map[[3]int64]uint8
 
 	diag SteadyDiag
 
@@ -297,6 +304,13 @@ type Steady struct {
 	// commit whole repeated sweeps at a time.
 	sw sweepState
 
+	// dl is the cross-point delta layer (delta.go): while tracing it
+	// notes, per phase of a warm sweep, which history record reproduces
+	// the phase, so later identical sweeps — in this engine or in a
+	// neighboring point's engine seeded from this one — replay from the
+	// records instead of the walker.
+	dl deltaState
+
 	skipped     uint64
 	cycles      uint64
 	echoes      uint64
@@ -310,9 +324,12 @@ type Steady struct {
 // under the cap.
 const maxUnitRuns = 4 << 20
 
-// steadyHistory bounds the phase records kept for cross-phase echo; the
-// paper's workloads need at most two live shapes (red-black passes).
-const steadyHistory = 4
+// steadyHistory bounds the phase records kept for cross-phase echo. The
+// paper's single-grid workloads need at most two live shapes (red-black
+// passes); a multigrid V-cycle carries one smoother/residual/transfer
+// shape per grid level (~13 at LM=7), and the delta layer needs every
+// phase of a traced sweep resident at once.
+const steadyHistory = 16
 
 // maxSteadyAnchors bounds the engine-lifetime anchor table. Anchors are
 // deduplicated across phases (a repeated phase re-matches its
@@ -507,6 +524,10 @@ func (s *Steady) beginPhase() {
 	s.mode = steadyObserve
 	s.aViable = false
 	s.unit = 0
+	s.level = 0
+	if s.dl.tracing {
+		s.dl.starts++
+	}
 	s.started = false
 	s.recording = true
 	s.curPat = s.curPat[:0]
@@ -620,7 +641,7 @@ func (s *Steady) toLive(mk PlaneMark) {
 
 func (s *Steady) observeMark(mk PlaneMark) {
 	if s.unit == 0 {
-		s.delta, s.planes = mk.Delta, mk.Planes
+		s.delta, s.planes, s.level = mk.Delta, mk.Planes, mk.Level
 		if mk.Index != 0 || !s.phaseViable() {
 			s.toLive(mk)
 			return
@@ -630,7 +651,7 @@ func (s *Steady) observeMark(mk PlaneMark) {
 		if s.footOK && s.recording {
 			s.noteFoot(s.curPat)
 		}
-	} else if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes {
+	} else if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes || mk.Level != s.level {
 		s.toLive(mk)
 		return
 	}
@@ -679,10 +700,29 @@ func (s *Steady) observeMark(mk PlaneMark) {
 // phases that fail that can still be recorded for cross-phase echo.
 func (s *Steady) phaseViable() bool {
 	s.diag.Phases++
-	if !s.recording || s.delta <= 0 || s.planes < 2 {
+	// A phase with no uniform translation (Δ <= 0: mismatched strides,
+	// restriction/prolongation, fills) or fewer than two units cannot
+	// carry plane-cycle detection. It can still be *recorded* — each unit
+	// anchored verbatim — which the delta layer needs for a complete
+	// sweep trace, so while tracing such phases proceed with detection
+	// permanently off (unsteady below).
+	unsteady := s.delta <= 0 || s.planes < 2
+	if !s.recording || (unsteady && !s.dl.tracing) {
 		s.diag.RefusedDelta++
 		s.footOK = false
 		return false
+	}
+	if unsteady {
+		s.diag.RefusedDelta++
+		s.footOK = false
+		s.t0 = 1
+		s.aViable = false
+		s.pinsOK = s.planes >= 3 && s.curAcc*int64(s.planes) >= int64(s.slots)*16
+		if s.ring == nil {
+			s.ring = make([]steadyPat, s.MaxPeriod+1)
+			s.snaps = make([]steadySnap, s.MaxPeriod+1)
+		}
+		return true
 	}
 	gate := s.MinUnitAccesses
 	budget := true
@@ -718,12 +758,14 @@ func (s *Steady) phaseViable() bool {
 		// Footprints only serve detection snapshots; a refused phase
 		// stops accumulating them either way.
 		s.footOK = false
-		if !s.echoAssist() {
+		if !s.echoAssist() && !s.dl.tracing {
 			return false
 		}
 		// A sweep of this shape refused before (or a record of it
 		// exists): record anyway so cross-phase echo can confirm the
-		// repeat instead of replaying it in full.
+		// repeat instead of replaying it in full. While delta-tracing,
+		// record on the first sighting: the trace needs a record of
+		// every phase to reproduce the sweep.
 	}
 	if s.nAnchors > maxSteadyAnchors-8 {
 		// Recycle the anchor table between phases so streams with many
@@ -752,9 +794,11 @@ func (s *Steady) phaseViable() bool {
 			}
 		}
 		s.footOK = false
-		if s.planes < 3 {
+		if s.planes < 3 && !s.dl.tracing {
 			// Two units cannot carry a pin (pins exclude the first and
 			// last unit), so there is nothing cross-phase echo could use.
+			// The delta layer still wants the record: its replay path can
+			// reproduce a pin-less phase from the anchors alone.
 			return false
 		}
 	}
@@ -800,16 +844,16 @@ func (s *Steady) scopedCost() int64 {
 func (s *Steady) echoAssist() bool {
 	for i := range s.hist {
 		r := &s.hist[i]
-		if r.valid && r.delta == s.delta && r.planes == s.planes {
+		if r.valid && r.delta == s.delta && r.planes == s.planes && r.level == s.level {
 			return true
 		}
 	}
 	if s.refusedShapes == nil {
-		s.refusedShapes = make(map[[2]int64]uint8)
+		s.refusedShapes = make(map[[3]int64]uint8)
 	} else if len(s.refusedShapes) > 1024 {
 		clear(s.refusedShapes)
 	}
-	key := [2]int64{s.delta, int64(s.planes)}
+	key := [3]int64{s.delta, int64(s.planes), int64(s.level)}
 	seen := s.refusedShapes[key]
 	if seen < 2 {
 		s.refusedShapes[key] = seen + 1
@@ -892,7 +936,7 @@ func (s *Steady) recordUnit(a int, delta []Stats) {
 		s.candAlive = s.candAlive[:len(s.hist)]
 		for i := range s.hist {
 			r := &s.hist[i]
-			s.candAlive[i] = r.valid && r.delta == s.delta && r.planes == s.planes
+			s.candAlive[i] = r.valid && r.delta == s.delta && r.planes == s.planes && r.level == s.level
 		}
 	}
 	for i := range s.candAlive {
@@ -1422,7 +1466,7 @@ func (s *Steady) verifyBatch(runs []Run) {
 }
 
 func (s *Steady) skipMark(mk PlaneMark) {
-	if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes {
+	if mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes || mk.Level != s.level {
 		s.curRecOK = false
 		s.flush(nil)
 		if mk.Index >= mk.Planes-1 {
@@ -1532,26 +1576,29 @@ func (s *Steady) flush(pending []Run) {
 }
 
 // endPhase closes the current phase, archiving its record when it
-// covered every unit.
+// covered every unit. Pin-less records are normally useless (echo needs
+// a pin to enter), but while delta-tracing they are kept anyway: the
+// delta replay path reproduces them from the anchors alone.
 func (s *Steady) endPhase() {
 	s.mode = steadyIdle
-	if s.curRecOK && len(s.curAnchors) == s.planes && len(s.curPins) > 0 {
-		s.insertRecord()
+	if s.curRecOK && len(s.curAnchors) == s.planes && (len(s.curPins) > 0 || s.dl.tracing) {
+		s.deltaNote(s.insertRecord())
 	}
 }
 
 // insertRecord archives the completed phase record, replacing this phase
 // shape's previous record if present (its pins reflect an older, usually
 // less converged state), then an empty slot, then the least recently
-// used record.
-func (s *Steady) insertRecord() {
+// used record. It returns the slot written and bumps the slot's content
+// generation, invalidating any delta-trace references to the old record.
+func (s *Steady) insertRecord() int {
 	if s.hist == nil {
 		s.hist = make([]steadyPhase, steadyHistory)
 	}
 	v := -1
 	for i := range s.hist {
 		r := &s.hist[i]
-		if r.valid && r.delta == s.delta && r.planes == s.planes && r.anchors[0] == s.curAnchors[0] {
+		if r.valid && r.delta == s.delta && r.planes == s.planes && r.level == s.level && r.anchors[0] == s.curAnchors[0] {
 			v = i
 			break
 		}
@@ -1574,7 +1621,8 @@ func (s *Steady) insertRecord() {
 	}
 	r := &s.hist[v]
 	s.histSeq++
-	r.valid, r.seq, r.delta, r.planes = true, s.histSeq, s.delta, s.planes
+	r.valid, r.seq, r.delta, r.planes, r.level = true, s.histSeq, s.delta, s.planes, s.level
+	r.gen++
 	r.anchors = append(r.anchors[:0], s.curAnchors...)
 	r.deltas, s.curDeltas = s.curDeltas, r.deltas[:0]
 	r.pins, s.curPins = s.curPins, r.pins[:0]
@@ -1590,6 +1638,7 @@ func (s *Steady) insertRecord() {
 			r.endStamp[i] = append(r.endStamp[i][:0], c.stamp...)
 		}
 	}
+	return v
 }
 
 func (s *Steady) replayShifted(runs []Run, off int64) {
@@ -1885,7 +1934,7 @@ func (s *Steady) echoVerify(runs []Run) {
 }
 
 func (s *Steady) echoMark(mk PlaneMark) {
-	bad := mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes
+	bad := mk.Index != s.unit || mk.Delta != s.delta || mk.Planes != s.planes || mk.Level != s.level
 	if !bad {
 		ref, _ := s.echoRef(s.unit)
 		bad = s.cursor != len(ref)
@@ -1921,6 +1970,9 @@ func (s *Steady) echoCommit() {
 	}
 	s.skipped += uint64(s.planes - 1 - s.echoFrom)
 	s.echoes++
+	// An echoed phase is an exact repeat of the record, so the trace
+	// references the echoed slot as this phase's reproduction.
+	s.deltaNote(s.echoRec)
 }
 
 // echoFlush abandons an in-progress echo exactly: nothing was committed,

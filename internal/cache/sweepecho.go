@@ -80,6 +80,7 @@ type sweepUnit struct {
 type sweepSeg struct {
 	delta  int64
 	planes int
+	level  int
 	units  []sweepUnit
 	stats  []Stats
 }
@@ -227,9 +228,10 @@ func (s *Steady) sweepTapMark(mk PlaneMark) bool {
 		if len(seg.units) == 0 {
 			seg.delta = mk.Delta
 			seg.planes = mk.Planes
+			seg.level = mk.Level
 		}
 		if mk.Index != sw.phaseUnit || mk.Delta != seg.delta ||
-			mk.Planes != seg.planes || mk.Planes < 1 {
+			mk.Planes != seg.planes || mk.Level != seg.level || mk.Planes < 1 {
 			sw.recBad = true
 		} else {
 			s.sweepCloseUnit(seg)
@@ -576,6 +578,13 @@ func (s *Steady) sweepRecordClose() {
 // echoed segments.
 func (s *Steady) sweepEchoStartAt(i, seg int) {
 	sw := &s.sw
+	if s.dl.tracing {
+		// The phase machinery sees none of an echoed sweep's phases, so a
+		// delta trace spanning one would be incomplete. (Unreachable for
+		// the bench flow — engines are fresh per point and the trace covers
+		// the very first sweep — but cheap to keep exact.)
+		s.dl.ok = false
+	}
 	sw.echoing = true
 	sw.eRec = i
 	sw.eFrom = seg
@@ -613,7 +622,7 @@ func (s *Steady) sweepEchoRuns(runs []Run) {
 func (s *Steady) sweepEchoMark(mk PlaneMark) {
 	sw := &s.sw
 	seg := &sw.records[sw.eRec].segs[sw.eSeg]
-	bad := mk.Index != sw.eUnit || mk.Delta != seg.delta || mk.Planes != seg.planes
+	bad := mk.Index != sw.eUnit || mk.Delta != seg.delta || mk.Planes != seg.planes || mk.Level != seg.level
 	if !bad {
 		ref, _ := s.sweepEchoRef()
 		bad = sw.eCur != len(ref)

@@ -5,155 +5,35 @@ import (
 	"tiling3d/internal/grid"
 )
 
-// Trace walkers for the multigrid operators: the whole V-cycle can be
-// replayed through the cache simulator, turning the Section 4.6
-// experiment from an Amdahl estimate over RESID alone into an end-to-end
-// simulation of the application. Each walker mirrors its compute
-// function's loop structure and per-iteration reference order.
+// Per-access trace walkers for the multigrid operators: the whole
+// V-cycle can be replayed through the cache simulator, turning the
+// Section 4.6 experiment from an Amdahl estimate over RESID alone into
+// an end-to-end simulation of the application. Each walker mirrors its
+// compute function's loop structure and per-iteration reference order;
+// they are thin adapters over the batched walkers in trace_runs.go,
+// which own the canonical per-access order.
 
 const eb = grid.ElemSize
 
 // psinvTrace replays u = u + C r: per point, the 27 r operands in source
 // order, the read of u (it accumulates), then the store of u.
 func psinvTrace(u, r *grid.Grid3D, mem cache.Memory, ti, tj int, tiled bool) {
-	m := u.NI
-	row := func(lo, hi, j, k int) {
-		c00 := r.Addr(0, j, k) * eb
-		cm0 := r.Addr(0, j-1, k) * eb
-		cp0 := r.Addr(0, j+1, k) * eb
-		c0m := r.Addr(0, j, k-1) * eb
-		c0p := r.Addr(0, j, k+1) * eb
-		cmm := r.Addr(0, j-1, k-1) * eb
-		cpm := r.Addr(0, j+1, k-1) * eb
-		cmp := r.Addr(0, j-1, k+1) * eb
-		cpp := r.Addr(0, j+1, k+1) * eb
-		ru := u.Addr(0, j, k) * eb
-		for i := lo; i <= hi; i++ {
-			o := int64(i) * eb
-			mem.Load(c00 + o)
-			mem.Load(c00 + o - eb)
-			mem.Load(c00 + o + eb)
-			mem.Load(cm0 + o)
-			mem.Load(cp0 + o)
-			mem.Load(c0m + o)
-			mem.Load(c0p + o)
-			mem.Load(cm0 + o - eb)
-			mem.Load(cm0 + o + eb)
-			mem.Load(cp0 + o - eb)
-			mem.Load(cp0 + o + eb)
-			mem.Load(cmm + o)
-			mem.Load(cpm + o)
-			mem.Load(cmp + o)
-			mem.Load(cpp + o)
-			mem.Load(c0m + o - eb)
-			mem.Load(c0m + o + eb)
-			mem.Load(c0p + o - eb)
-			mem.Load(c0p + o + eb)
-			mem.Load(cmm + o - eb)
-			mem.Load(cmm + o + eb)
-			mem.Load(cpm + o - eb)
-			mem.Load(cpm + o + eb)
-			mem.Load(cmp + o - eb)
-			mem.Load(cmp + o + eb)
-			mem.Load(cpp + o - eb)
-			mem.Load(cpp + o + eb)
-			mem.Load(ru + o)  // accumulate: read u
-			mem.Store(ru + o) // then write it
-		}
-	}
-	if !tiled {
-		for k := 1; k <= m-2; k++ {
-			for j := 1; j <= m-2; j++ {
-				row(1, m-2, j, k)
-			}
-		}
-		return
-	}
-	for jj := 1; jj <= m-2; jj += tj {
-		jHi := jj + tj - 1
-		if jHi > m-2 {
-			jHi = m - 2
-		}
-		for ii := 1; ii <= m-2; ii += ti {
-			iHi := ii + ti - 1
-			if iHi > m-2 {
-				iHi = m - 2
-			}
-			for k := 1; k <= m-2; k++ {
-				for j := jj; j <= jHi; j++ {
-					row(ii, iHi, j, k)
-				}
-			}
-		}
-	}
+	psinvRuns(u, r, cache.PerAccess{Mem: mem}, ti, tj, tiled)
 }
 
 // rprj3Trace replays the restriction: 27 fine loads per coarse point,
 // then the coarse store.
 func rprj3Trace(coarse, fine *grid.Grid3D, mem cache.Memory) {
-	mc := coarse.NI
-	for k := 1; k <= mc-2; k++ {
-		fk := 2 * k
-		for j := 1; j <= mc-2; j++ {
-			fj := 2 * j
-			c00 := fine.Addr(0, fj, fk) * eb
-			cm0 := fine.Addr(0, fj-1, fk) * eb
-			cp0 := fine.Addr(0, fj+1, fk) * eb
-			c0m := fine.Addr(0, fj, fk-1) * eb
-			c0p := fine.Addr(0, fj, fk+1) * eb
-			cmm := fine.Addr(0, fj-1, fk-1) * eb
-			cpm := fine.Addr(0, fj+1, fk-1) * eb
-			cmp := fine.Addr(0, fj-1, fk+1) * eb
-			cpp := fine.Addr(0, fj+1, fk+1) * eb
-			rc := coarse.Addr(0, j, k) * eb
-			for i := 1; i <= mc-2; i++ {
-				o := int64(2*i) * eb
-				for _, base := range [9]int64{c00, cm0, cp0, c0m, c0p, cmm, cpm, cmp, cpp} {
-					mem.Load(base + o - eb)
-					mem.Load(base + o)
-					mem.Load(base + o + eb)
-				}
-				mem.Store(rc + int64(i)*eb)
-			}
-		}
-	}
+	rprj3Runs(coarse, fine, cache.PerAccess{Mem: mem})
 }
 
 // interpTrace replays the prolongation: per coarse cell, the 8 corner
 // loads, then for each of the 8 fine targets a read-modify-write.
 func interpTrace(fine, coarse *grid.Grid3D, mem cache.Memory) {
-	mc := coarse.NI
-	for k := 0; k <= mc-2; k++ {
-		fk := 2 * k
-		for j := 0; j <= mc-2; j++ {
-			fj := 2 * j
-			for i := 0; i <= mc-2; i++ {
-				fi := 2 * i
-				for dk := 0; dk <= 1; dk++ {
-					for dj := 0; dj <= 1; dj++ {
-						for di := 0; di <= 1; di++ {
-							mem.Load(coarse.Addr(i+di, j+dj, k+dk) * eb)
-						}
-					}
-				}
-				for dk := 0; dk <= 1; dk++ {
-					for dj := 0; dj <= 1; dj++ {
-						for di := 0; di <= 1; di++ {
-							a := fine.Addr(fi+di, fj+dj, fk+dk) * eb
-							mem.Load(a)
-							mem.Store(a)
-						}
-					}
-				}
-			}
-		}
-	}
+	interpRuns(fine, coarse, cache.PerAccess{Mem: mem})
 }
 
 // fillTrace replays zeroing a grid: one store per allocated element.
 func fillTrace(g *grid.Grid3D, mem cache.Memory) {
-	base := g.Addr(0, 0, 0) * eb
-	for idx := 0; idx < g.Elems(); idx++ {
-		mem.Store(base + int64(idx)*eb)
-	}
+	fillRuns(g, cache.PerAccess{Mem: mem})
 }

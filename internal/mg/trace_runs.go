@@ -1,0 +1,201 @@
+package mg
+
+import (
+	"tiling3d/internal/cache"
+	"tiling3d/internal/grid"
+)
+
+// Batched trace walkers for the multigrid operators. Each emits the
+// exact per-access stream of its per-access counterpart in trace_ops.go
+// as lockstep run groups (one group per row), so the V-cycle replays on
+// the batched engine like the stencil kernels do, and emits
+// cache.PlaneMark phase markers so the steady engine can detect the
+// per-level plane cycles. Callers wrap the sink in cache.WithLevel so
+// same-shape phases on different grid levels stay distinct.
+
+// psinvRuns replays u = u + C r in batched form: per row, the 27 r
+// operand runs in the per-point order of psinvTrace, then the u
+// read-modify-write pair. Untiled, one k-plane is a phase unit;
+// tiled, one jj tile-row is (the interior ii/k loops repeat inside it).
+func psinvRuns(u, r *grid.Grid3D, sink cache.RunSink, ti, tj int, tiled bool) {
+	var buf [29]cache.Run
+	m := u.NI
+	row := func(lo, hi, j, k int) {
+		if hi < lo {
+			return
+		}
+		count := int32(hi - lo + 1)
+		o := int64(lo) * eb
+		c00 := r.Addr(0, j, k)*eb + o
+		cm0 := r.Addr(0, j-1, k)*eb + o
+		cp0 := r.Addr(0, j+1, k)*eb + o
+		c0m := r.Addr(0, j, k-1)*eb + o
+		c0p := r.Addr(0, j, k+1)*eb + o
+		cmm := r.Addr(0, j-1, k-1)*eb + o
+		cpm := r.Addr(0, j+1, k-1)*eb + o
+		cmp := r.Addr(0, j-1, k+1)*eb + o
+		cpp := r.Addr(0, j+1, k+1)*eb + o
+		ru := u.Addr(0, j, k)*eb + o
+		bases := [27]int64{
+			c00, c00 - eb, c00 + eb,
+			cm0, cp0, c0m, c0p,
+			cm0 - eb, cm0 + eb, cp0 - eb, cp0 + eb,
+			cmm, cpm, cmp, cpp,
+			c0m - eb, c0m + eb, c0p - eb, c0p + eb,
+			cmm - eb, cmm + eb, cpm - eb, cpm + eb,
+			cmp - eb, cmp + eb, cpp - eb, cpp + eb,
+		}
+		for x, b := range bases {
+			buf[x] = cache.Run{Base: b, Stride: eb, Count: count, Cont: x > 0}
+		}
+		buf[27] = cache.Run{Base: ru, Stride: eb, Count: count, Cont: true}
+		buf[28] = cache.Run{Base: ru, Stride: eb, Count: count, Store: true, Cont: true}
+		sink.ReplayRuns(buf[:])
+	}
+	if !tiled {
+		delta := planeDelta(u, r)
+		for k := 1; k <= m-2; k++ {
+			for j := 1; j <= m-2; j++ {
+				row(1, m-2, j, k)
+			}
+			cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: k - 1, Planes: m - 2})
+		}
+		return
+	}
+	delta := int64(tj) * rowDelta(u, r)
+	units := 0
+	if m >= 3 {
+		units = (m-3)/tj + 1
+	}
+	for jj := 1; jj <= m-2; jj += tj {
+		jHi := min(jj+tj-1, m-2)
+		for ii := 1; ii <= m-2; ii += ti {
+			iHi := min(ii+ti-1, m-2)
+			for k := 1; k <= m-2; k++ {
+				for j := jj; j <= jHi; j++ {
+					row(ii, iHi, j, k)
+				}
+			}
+		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: delta, Index: (jj - 1) / tj, Planes: units})
+	}
+}
+
+// rprj3Runs replays the restriction in batched form: per (k, j) row, 27
+// fine load runs (each base at offsets -eb, 0, +eb, stride 2*eb) then
+// the coarse store run. Fine and coarse planes translate by different
+// strides, so Delta is 0: the engine verifies every unit in full.
+func rprj3Runs(coarse, fine *grid.Grid3D, sink cache.RunSink) {
+	var buf [28]cache.Run
+	mc := coarse.NI
+	if mc < 3 {
+		return
+	}
+	count := int32(mc - 2)
+	for k := 1; k <= mc-2; k++ {
+		fk := 2 * k
+		for j := 1; j <= mc-2; j++ {
+			fj := 2 * j
+			bases := [9]int64{
+				fine.Addr(0, fj, fk) * eb,
+				fine.Addr(0, fj-1, fk) * eb,
+				fine.Addr(0, fj+1, fk) * eb,
+				fine.Addr(0, fj, fk-1) * eb,
+				fine.Addr(0, fj, fk+1) * eb,
+				fine.Addr(0, fj-1, fk-1) * eb,
+				fine.Addr(0, fj+1, fk-1) * eb,
+				fine.Addr(0, fj-1, fk+1) * eb,
+				fine.Addr(0, fj+1, fk+1) * eb,
+			}
+			x := 0
+			for _, b := range bases {
+				// First point is i = 1, o = 2*eb; offsets -eb, 0, +eb.
+				for _, off := range [3]int64{-eb, 0, eb} {
+					buf[x] = cache.Run{Base: b + 2*eb + off, Stride: 2 * eb, Count: count, Cont: x > 0}
+					x++
+				}
+			}
+			buf[27] = cache.Run{Base: coarse.Addr(0, j, k)*eb + eb, Stride: eb, Count: count, Store: true, Cont: true}
+			sink.ReplayRuns(buf[:])
+		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: 0, Index: k - 1, Planes: mc - 2})
+	}
+}
+
+// interpRuns replays the prolongation in batched form: per (k, j) row,
+// the 8 coarse corner load runs, then the 8 fine read-modify-write run
+// pairs. As in rprj3, the two grids' strides differ, so Delta is 0.
+func interpRuns(fine, coarse *grid.Grid3D, sink cache.RunSink) {
+	var buf [24]cache.Run
+	mc := coarse.NI
+	if mc < 2 {
+		return
+	}
+	count := int32(mc - 1)
+	for k := 0; k <= mc-2; k++ {
+		fk := 2 * k
+		for j := 0; j <= mc-2; j++ {
+			fj := 2 * j
+			x := 0
+			for dk := 0; dk <= 1; dk++ {
+				for dj := 0; dj <= 1; dj++ {
+					for di := 0; di <= 1; di++ {
+						buf[x] = cache.Run{Base: coarse.Addr(di, j+dj, k+dk) * eb, Stride: eb, Count: count, Cont: x > 0}
+						x++
+					}
+				}
+			}
+			for dk := 0; dk <= 1; dk++ {
+				for dj := 0; dj <= 1; dj++ {
+					for di := 0; di <= 1; di++ {
+						a := fine.Addr(di, fj+dj, fk+dk) * eb
+						buf[x] = cache.Run{Base: a, Stride: 2 * eb, Count: count, Cont: true}
+						buf[x+1] = cache.Run{Base: a, Stride: 2 * eb, Count: count, Store: true, Cont: true}
+						x += 2
+					}
+				}
+			}
+			sink.ReplayRuns(buf[:])
+		}
+		cache.MarkPlane(sink, cache.PlaneMark{Delta: 0, Index: k, Planes: mc - 1})
+	}
+}
+
+// fillRuns replays zeroing a grid as contiguous store runs, closed by a
+// single-unit phase marker (the steady engine records it only while
+// delta-tracing; otherwise a one-unit phase is refused as too short).
+func fillRuns(g *grid.Grid3D, sink cache.RunSink) {
+	const chunk = 1 << 30
+	base := g.Addr(0, 0, 0) * eb
+	var buf [1]cache.Run
+	for idx := 0; idx < g.Elems(); idx += chunk {
+		n := min(g.Elems()-idx, chunk)
+		buf[0] = cache.Run{Base: base + int64(idx)*eb, Stride: eb, Count: int32(n), Store: true}
+		sink.ReplayRuns(buf[:])
+	}
+	cache.MarkPlane(sink, cache.PlaneMark{Delta: 0, Index: 0, Planes: 1})
+}
+
+// planeDelta returns the grids' common plane stride in bytes, or 0 when
+// they differ (no uniform translation between k-planes).
+func planeDelta(gs ...*grid.Grid3D) int64 {
+	d := int64(gs[0].DI) * int64(gs[0].DJ) * eb
+	for _, g := range gs[1:] {
+		if int64(g.DI)*int64(g.DJ)*eb != d {
+			return 0
+		}
+	}
+	return d
+}
+
+// rowDelta returns the grids' common row stride in bytes, or 0 when
+// they differ.
+func rowDelta(gs ...*grid.Grid3D) int64 {
+	d := int64(gs[0].DI) * eb
+	for _, g := range gs[1:] {
+		if int64(g.DI)*eb != d {
+			return 0
+		}
+	}
+	return d
+}

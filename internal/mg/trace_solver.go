@@ -7,46 +7,64 @@ import (
 	"tiling3d/internal/stencil"
 )
 
-// TraceVCycle replays one V-cycle's complete address stream — every
+// TraceVCycleRuns replays one V-cycle's complete address stream — every
 // restriction, smoothing, prolongation and residual on every level —
-// into mem, honoring the solver's tiling plan exactly as VCycle does.
-// This turns Section 4.6 into an end-to-end simulation: the whole
-// application's miss rate with and without the transformation.
-func (s *Solver) TraceVCycle(mem cache.Memory) {
+// into sink in batched form, honoring the solver's tiling plan exactly
+// as VCycle does. This turns Section 4.6 into an end-to-end simulation:
+// the whole application's miss rate with and without the transformation.
+//
+// Each operator's sink is wrapped in cache.WithLevel with the grid
+// level it walks, so the steady engine sees same-shape phases on
+// different levels as distinct (a V-cycle revisits every level's
+// geometry every cycle; without the tag the smaller levels' phases
+// would collide in its history).
+func (s *Solver) TraceVCycleRuns(sink cache.RunSink) {
 	lm := s.p.LM
 	for l := lm; l >= 2; l-- {
-		rprj3Trace(s.r[l-1], s.r[l], mem)
+		rprj3Runs(s.r[l-1], s.r[l], cache.WithLevel(sink, l))
 	}
-	fillTrace(s.u[1], mem)
-	psinvTrace(s.u[1], s.r[1], mem, 0, 0, false)
+	fillRuns(s.u[1], cache.WithLevel(sink, 1))
+	psinvRuns(s.u[1], s.r[1], cache.WithLevel(sink, 1), 0, 0, false)
 	for l := 2; l < lm; l++ {
-		fillTrace(s.u[l], mem)
-		interpTrace(s.u[l], s.u[l-1], mem)
-		s.traceResidLevel(l, s.r[l], mem)
-		psinvTrace(s.u[l], s.r[l], mem, 0, 0, false)
+		fillRuns(s.u[l], cache.WithLevel(sink, l))
+		interpRuns(s.u[l], s.u[l-1], cache.WithLevel(sink, l))
+		s.traceResidLevelRuns(l, s.r[l], sink)
+		psinvRuns(s.u[l], s.r[l], cache.WithLevel(sink, l), 0, 0, false)
 	}
 	if lm >= 2 {
-		interpTrace(s.u[lm], s.u[lm-1], mem)
+		interpRuns(s.u[lm], s.u[lm-1], cache.WithLevel(sink, lm))
 	}
-	s.traceResidLevel(lm, s.v, mem)
+	s.traceResidLevelRuns(lm, s.v, sink)
 	if s.p.TileSmoother && s.p.Plan.Tiled {
-		psinvTrace(s.u[lm], s.r[lm], mem, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ, true)
+		psinvRuns(s.u[lm], s.r[lm], cache.WithLevel(sink, lm), s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ, true)
 	} else {
-		psinvTrace(s.u[lm], s.r[lm], mem, 0, 0, false)
+		psinvRuns(s.u[lm], s.r[lm], cache.WithLevel(sink, lm), 0, 0, false)
 	}
 }
 
-// TraceResid replays the finest-level residual, tiled per the plan.
-func (s *Solver) TraceResid(mem cache.Memory) {
-	s.traceResidLevel(s.p.LM, s.v, mem)
+// TraceVCycle replays the V-cycle per access into mem.
+func (s *Solver) TraceVCycle(mem cache.Memory) {
+	s.TraceVCycleRuns(cache.PerAccess{Mem: mem})
 }
 
-func (s *Solver) traceResidLevel(l int, v *grid.Grid3D, mem cache.Memory) {
+// TraceResidRuns replays the finest-level residual in batched form,
+// tiled per the plan.
+func (s *Solver) TraceResidRuns(sink cache.RunSink) {
+	s.traceResidLevelRuns(s.p.LM, s.v, sink)
+}
+
+// TraceResid replays the finest-level residual per access.
+func (s *Solver) TraceResid(mem cache.Memory) {
+	s.TraceResidRuns(cache.PerAccess{Mem: mem})
+}
+
+func (s *Solver) traceResidLevelRuns(l int, v *grid.Grid3D, sink cache.RunSink) {
+	sink = cache.WithLevel(sink, l)
 	if l == s.p.LM && s.p.Plan.Tiled {
-		stencil.ResidTiledTrace(s.r[l], v, s.u[l], mem, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
+		stencil.ResidTiledRuns(s.r[l], v, s.u[l], sink, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
 		return
 	}
-	stencil.ResidOrigTrace(s.r[l], v, s.u[l], mem)
+	stencil.ResidOrigRuns(s.r[l], v, s.u[l], sink)
 }
 
 // SimulatedExperiment replays a full V-cycle (plus the finest residual,
@@ -72,11 +90,11 @@ func RunSimulatedExperiment(lm, cs int, m core.Method, l1, l2 cache.Config, acce
 	cycles := func(p core.Plan) (float64, float64) {
 		s := New(Params{LM: lm, Plan: p})
 		h := cache.MustHierarchy(l1, l2) //lint:allow mustcheck -- fixed valid configs from the caller
-		s.TraceVCycle(h)
-		s.TraceResid(h)
+		s.TraceVCycleRuns(h)
+		s.TraceResidRuns(h)
 		h.ResetStats()
-		s.TraceVCycle(h)
-		s.TraceResid(h)
+		s.TraceVCycleRuns(h)
+		s.TraceResidRuns(h)
 		s1 := h.Level(0).Stats()
 		s2 := h.Level(1).Stats()
 		c := accessCycles*float64(s1.Accesses()) +

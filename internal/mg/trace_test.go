@@ -90,6 +90,44 @@ func TestTraceVCycleCountsMatchTransform(t *testing.T) {
 	}
 }
 
+// TestSteadyMultigridLevels is the differential for the level-tagged
+// phase markers: a V-cycle replayed through the steady engine must
+// produce bit-identical statistics and final cache state to a raw
+// replay, and the engine must actually detect cycles across the
+// repeated V-cycles (same-shape phases on different grid levels are
+// distinguished by the level tag, so the history does not thrash).
+func TestSteadyMultigridLevels(t *testing.T) {
+	const lm = 5
+	fm := (1 << lm) + 2
+	plan := core.Select(core.MethodGcdPad, 2048, fm, fm, core.Resid27pt())
+	for _, p := range []core.Plan{{}, plan} {
+		raw := cache.MustHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
+		st := cache.MustHierarchy(cache.UltraSparc2L1(), cache.UltraSparc2L2())
+		sd := cache.NewSteady(st)
+		sr := New(Params{LM: lm, Plan: p})
+		ss := New(Params{LM: lm, Plan: p})
+		for cyc := 0; cyc < 3; cyc++ {
+			sr.TraceVCycleRuns(raw)
+			sr.TraceResidRuns(raw)
+			ss.TraceVCycleRuns(sd)
+			ss.TraceResidRuns(sd)
+		}
+		for l := 0; l < 2; l++ {
+			if raw.Level(l).Stats() != st.Level(l).Stats() {
+				t.Errorf("tiled=%v L%d stats diverge: steady %+v, raw %+v",
+					p.Tiled, l+1, st.Level(l).Stats(), raw.Level(l).Stats())
+			}
+			if !raw.Level(l).StateEqual(st.Level(l)) {
+				t.Errorf("tiled=%v L%d final cache state diverges", p.Tiled, l+1)
+			}
+		}
+		d := sd.Diag()
+		if d.Confirmed+d.Echoes+d.SweepEchoes == 0 {
+			t.Errorf("tiled=%v: steady engine never engaged on the V-cycle: %+v", p.Tiled, d)
+		}
+	}
+}
+
 func TestRunSimulatedExperiment(t *testing.T) {
 	res := RunSimulatedExperiment(5, 2048, core.MethodGcdPad,
 		cache.UltraSparc2L1(), cache.UltraSparc2L2(), 1, 8, 50)

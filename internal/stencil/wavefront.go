@@ -12,6 +12,11 @@ import (
 // tiles on the same anti-diagonal a+b are mutually independent and can
 // run concurrently, diagonal by diagonal. Results are bit-identical to
 // the sequential tiled (and hence naive) kernel.
+//
+// Tiles are distributed over a pool of exactly workers goroutines (the
+// same jobs-channel shape as forEachTile); a per-diagonal barrier keeps
+// the dependence order. A wide diagonal therefore never spawns more
+// goroutines than asked for, no matter how many tiles it holds.
 func RedBlackTiledWavefront(a *grid.Grid3D, c1, c2 float64, ti, tj, workers int) {
 	n1, n2 := a.NI, a.NJ
 	nTi := (n1 - 1 + ti - 1) / ti // tiles along I (ii = 0, ti, ...)
@@ -20,21 +25,39 @@ func RedBlackTiledWavefront(a *grid.Grid3D, c1, c2 float64, ti, tj, workers int)
 		RedBlackTiled(a, c1, c2, ti, tj)
 		return
 	}
+	jobs := make(chan wfJob, workers)
+	var pool sync.WaitGroup
+	pool.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer pool.Done()
+			for j := range jobs {
+				redBlackTile(a, c1, c2, j.ii, j.jj, ti, tj)
+				j.done.Done()
+			}
+		}()
+	}
 	for diag := 0; diag <= (nTi-1)+(nTj-1); diag++ {
-		var wg sync.WaitGroup
+		var dwg sync.WaitGroup
 		for bj := 0; bj < nTj; bj++ {
 			bi := diag - bj
 			if bi < 0 || bi >= nTi {
 				continue
 			}
-			wg.Add(1)
-			go func(ii, jj int) {
-				defer wg.Done()
-				redBlackTile(a, c1, c2, ii, jj, ti, tj)
-			}(bi*ti, bj*tj)
+			dwg.Add(1)
+			jobs <- wfJob{ii: bi * ti, jj: bj * tj, done: &dwg}
 		}
-		wg.Wait()
+		dwg.Wait()
 	}
+	close(jobs)
+	pool.Wait()
+}
+
+// wfJob is one skewed tile of a wavefront diagonal; done is the
+// diagonal's barrier.
+type wfJob struct {
+	ii, jj int
+	done   *sync.WaitGroup
 }
 
 // redBlackTile executes one skewed tile of the fused red-black nest —

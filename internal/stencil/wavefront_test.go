@@ -1,6 +1,10 @@
 package stencil
 
-import "testing"
+import (
+	"testing"
+
+	"tiling3d/internal/grid"
+)
 
 func TestRedBlackWavefrontMatchesNaive(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -27,6 +31,28 @@ func TestRedBlackWavefrontMultiSweep(t *testing.T) {
 	}
 	if d := ref.MaxAbsDiff(par); d != 0 {
 		t.Errorf("multi-sweep wavefront differs by %g", d)
+	}
+}
+
+// TestRedBlackWavefrontWorkerCounts pins the pool contract: every worker
+// count — fewer than a diagonal's tiles, equal, more — produces bytes
+// identical to the sequential tiled kernel, over multiple sweeps.
+func TestRedBlackWavefrontWorkerCounts(t *testing.T) {
+	n := 29
+	ref := testGrid(n, 8, n, n, 5)
+	counts := []int{1, 2, 3, 5, 16, 64}
+	grids := make(map[int]*grid.Grid3D, len(counts))
+	for _, workers := range counts {
+		grids[workers] = ref.Clone()
+	}
+	for s := 0; s < 3; s++ {
+		RedBlackTiled(ref, -0.15, 1.15/6, 4, 6)
+		for workers, g := range grids {
+			RedBlackTiledWavefront(g, -0.15, 1.15/6, 4, 6, workers)
+			if d := ref.MaxAbsDiff(g); d != 0 {
+				t.Fatalf("sweep %d workers=%d: wavefront differs from tiled by %g", s, workers, d)
+			}
+		}
 	}
 }
 
