@@ -142,6 +142,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "points: %d total — %d shared, %d delta-replayed, %d fully simulated, %d degraded, %d failed\n",
 				n, nShared, nDelta, nSim, nDegraded, nFailed)
 		}
+		if total, live := bench.AbandonedWorkers(); total > 0 {
+			fmt.Fprintf(os.Stderr, "warning: the point watchdog abandoned %d simulation goroutine(s); %d still running at exit\n", total, live)
+		}
 	}()
 	if *quick {
 		opt.NStep = 50

@@ -48,6 +48,7 @@ func main() {
 		pointTO    = flag.Duration("point-timeout", 0, "per-point watchdog; an expired point retries without the steady engine, then is marked FAIL (0 = off)")
 		paranoid   = flag.Int("paranoid", 0, "cross-check every Nth point's steady-engine results against a full replay (0 = off)")
 		injectN    = flag.Int("inject-panic", 0, "fault injection: panic every simulation point with this N (demonstrates isolation)")
+		injectZZZ  = flag.Duration("inject-sleep", 0, "fault injection: every simulation attempt sleeps this long first, ignoring cancellation (exercises the watchdog and signal paths)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -94,6 +95,7 @@ func main() {
 	opt.PointTimeout = *pointTO
 	opt.ParanoidEvery = *paranoid
 	opt.InjectPanicN = *injectN
+	opt.InjectSleep = *injectZZZ
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(2)
@@ -120,6 +122,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer func() {
+		if total, live := bench.AbandonedWorkers(); total > 0 {
+			fmt.Fprintf(os.Stderr, "warning: the point watchdog abandoned %d simulation goroutine(s); %d still running at exit\n", total, live)
+		}
 		if opt.Journal != nil {
 			if werr := opt.Journal.WriteErr(); werr != nil {
 				fmt.Fprintln(os.Stderr, "warning: checkpoint is incomplete:", werr)

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSecondSigintHardKills pins the whole signal ladder end to end: the
+// first SIGINT cancels the sweep and the process drains (the in-flight
+// point — wedged here by -inject-sleep, which ignores cancellation —
+// keeps it alive), and a second SIGINT falls through to the default
+// handler and kills the process immediately with a non-zero status. The
+// drain half of this contract is covered by the CI resilience-smoke job;
+// this test covers the hard-kill half, which a wedged point makes
+// reachable deterministically.
+func TestSecondSigintHardKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a child process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "simulate")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	journal := filepath.Join(dir, "sweep.journal")
+	cmd := exec.Command(bin,
+		"-kernel", "jacobi", "-min", "200", "-max", "200", "-step", "8",
+		"-methods", "Orig", "-workers", "1",
+		"-inject-sleep", "30s", // every attempt wedges; only a hard kill ends this run
+		"-checkpoint", journal)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The journal file appears just before the sweep dispatches its
+	// first (wedged) point; once it exists the process is mid-sweep.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(journal); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never appeared; sweep did not start")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+
+	// First SIGINT: the sweep drains. The wedged point ignores
+	// cancellation, so the process must still be running.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waited:
+		t.Fatalf("process exited on the first SIGINT instead of draining (err=%v)", err)
+	case <-time.After(500 * time.Millisecond):
+	}
+
+	// Second SIGINT: default disposition, immediate death, non-zero.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waited:
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("second SIGINT produced a clean exit (err=%v), want non-zero", err)
+		}
+		ws, ok := ee.Sys().(syscall.WaitStatus)
+		if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGINT {
+			t.Fatalf("want death by SIGINT, got %v", ee)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("process survived the second SIGINT; hard-kill path broken")
+	}
+}

@@ -1,0 +1,109 @@
+// Command tileadvisor serves the fault-tolerant tiling-advisor API:
+// POST /v1/plan returns a certified tiling plan, dependence table and
+// predicted miss counts for one stencil program and cache geometry;
+// POST /v1/sweep runs a journal-backed resumable sweep job; GET
+// /healthz reports the breaker, cache and pool state.
+//
+// The server drains gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, running sweep jobs checkpoint at the next point boundary, and
+// unfinished jobs resume on the next start (-journal-dir). A second
+// signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tiling3d/internal/advisor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tileadvisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8357", "listen address")
+	journalDir := flag.String("journal-dir", "", "directory for sweep-job journals (empty disables /v1/sweep)")
+	cacheTTL := flag.Duration("cache-ttl", 10*time.Minute, "result cache entry lifetime")
+	workers := flag.Int("workers", 4, "concurrent simulations")
+	queue := flag.Int("queue", 8, "admission queue depth beyond the workers (overflow gets 429)")
+	deadline := flag.Duration("deadline", 30*time.Second, "per-request budget for /v1/plan")
+	pointTimeout := flag.Duration("point-timeout", 10*time.Second, "watchdog for one simulation attempt")
+	jobWorkers := flag.Int("job-workers", 1, "per-sweep-job simulation parallelism")
+	breakerFails := flag.Int("breaker-fails", 3, "consecutive backend failures that trip the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second, "open-breaker cooldown before a half-open probe")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+	faults := flag.String("faults", "", "fault-injection script, e.g. 'sim:2=panic,job:3=torn' (testing)")
+	flag.Parse()
+
+	script, err := advisor.ParseFaultScript(*faults)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "tileadvisor: ", log.LstdFlags)
+	srv := advisor.NewServer(advisor.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheTTL:        *cacheTTL,
+		Deadline:        *deadline,
+		PointTimeout:    *pointTimeout,
+		BreakerFails:    *breakerFails,
+		BreakerCooldown: *breakerCooldown,
+		JournalDir:      *journalDir,
+		JobWorkers:      *jobWorkers,
+		Faults:          script,
+		Log:             logger,
+	})
+	if resumed, err := srv.Resume(); err != nil {
+		return fmt.Errorf("resuming journaled jobs: %w", err)
+	} else if len(resumed) > 0 {
+		logger.Printf("resumed %d unfinished sweep job(s): %v", len(resumed), resumed)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Print the bound address on stdout so scripts (and the CI smoke
+	// test) can use :0 and discover the port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Restore default signal disposition immediately: the first signal
+	// starts the drain, a second one kills the process the normal way.
+	stop()
+	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

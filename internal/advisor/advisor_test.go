@@ -1,0 +1,427 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives time-dependent components deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerStateMachine walks the full ladder: closed under success,
+// open after the failure threshold, half-open after the cooldown, and
+// both half-open outcomes (probe success closes, probe failure reopens).
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Minute)
+	b.now = clk.now
+
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successes = %v, want closed", got)
+	}
+
+	// Two failures: still closed (threshold 3). A success resets the run.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after interrupted failure run = %v, want closed", got)
+	}
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+
+	// Cooldown passes: exactly one probe goes through.
+	clk.advance(time.Minute)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: reopen, wait, probe again, succeed: closed.
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a request")
+	}
+}
+
+func testResponse(key string) *PlanResponse {
+	return &PlanResponse{Key: key, Method: "Euc3D", N: 200, Verdict: "test"}
+}
+
+// TestCacheTTLAndEviction checks entries expire at the TTL and the
+// size bound evicts rather than grows.
+func TestCacheTTLAndEviction(t *testing.T) {
+	clk := newFakeClock()
+	c := NewResultCache(time.Minute, 2)
+	c.now = clk.now
+	ctx := context.Background()
+
+	calls := 0
+	compute := func() (*PlanResponse, error) {
+		calls++
+		return testResponse("a"), nil
+	}
+	if _, cached, _ := c.Do(ctx, "a", compute); cached {
+		t.Fatal("first Do reported cached")
+	}
+	if _, cached, _ := c.Do(ctx, "a", compute); !cached {
+		t.Fatal("second Do missed the cache")
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	clk.advance(2 * time.Minute)
+	if _, cached, _ := c.Do(ctx, "a", compute); cached {
+		t.Fatal("expired entry served from cache")
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times after expiry, want 2", calls)
+	}
+
+	// Fill past the bound; the cache must stay at max entries.
+	for _, k := range []string{"b", "c", "d"} {
+		key := k
+		if _, _, err := c.Do(ctx, key, func() (*PlanResponse, error) { return testResponse(key), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Entries > 2 {
+		t.Fatalf("cache grew to %d entries, bound is 2", st.Entries)
+	}
+}
+
+// TestCacheSingleflight checks concurrent requests for one key share a
+// single computation.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewResultCache(time.Minute, 16)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	calls := 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() (*PlanResponse, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		close(started)
+		<-release
+		return testResponse("k"), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*PlanResponse, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, _, err := c.Do(ctx, "k", compute)
+		if err != nil {
+			t.Error(err)
+		}
+		results[0] = r
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, shared, err := c.Do(ctx, "k", func() (*PlanResponse, error) {
+				t.Error("duplicate computation ran")
+				return testResponse("k"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !shared {
+				t.Error("waiter not marked shared")
+			}
+			results[i] = r
+		}(i)
+	}
+	// Give the waiters a moment to park on the flight, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	for i, r := range results {
+		if r == nil || r.Key != "k" {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	if st := c.Stats(); st.Dedups == 0 {
+		t.Fatalf("dedup counter stayed zero: %+v", st)
+	}
+}
+
+// TestCacheDegradedNotStored checks a degraded response is served but
+// not cached, so recovery replaces it immediately.
+func TestCacheDegradedNotStored(t *testing.T) {
+	c := NewResultCache(time.Minute, 16)
+	ctx := context.Background()
+	degraded := func() (*PlanResponse, error) {
+		r := testResponse("k")
+		r.Degraded = true
+		return r, nil
+	}
+	if r, _, err := c.Do(ctx, "k", degraded); err != nil || !r.Degraded {
+		t.Fatalf("degraded Do = %+v, %v", r, err)
+	}
+	healthy := func() (*PlanResponse, error) { return testResponse("k"), nil }
+	r, cached, err := c.Do(ctx, "k", healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("degraded response was cached")
+	}
+	if r.Degraded {
+		t.Fatal("second request served the stale degraded response")
+	}
+	if r2, cached2, _ := c.Do(ctx, "k", healthy); !cached2 || r2.Degraded {
+		t.Fatalf("healthy response not cached: cached=%v degraded=%v", cached2, r2.Degraded)
+	}
+}
+
+// TestPoolAdmissionControl checks the pool refuses work past
+// workers+queue instead of queueing unboundedly.
+func TestPoolAdmissionControl(t *testing.T) {
+	p := NewPool(2, 1)
+	ctx := context.Background()
+
+	block := make(chan struct{})
+	errs := make(chan error, 8)
+	for i := 0; i < 3; i++ { // 2 run + 1 queued
+		go func() {
+			errs <- p.Do(ctx, func() error { <-block; return nil })
+		}()
+	}
+	// Wait until all three are admitted (2 running, 1 waiting).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		running, waiting := p.Load()
+		if running == 2 && waiting == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never filled: running=%d waiting=%d", running, waiting)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Do(ctx, func() error { return nil }); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow Do = %v, want ErrSaturated", err)
+	}
+	close(block)
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity freed: admitted again.
+	if err := p.Do(ctx, func() error { return nil }); err != nil {
+		t.Fatalf("post-drain Do = %v", err)
+	}
+}
+
+// TestPoolPanicRecovered checks a panicking task surfaces as an error,
+// not a crash, and releases its slot.
+func TestPoolPanicRecovered(t *testing.T) {
+	p := NewPool(1, 0)
+	err := p.Do(context.Background(), func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic Do = %v, want error mentioning boom", err)
+	}
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("slot leaked after panic: %v", err)
+	}
+}
+
+// TestPoolDrainRefuses checks a draining pool refuses new work and
+// Drain waits for in-flight tasks.
+func TestPoolDrainRefuses(t *testing.T) {
+	p := NewPool(1, 0)
+	block := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- p.Do(context.Background(), func() error { <-block; return nil }) }()
+	for {
+		if r, _ := p.Load(); r == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := p.Do(context.Background(), func() error { return nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining Do = %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a task still running", err)
+	default:
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultScriptParseAndFire checks the script syntax and the
+// call-count keying.
+func TestFaultScriptParseAndFire(t *testing.T) {
+	f, err := ParseFaultScript("sim:2=panic, sim:3=sleep:150ms, job:1=torn,job:4=kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Fire("sim"); ok {
+		t.Fatal("sim call 1 fired")
+	}
+	if r, ok := f.Fire("sim"); !ok || r.Mode != "panic" {
+		t.Fatalf("sim call 2 = %+v, %v", r, ok)
+	}
+	if r, ok := f.Fire("sim"); !ok || r.Mode != "sleep" || r.Sleep != 150*time.Millisecond {
+		t.Fatalf("sim call 3 = %+v, %v", r, ok)
+	}
+	if r, ok := f.Fire("job"); !ok || r.Mode != "torn" {
+		t.Fatalf("job call 1 = %+v, %v", r, ok)
+	}
+	if f.Calls("sim") != 3 || f.Calls("job") != 1 {
+		t.Fatalf("calls = sim:%d job:%d", f.Calls("sim"), f.Calls("job"))
+	}
+
+	var nilScript *FaultScript
+	if _, ok := nilScript.Fire("sim"); ok {
+		t.Fatal("nil script fired")
+	}
+
+	for _, bad := range []string{"sim=panic", "sim:0=panic", "sim:1=explode", "sim:1=sleep:xyz", "sim:x=panic"} {
+		if _, err := ParseFaultScript(bad); err == nil {
+			t.Errorf("ParseFaultScript(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseFaultScript("  "); err != nil {
+		t.Errorf("empty script rejected: %v", err)
+	}
+}
+
+// TestPlanRequestKeyNormalization checks equivalent spellings share a
+// content address and different requests split.
+func TestPlanRequestKeyNormalization(t *testing.T) {
+	base := PlanRequest{Kernel: "jacobi", N: 200, L1: Geometry{SizeBytes: 16384, LineBytes: 32}, Method: "Euc3D"}
+	variants := []PlanRequest{
+		// Kernel names fold case; method names are exact (Validate
+		// rejects misspellings before they reach the key).
+		{Kernel: "JACOBI", N: 200, L1: base.L1, Method: "Euc3D"},
+		{Kernel: "jacobi", N: 200, K: 30, L1: base.L1, Method: "Euc3D", Sweeps: 1},
+	}
+	for i, v := range variants {
+		if v.Key() != base.Key() {
+			t.Errorf("variant %d key %s != base %s", i, v.Key(), base.Key())
+		}
+	}
+	diff := base
+	diff.N = 208
+	if diff.Key() == base.Key() {
+		t.Error("different N collided")
+	}
+	if !strings.HasPrefix(base.Key(), "sha256:") {
+		t.Errorf("key %q lacks the sha256: prefix", base.Key())
+	}
+}
+
+// TestSweepRequestID checks job IDs are content addresses over the
+// normalized spec: method order must not matter.
+func TestSweepRequestID(t *testing.T) {
+	a := SweepRequest{Kernel: "jacobi", Methods: []string{"Orig", "Euc3D"}, NMin: 200, NMax: 216, NStep: 8,
+		L1: Geometry{SizeBytes: 16384, LineBytes: 32}}
+	b := SweepRequest{Kernel: "JACOBI", Methods: []string{"Euc3D", "Orig"}, NMin: 200, NMax: 216, NStep: 8,
+		K: 30, Sweeps: 1, L1: Geometry{SizeBytes: 16384, LineBytes: 32}}
+	if a.ID() != b.ID() {
+		t.Fatalf("equivalent sweeps got different IDs: %s vs %s", a.ID(), b.ID())
+	}
+	c := a
+	c.NMax = 224
+	if c.ID() == a.ID() {
+		t.Fatal("different sweeps collided")
+	}
+}
+
+// TestValidateRejectsAbsurdity spot-checks the request bounds that keep
+// hostile input from allocating anything.
+func TestValidateRejectsAbsurdity(t *testing.T) {
+	good := PlanRequest{Kernel: "jacobi", N: 200, L1: Geometry{SizeBytes: 16384, LineBytes: 32}, Method: "Euc3D"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good request rejected: %v", err)
+	}
+	bad := []PlanRequest{
+		{N: 200, L1: good.L1, Method: "Euc3D"},                                                       // neither kernel nor program
+		{Kernel: "jacobi", Program: "x", N: 200, L1: good.L1, Method: "Euc3D"},                       // both
+		{Kernel: "nope", N: 200, L1: good.L1, Method: "Euc3D"},                                       // unknown kernel
+		{Kernel: "jacobi", N: 1 << 30, L1: good.L1, Method: "Euc3D"},                                 // absurd N
+		{Kernel: "jacobi", N: 200, L1: Geometry{SizeBytes: 1 << 40, LineBytes: 32}, Method: "Euc3D"}, // absurd cache
+		{Kernel: "jacobi", N: 200, L1: Geometry{SizeBytes: 16384, LineBytes: 7}, Method: "Euc3D"},    // bad line size
+		{Kernel: "jacobi", N: 200, L1: good.L1, Method: "Bogus"},                                     // unknown method
+		{Kernel: "jacobi", N: 200, L1: good.L1, Method: "Euc3D", Sweeps: 99},                         // sweeps bound
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad request %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package advisor
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow to the simulation backend.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend failed too many times in a row; every
+	// request degrades to the analytic model until the cooldown passes.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown passed; exactly one probe request is
+	// allowed through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is the circuit breaker wrapping the simulation backend:
+// threshold consecutive failures trip it open, a cooldown later a single
+// half-open probe decides whether to close it again. It exists so a
+// wedged or crashing backend costs each request one fast analytic
+// fallback instead of a timeout apiece.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may use the backend right now. An
+// open breaker past its cooldown transitions to half-open and admits
+// exactly one probe; Record must be called with the probe's outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports one backend outcome to the state machine.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	default:
+		// Open: a straggler finishing after the trip changes nothing.
+	}
+}
+
+// State returns the current state, accounting for an elapsed cooldown
+// (an open breaker whose cooldown passed reports half-open, matching
+// what the next Allow will do).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,151 @@
+package advisor
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ResultCache is the content-addressed result cache: plan responses
+// keyed by the request hash, each entry living for a TTL, with
+// singleflight dedup so a thundering herd asking the same question pays
+// for one computation. Degraded responses are never stored — the next
+// request after the backend recovers replaces the analytic answer with
+// the simulated one instead of serving staleness until expiry.
+type ResultCache struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	max     int
+	now     func() time.Time
+	entries map[string]cacheEntry
+	flights map[string]*flight
+
+	hits, misses, dedups uint64
+}
+
+type cacheEntry struct {
+	resp    *PlanResponse
+	expires time.Time
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	resp *PlanResponse
+	err  error
+}
+
+// NewResultCache builds a cache holding up to max entries for ttl each.
+func NewResultCache(ttl time.Duration, max int) *ResultCache {
+	return &ResultCache{
+		ttl:     ttl,
+		max:     max,
+		now:     time.Now,
+		entries: map[string]cacheEntry{},
+		flights: map[string]*flight{},
+	}
+}
+
+// get returns a copy of the live entry for key, so callers can stamp
+// serve-time fields (Cached) without mutating the shared struct.
+func (c *ResultCache) get(key string) (*PlanResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || c.now().After(e.expires) {
+		if ok {
+			delete(c.entries, key)
+		}
+		return nil, false
+	}
+	c.hits++
+	resp := *e.resp
+	return &resp, true
+}
+
+// Do returns the cached response for key or computes it, deduplicating
+// concurrent computations for the same key: one caller runs compute,
+// the rest wait for its result (or their own context, whichever ends
+// first). The second result reports whether the response came from the
+// cache or a shared flight rather than this caller's own computation.
+func (c *ResultCache) Do(ctx context.Context, key string, compute func() (*PlanResponse, error)) (*PlanResponse, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && !c.now().After(e.expires) {
+		c.hits++
+		resp := *e.resp
+		c.mu.Unlock()
+		return &resp, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.dedups++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, true, f.err
+			}
+			resp := *f.resp
+			return &resp, true, nil
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.resp, f.err = compute()
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && !f.resp.Degraded {
+		c.storeLocked(key, f.resp)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	resp := *f.resp
+	return &resp, false, nil
+}
+
+// storeLocked inserts an entry, evicting the soonest-expiring one when
+// the cache is full — with a uniform TTL that is the oldest entry, so
+// the bound is a cheap FIFO in disguise.
+func (c *ResultCache) storeLocked(key string, resp *PlanResponse) {
+	now := c.now()
+	if len(c.entries) >= c.max {
+		victim, soonest := "", time.Time{}
+		for k, e := range c.entries {
+			if now.After(e.expires) {
+				victim = k
+				break
+			}
+			if victim == "" || e.expires.Before(soonest) {
+				victim, soonest = k, e.expires
+			}
+		}
+		if victim != "" {
+			delete(c.entries, victim)
+		}
+	}
+	stored := *resp
+	stored.Cached = false
+	c.entries[key] = cacheEntry{resp: &stored, expires: now.Add(c.ttl)}
+}
+
+// CacheStats is the cache's health-endpoint view.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Dedups  uint64 `json:"dedups"`
+}
+
+// Stats snapshots the counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Dedups: c.dedups}
+}

@@ -1,0 +1,109 @@
+package advisor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection. A FaultScript is a set of rules keyed
+// by (counter, index): the Nth time a subsystem consults its counter,
+// the scripted fault fires — a panic, a returned error, an uncancellable
+// sleep (to trip the watchdog or a deadline), or a crash-with-torn-
+// journal-tail for a running job. Because the key is a call count, not
+// wall-clock time or randomness, the same script against the same
+// request sequence produces the same outcomes every run, which is what
+// lets the chaos acceptance tests assert exact breaker transitions and
+// byte-identical resumed journals.
+//
+// Script syntax: comma-separated rules, each COUNTER:INDEX=MODE or
+// COUNTER:INDEX=sleep:DURATION. Counters in use:
+//
+//	sim — one tick per simulation backend call (POST /v1/plan misses)
+//	job — one tick per journaled sweep-job point
+//
+// Modes: panic, error, sleep:DUR (sim counter); kill, torn (job
+// counter: abandon the job mid-sweep without completing it, torn also
+// leaves a half-written final journal line).
+//
+// Example: "sim:2=panic,sim:3=sleep:200ms,job:2=torn"
+type FaultScript struct {
+	mu       sync.Mutex
+	counters map[string]int
+	rules    map[string]FaultRule
+}
+
+// FaultRule is one scripted fault.
+type FaultRule struct {
+	Mode  string
+	Sleep time.Duration
+}
+
+// ParseFaultScript parses the script syntax above; an empty string is a
+// valid script with no rules.
+func ParseFaultScript(s string) (*FaultScript, error) {
+	f := &FaultScript{counters: map[string]int{}, rules: map[string]FaultRule{}}
+	if strings.TrimSpace(s) == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		keyStr, modeStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("advisor: fault rule %q: want COUNTER:INDEX=MODE", part)
+		}
+		counter, idxStr, ok := strings.Cut(keyStr, ":")
+		if !ok {
+			return nil, fmt.Errorf("advisor: fault rule %q: want COUNTER:INDEX=MODE", part)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 1 {
+			return nil, fmt.Errorf("advisor: fault rule %q: bad index %q", part, idxStr)
+		}
+		rule := FaultRule{Mode: modeStr}
+		if rest, okSleep := strings.CutPrefix(modeStr, "sleep:"); okSleep {
+			d, err := time.ParseDuration(rest)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("advisor: fault rule %q: bad duration %q", part, rest)
+			}
+			rule = FaultRule{Mode: "sleep", Sleep: d}
+		}
+		switch rule.Mode {
+		case "panic", "error", "sleep", "kill", "torn":
+		default:
+			return nil, fmt.Errorf("advisor: fault rule %q: unknown mode %q", part, rule.Mode)
+		}
+		f.rules[faultKey(strings.TrimSpace(counter), idx)] = rule
+	}
+	return f, nil
+}
+
+func faultKey(counter string, idx int) string { return counter + ":" + strconv.Itoa(idx) }
+
+// Fire advances the named counter and returns the rule scheduled for
+// this call, if any. A nil script never fires.
+func (f *FaultScript) Fire(counter string) (FaultRule, bool) {
+	if f == nil {
+		return FaultRule{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counters[counter]++
+	r, ok := f.rules[faultKey(counter, f.counters[counter])]
+	return r, ok
+}
+
+// Calls reports how many times the named counter has fired, for tests.
+func (f *FaultScript) Calls(counter string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters[counter]
+}

@@ -1,0 +1,89 @@
+package advisor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzPlanRequest hammers POST /v1/plan with mutated request bodies.
+// The property under test is the service's 400 contract: malformed
+// JSON, absurd geometries and hostile program text must come back 400
+// (or a clean 200 when a mutation happens to form a valid request) —
+// never a panic, never an allocation proportional to a hostile number.
+// Seeds cover the valid shapes plus the malformed families the lang
+// FuzzParse and cache config fuzzers grow regressions from.
+func FuzzPlanRequest(f *testing.F) {
+	seeds := []string{
+		// Valid built-in kernel request.
+		`{"kernel":"jacobi","n":40,"k":8,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		// Valid listing request (Figure 3 shape; listings plan analytically).
+		`{"program":"do K=2,N-1\n do J=2,N-1\n  do I=2,N-1\n   A(I,J,K)=C*(B(I-1,J,K)+B(I+1,J,K))","params":{"N":20},"n":20,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		// Truncated and malformed JSON.
+		`{"kernel":"jacobi","n":40`,
+		`[]`, `null`, `42`, `"x"`, ``,
+		`{"kernel":"jacobi","n":40,"l1":null,"method":"Euc3D"}`,
+		// Absurd geometries (cache.Config fuzz families: zero, huge,
+		// line not dividing capacity, negative associativity).
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":0,"line_bytes":0},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":99999999999999,"line_bytes":32},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":100,"line_bytes":32},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":1024,"line_bytes":32,"assoc":-1},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":16384,"line_bytes":32},"l2":{"size_bytes":-5,"line_bytes":1},"method":"Euc3D"}`,
+		// Absurd problem sizes.
+		`{"kernel":"jacobi","n":-1,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":99999999,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"k":1000000,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		// Hostile program text (lang FuzzParse malformed families).
+		`{"program":"do I=2,N-1\n A(I)=B(I)+","n":20,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"program":"do I=1,99999999999999999999\n A(I)=B(I)","n":20,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"program":"do\nI=1,2\nA(I)=B(I)","n":20,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		// Both kernel and program; neither; unknown fields; bad method.
+		`{"kernel":"jacobi","program":"A(I)=B(I)","n":40,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"n":40,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D"}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":16384,"line_bytes":32},"method":"Euc3D","extra":true}`,
+		`{"kernel":"jacobi","n":40,"l1":{"size_bytes":16384,"line_bytes":32},"method":"DROP TABLE plans"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	srv := NewServer(Config{
+		Workers:      2,
+		PointTimeout: 200 * time.Millisecond,
+		Deadline:     2 * time.Second,
+		Retries:      -1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// Skip mutations that form valid requests for large problems:
+		// they only measure simulation time, not input handling. The
+		// decision mirrors the handler's own validation, so everything
+		// that can 400 still goes through the full HTTP path.
+		var probe PlanRequest
+		if dec := json.NewDecoder(strings.NewReader(body)); dec.Decode(&probe) == nil {
+			if probe.Validate() == nil && (probe.N > 48 || probe.K > 16 || probe.Sweeps > 1) {
+				t.Skip("valid large-problem request; covered by the server tests")
+			}
+		}
+		resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (server died?): %v", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("status %d for body %q", resp.StatusCode, body)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("non-JSON response for body %q: %v", body, err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrSaturated is returned when the worker pool and its admission queue
+// are both full; the server maps it to 429 with a Retry-After hint.
+// Shedding at admission is the point: a full queue must answer cheaply
+// now, not buffer unbounded goroutines into an OOM later.
+var ErrSaturated = errors.New("advisor: worker pool saturated")
+
+// ErrDraining is returned once the pool has begun shutting down.
+var ErrDraining = errors.New("advisor: server draining")
+
+// Pool bounds the simulation concurrency: at most workers computations
+// run at once, at most queue callers wait for a slot, and everyone past
+// that is refused immediately. Callers run their own function once
+// admitted (the pool is a semaphore with an admission bound, not a task
+// queue — the HTTP handler is already a goroutine; what must be bounded
+// is how many of them may simulate or camp on the semaphore).
+type Pool struct {
+	running  chan struct{}
+	mu       sync.Mutex
+	waiting  int
+	queue    int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewPool builds a pool of the given width and admission queue depth.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Pool{running: make(chan struct{}, workers), queue: queue}
+}
+
+// Do runs fn once a worker slot is free. It refuses with ErrSaturated
+// when the admission queue is full, ErrDraining during shutdown, and the
+// context's error if ctx ends before a slot frees. A panic in fn is
+// recovered into an error: one poisoned request must not take the
+// server down.
+func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return ErrDraining
+	}
+	if p.waiting >= cap(p.running)+p.queue {
+		p.mu.Unlock()
+		return ErrSaturated
+	}
+	p.waiting++
+	p.wg.Add(1)
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.waiting--
+		p.mu.Unlock()
+		p.wg.Done()
+	}()
+
+	select {
+	case p.running <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.running }()
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The error travels into response bodies (DegradedReason), so
+			// it carries the panic value, not the full stack.
+			err = fmt.Errorf("advisor: request panicked: %v", rec)
+		}
+	}()
+	return fn()
+}
+
+// Drain stops admitting work and waits for in-flight calls to finish or
+// the context to end.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Load reports the pool's occupancy for the health endpoint.
+func (p *Pool) Load() (running, waiting int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.running), p.waiting
+}

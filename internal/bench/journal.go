@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -15,15 +16,30 @@ import (
 // Checkpoint journal: a JSONL file recording every completed simulation
 // point so an interrupted sweep resumes where it left off. The format is
 // one header line carrying the options fingerprint, then one line per
-// completed point. Every update rewrites the whole file to a temp file
-// in the same directory and renames it over the old one, so the journal
-// on disk is always a complete, parseable snapshot no matter when the
-// process dies; the sweeps it serves are a few hundred points, so the
-// quadratic rewrite cost is noise next to the simulations it saves.
+// completed point. Recording appends one line; a point recorded twice
+// (a failure later retried, a re-run) appends a superseding line, and
+// the loader takes the last occurrence of each key. When enough
+// superseded lines accumulate the file is compacted: rewritten to a
+// temp file in the same directory and renamed over the old one, so the
+// journal on disk is always recoverable no matter when the process dies
+// — at worst the final line is torn, and the loader drops it. Opening
+// also compacts, so a journal that survived a crash is back in
+// canonical form (header + one line per point, keys sorted) before any
+// appends. Append-per-point keeps recording O(1) where the previous
+// rewrite-per-point design was quadratic in sweep length — noise for a
+// few hundred points, not for a long-running service journaling
+// thousands.
 
 const (
 	journalMagic   = "tiling3d-sweep-journal"
 	journalVersion = 1
+
+	// journalCompactDups is how many superseded (duplicate-key) lines
+	// may accumulate before Record compacts the file. Duplicates only
+	// arise from retried failures and deliberate re-records, so the
+	// threshold is rarely reached; it exists to bound file growth when a
+	// pathological sweep fails and retries the same points forever.
+	journalCompactDups = 64
 )
 
 type journalHeader struct {
@@ -45,6 +61,21 @@ type PointKey struct {
 
 func (k PointKey) String() string {
 	return fmt.Sprintf("%s/%s N=%d", k.Kernel, k.Method, k.N)
+}
+
+// less orders keys canonically (kernel, method, N); compaction writes
+// entries in this order so two journals holding the same points are
+// byte-identical regardless of the completion order that produced them
+// — which is what lets the advisor service diff a resumed job's journal
+// against an uninterrupted run's.
+func (k PointKey) less(o PointKey) bool {
+	if k.Kernel != o.Kernel {
+		return k.Kernel < o.Kernel
+	}
+	if k.Method != o.Method {
+		return k.Method < o.Method
+	}
+	return k.N < o.N
 }
 
 // PointOutcome is the journaled record of one simulation point: the
@@ -70,7 +101,7 @@ type Journal struct {
 	path        string
 	fingerprint string
 	entries     map[PointKey]PointOutcome
-	order       []PointKey
+	dups        int // superseded lines in the file since the last compaction
 	writeErr    error
 	resumed     int
 }
@@ -83,7 +114,9 @@ type Journal struct {
 // would silently corrupt tables. A missing file under resume is treated
 // as a fresh start, so resume scripts are idempotent. A torn final line
 // (interrupted write) is dropped and its point recomputed; corruption
-// anywhere else is an error.
+// anywhere else is an error. The opened journal is immediately
+// compacted to canonical form, so crash damage never outlives the next
+// open.
 func OpenJournal(path string, opt Options, resume bool) (*Journal, error) {
 	j := &Journal{
 		path:        path,
@@ -98,7 +131,7 @@ func OpenJournal(path string, opt Options, resume bool) (*Journal, error) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.flushLocked(); err != nil {
+	if err := j.compactLocked(); err != nil {
 		return nil, fmt.Errorf("bench: journal %s: %w", path, err)
 	}
 	return j, nil
@@ -144,36 +177,87 @@ func (j *Journal) load() error {
 			}
 			return fmt.Errorf("bench: journal %s: corrupt entry on line %d: %v", j.path, i+2, uerr)
 		}
-		if _, ok := j.entries[out.Key]; !ok {
-			j.order = append(j.order, out.Key)
-		}
+		// Later lines supersede earlier ones for the same key: an append
+		// after a retried failure is the newer truth.
 		j.entries[out.Key] = out
 	}
 	return nil
 }
 
-// Record journals one completed point, rewriting the file atomically.
-// Write failures do not interrupt the sweep (the results in memory are
-// still good); the first one is kept and reported by WriteErr.
+// Record journals one completed point by appending a single line. Write
+// failures do not interrupt the sweep (the results in memory are still
+// good); the first one is kept and reported by WriteErr.
 func (j *Journal) Record(out PointOutcome) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, ok := j.entries[out.Key]; !ok {
-		j.order = append(j.order, out.Key)
+	if _, ok := j.entries[out.Key]; ok {
+		j.dups++
 	}
 	j.entries[out.Key] = out
-	if err := j.flushLocked(); err != nil && j.writeErr == nil {
+	var err error
+	if j.dups >= journalCompactDups {
+		err = j.compactLocked()
+	} else {
+		err = j.appendLocked(out)
+	}
+	if err != nil && j.writeErr == nil {
 		j.writeErr = fmt.Errorf("bench: journal %s: %w", j.path, err)
 	}
 }
 
-func (j *Journal) flushLocked() error {
+// appendLocked writes one entry line to the end of the journal file. The
+// file is opened per record (not held open) so a journal whose file or
+// directory vanished mid-run reports the failure instead of appending
+// happily to an unlinked inode; a missing file falls back to a full
+// compaction, which recreates it — or surfaces the real error when the
+// directory itself is gone.
+func (j *Journal) appendLocked(out PointOutcome) error {
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		return j.compactLocked()
+	}
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Compact rewrites the journal atomically in canonical form: the header
+// line, then one line per point in sorted key order. Two compacted
+// journals holding the same outcomes are byte-identical however the
+// sweeps that filled them were scheduled or interrupted. The advisor
+// service compacts a job's journal when the job completes; Record also
+// compacts automatically once enough superseded lines accumulate.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.compactLocked(); err != nil {
+		werr := fmt.Errorf("bench: journal %s: %w", j.path, err)
+		if j.writeErr == nil {
+			j.writeErr = werr
+		}
+		return werr
+	}
+	return nil
+}
+
+func (j *Journal) compactLocked() error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(journalHeader{Magic: journalMagic, Version: journalVersion, Fingerprint: j.fingerprint}); err != nil {
 		return err
 	}
-	for _, k := range j.order {
+	keys := make([]PointKey, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].less(keys[b]) })
+	for _, k := range keys {
 		if err := enc.Encode(j.entries[k]); err != nil {
 			return err
 		}
@@ -196,6 +280,7 @@ func (j *Journal) flushLocked() error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	j.dups = 0
 	return nil
 }
 

@@ -196,6 +196,149 @@ func TestJournalLookupSkipsFailed(t *testing.T) {
 	}
 }
 
+// TestJournalAppendOnly: recording N points writes exactly N lines after
+// the header — the scalability fix; the old design rewrote the whole
+// file on every record.
+func TestJournalAppendOnly(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		j.Record(journalOutcome(100 + i))
+	}
+	if err := j.WriteErr(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := journalLines(t, path); lines != n+1 {
+		t.Errorf("file has %d lines, want %d (header + one per point)", lines, n+1)
+	}
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Resumed() != n {
+		t.Errorf("resumed %d, want %d", j2.Resumed(), n)
+	}
+}
+
+// TestJournalCompactsDuplicates: re-recording the same keys appends
+// superseding lines until the duplicate threshold, then the file is
+// compacted back to one line per point — growth is bounded even when a
+// pathological sweep retries the same point forever.
+func TestJournalCompactsDuplicates(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= journalCompactDups; i++ {
+		out := journalOutcome(40)
+		out.Res.Flops = int64(i) // superseding truth each time
+		j.Record(out)
+	}
+	if err := j.WriteErr(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := journalLines(t, path); lines != 2 {
+		t.Errorf("file has %d lines after compaction, want 2", lines)
+	}
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j2.Lookup(journalOutcome(40).Key)
+	if !ok || got.Res.Flops != int64(journalCompactDups) {
+		t.Errorf("lookup = %+v, %v; want the last recorded value", got, ok)
+	}
+}
+
+// TestJournalLastLineWins: a superseding append is the newer truth when
+// the file is loaded uncompacted.
+func TestJournalLastLineWins(t *testing.T) {
+	opt := smallOptions()
+	path := filepath.Join(t.TempDir(), "j.journal")
+	j, err := OpenJournal(path, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := journalOutcome(40)
+	first.Failed, first.Err = true, "boom"
+	first.Res = SimResult{}
+	j.Record(first)
+	j.Record(journalOutcome(40)) // retried and succeeded
+	if err := j.WriteErr(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j2.Lookup(journalOutcome(40).Key)
+	if !ok || got.Failed || got.Res.Flops != 4000 {
+		t.Errorf("lookup = %+v, %v; want the superseding success", got, ok)
+	}
+}
+
+// TestJournalCompactCanonical: two journals holding the same outcomes
+// are byte-identical after compaction no matter what order the sweeps
+// recorded them in — the property the advisor's resume differential
+// relies on.
+func TestJournalCompactCanonical(t *testing.T) {
+	opt := smallOptions()
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.journal")
+	pathB := filepath.Join(dir, "b.journal")
+	a, err := OpenJournal(pathA, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenJournal(pathB, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := []PointOutcome{journalOutcome(40), journalOutcome(60), journalOutcome(80)}
+	outs[1].Key.Method = "Pad"
+	outs[2].Key.Kernel = "RESID"
+	for _, o := range outs {
+		a.Record(o)
+	}
+	for i := len(outs) - 1; i >= 0; i-- {
+		b.Record(outs[i])
+	}
+	if err := a.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Errorf("compacted journals differ:\nA:\n%sB:\n%s", da, db)
+	}
+}
+
+// journalLines counts non-empty lines in the journal file.
+func journalLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(strings.Split(strings.TrimRight(string(data), "\n"), "\n"))
+}
+
 // TestJournalWriteErrSticky: a journal on a dead path keeps the sweep
 // alive and reports the first failure.
 func TestJournalWriteErrSticky(t *testing.T) {

@@ -88,6 +88,12 @@ type Options struct {
 	// that problem size panic. It exists to demonstrate and test panic
 	// isolation end to end (cmd flag -inject-panic).
 	InjectPanicN int
+	// InjectSleep, when positive, makes every simulation attempt sleep
+	// that long before doing any work, ignoring cancellation — a scripted
+	// stand-in for a wedged point. It exists to exercise the watchdog,
+	// the SIGINT drain, and the second-signal hard kill deterministically
+	// (cmd flag -inject-sleep).
+	InjectSleep time.Duration
 
 	// DiagHook, when non-nil, receives one PointDiag per completed sweep
 	// point: how it was resolved (simulated, shared, degraded, failed)
@@ -172,6 +178,9 @@ func (o Options) Validate() error {
 	}
 	if o.ParanoidEvery < 0 {
 		return fmt.Errorf("bench: ParanoidEvery must be >= 0, got %d", o.ParanoidEvery)
+	}
+	if o.InjectSleep < 0 {
+		return fmt.Errorf("bench: InjectSleep must be >= 0, got %v", o.InjectSleep)
 	}
 	for _, k := range stencil.Kernels() {
 		for _, m := range o.Methods {

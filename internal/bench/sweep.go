@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiling3d/internal/cache"
@@ -25,6 +26,39 @@ import (
 //     fails the steady-engine self-check is retried once with the
 //     steady engine disabled, then marked failed — the sweep continues
 //     either way.
+
+// SimOutcomes simulates every (method, size) point of opt's sweep for
+// one kernel and returns the raw outcomes, indexed
+// [mi*len(opt.Sizes())+ni]. It is the exported face of the resilient
+// sweep engine for callers — the advisor service foremost — that need
+// the full per-point record (result, degraded/failed state, sharing)
+// rather than one experiment's view of it. On cancellation the partial
+// outcomes are returned together with the context's error.
+func SimOutcomes(k stencil.Kernel, opt Options) ([]PointOutcome, error) {
+	return simGrid(k, opt)
+}
+
+// Abandoned-goroutine accounting. Go cannot kill a goroutine, so when
+// the -point-timeout watchdog expires the simulation goroutine is
+// abandoned: the ladder moves on while the stuck attempt runs to
+// completion (or forever) in the background, its results discarded.
+// Every abandonment is counted here — total since process start and the
+// live gauge of abandoned goroutines still running — so a sweep that
+// leaked workers says so in its end-of-run summary and a long-running
+// service can watch the gauge for a wedged backend. Writes into
+// per-attempt targets keep abandoned workers from corrupting later
+// points; the tally is how an operator learns they exist at all.
+var (
+	abandonedTotal atomic.Int64
+	abandonedLive  atomic.Int64
+)
+
+// AbandonedWorkers reports the watchdog's abandonment counters: how many
+// simulation goroutines have ever been abandoned to time out in the
+// background, and how many of them are still running now.
+func AbandonedWorkers() (total, live int64) {
+	return abandonedTotal.Load(), abandonedLive.Load()
+}
 
 // simGrid simulates every (method, size) point of the sweep for one
 // kernel, returning outcomes indexed [mi*len(sizes)+ni]. On
@@ -227,8 +261,11 @@ type PointDiag struct {
 	Degraded bool
 	Failed   bool
 	Err      string
-	Steady   cache.SteadyDiag
-	Delta    cache.DeltaDiag
+	// Abandoned counts simulation goroutines this point's ladder left
+	// running after a watchdog timeout (0, 1, or 2: primary and retry).
+	Abandoned int
+	Steady    cache.SteadyDiag
+	Delta     cache.DeltaDiag
 }
 
 // String renders the record for -v output.
@@ -237,9 +274,9 @@ func (d PointDiag) String() string {
 	case d.Shared != "":
 		return fmt.Sprintf("%s: shared from %s", d.Key, d.Shared)
 	case d.Failed:
-		return fmt.Sprintf("%s: FAILED: %s", d.Key, d.Err)
+		return fmt.Sprintf("%s: FAILED: %s", d.Key, d.Err) + d.abandonedSuffix()
 	case d.Degraded:
-		return fmt.Sprintf("%s: degraded (steady disabled): %s", d.Key, d.Err)
+		return fmt.Sprintf("%s: degraded (steady disabled): %s", d.Key, d.Err) + d.abandonedSuffix()
 	default:
 		s := fmt.Sprintf("%s: %s", d.Key, d.Steady)
 		if d.Delta.Traced || d.Delta.Seeded || d.Delta.Sweeps > 0 {
@@ -255,6 +292,13 @@ func (d PointDiag) String() string {
 // DeltaReused reports whether the point's measured sweeps were served by
 // delta replay rather than full walker simulation.
 func (d PointDiag) DeltaReused() bool { return d.Delta.Sweeps > 0 }
+
+func (d PointDiag) abandonedSuffix() string {
+	if d.Abandoned == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [%d goroutine(s) abandoned]", d.Abandoned)
+}
 
 // planShareKey computes a point's plan identity for warm sharing. The
 // cost-model value is zeroed: two methods that pick the same tile and
@@ -279,13 +323,14 @@ func planShareKey(k stencil.Kernel, m core.Method, n int, opt Options) (p core.P
 // marked Degraded and keeps the primary error in Err.
 func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) PointOutcome {
 	key := PointKey{Kernel: k.String(), Method: m.String(), N: n}
-	outc, sd, dd := runPointLadder(k, m, n, opt, paranoid, key)
+	outc, sd, dd, abandoned := runPointLadder(k, m, n, opt, paranoid, key)
 	if opt.DiagHook != nil {
 		d := PointDiag{
-			Key:      outc.Key,
-			Degraded: outc.Degraded,
-			Failed:   outc.Failed,
-			Err:      outc.Err,
+			Key:       outc.Key,
+			Degraded:  outc.Degraded,
+			Failed:    outc.Failed,
+			Err:       outc.Err,
+			Abandoned: abandoned,
 		}
 		// A failed attempt may have timed out, and its abandoned
 		// goroutine could write the counters later; don't read them.
@@ -309,7 +354,8 @@ func runPoint(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool
 // timed-out attempt's abandoned goroutine may still write its own
 // targets later, which must not race with reading the attempt that
 // actually finished.
-func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool, key PointKey) (PointOutcome, *cache.SteadyDiag, *cache.DeltaDiag) {
+func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool, key PointKey) (PointOutcome, *cache.SteadyDiag, *cache.DeltaDiag, int) {
+	abandoned := 0
 	export := opt.deltaExport
 	if export != nil {
 		opt.deltaExport = new(*cache.DeltaDonor)
@@ -318,12 +364,15 @@ func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoi
 		opt.steadyDiag = new(cache.SteadyDiag)
 		opt.deltaDiag = new(cache.DeltaDiag)
 	}
-	res, err := simGuarded(k, m, n, opt, paranoid)
+	res, err, left := simGuarded(k, m, n, opt, paranoid)
+	if left {
+		abandoned++
+	}
 	if err == nil {
 		if export != nil {
 			*export = *opt.deltaExport
 		}
-		return PointOutcome{Key: key, Res: res}, opt.steadyDiag, opt.deltaDiag
+		return PointOutcome{Key: key, Res: res}, opt.steadyDiag, opt.deltaDiag, abandoned
 	}
 	if !opt.DisableSteady {
 		// The fallback attempt neither consumes nor produces donors: a
@@ -336,23 +385,30 @@ func runPointLadder(k stencil.Kernel, m core.Method, n int, opt Options, paranoi
 			retry.steadyDiag = new(cache.SteadyDiag)
 			retry.deltaDiag = new(cache.DeltaDiag)
 		}
-		res2, err2 := simGuarded(k, m, n, retry, false)
+		res2, err2, left2 := simGuarded(k, m, n, retry, false)
+		if left2 {
+			abandoned++
+		}
 		if err2 == nil {
-			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}, retry.steadyDiag, retry.deltaDiag
+			return PointOutcome{Key: key, Res: res2, Degraded: true, Err: err.Error()}, retry.steadyDiag, retry.deltaDiag, abandoned
 		}
 		return PointOutcome{Key: key, Failed: true,
-			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}, retry.steadyDiag, retry.deltaDiag
+			Err: fmt.Sprintf("%v; retry without steady engine: %v", err, err2)}, retry.steadyDiag, retry.deltaDiag, abandoned
 	}
-	return PointOutcome{Key: key, Failed: true, Err: err.Error()}, opt.steadyDiag, opt.deltaDiag
+	return PointOutcome{Key: key, Failed: true, Err: err.Error()}, opt.steadyDiag, opt.deltaDiag, abandoned
 }
 
 // simGuarded runs one simulation attempt under the watchdog. Go cannot
 // kill a goroutine, so on timeout the simulation goroutine is abandoned
 // to finish (and be discarded) in the background — the sweep moves on,
-// which is the whole point of the watchdog.
-func simGuarded(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) (SimResult, error) {
+// which is the whole point of the watchdog. The third result reports
+// that abandonment; the package counters track it too, with a watcher
+// goroutine decrementing the live gauge when the stray worker finally
+// returns.
+func simGuarded(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bool) (SimResult, error, bool) {
 	if opt.PointTimeout <= 0 {
-		return simAttempt(k, m, n, opt, paranoid)
+		res, err := simAttempt(k, m, n, opt, paranoid)
+		return res, err, false
 	}
 	type resErr struct {
 		res SimResult
@@ -368,10 +424,16 @@ func simGuarded(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bo
 	defer timer.Stop()
 	select {
 	case re := <-ch:
-		return re.res, re.err
+		return re.res, re.err, false
 	case <-timer.C:
+		abandonedTotal.Add(1)
+		abandonedLive.Add(1)
+		go func() {
+			<-ch // the abandoned attempt finished; its result is discarded
+			abandonedLive.Add(-1)
+		}()
 		return SimResult{}, fmt.Errorf("bench: point %s/%s N=%d exceeded -point-timeout %v",
-			k, m, n, opt.PointTimeout)
+			k, m, n, opt.PointTimeout), true
 	}
 }
 
@@ -387,6 +449,12 @@ func simAttempt(k stencil.Kernel, m core.Method, n int, opt Options, paranoid bo
 	}()
 	if opt.InjectPanicN > 0 && n == opt.InjectPanicN {
 		panic(fmt.Sprintf("injected fault at N=%d (-inject-panic)", n))
+	}
+	if opt.InjectSleep > 0 {
+		// Deliberately ignores cancellation: the injected sleep models a
+		// genuinely wedged simulation, which is what the watchdog and the
+		// drain paths exist to survive.
+		time.Sleep(opt.InjectSleep)
 	}
 	if opt.faultInject != nil {
 		opt.faultInject(opt, m, n)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -263,6 +264,88 @@ func TestPointTimeoutDegrades(t *testing.T) {
 	}
 	if !strings.Contains(outs[0].Err, "point-timeout") {
 		t.Errorf("error does not name the watchdog: %q", outs[0].Err)
+	}
+}
+
+// TestAbandonedWorkersCountedAndHarmless: a watchdog timeout abandons
+// the simulation goroutine; the tally must record it (total and, while
+// it still runs, the live gauge), the point's diagnostic must name it,
+// and — the property that matters — the abandoned worker finishing late
+// must not corrupt any later point: every other outcome is identical to
+// a fault-free sweep.
+func TestAbandonedWorkersCountedAndHarmless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("watchdog test sleeps")
+	}
+	opt := smallOptions()
+	opt.Methods = []core.Method{core.Orig, core.MethodGcdPad}
+	opt.Workers = 1 // deterministic point order: the stuck point runs first
+	opt.DisableWarmShare = true
+	opt.PointTimeout = 25 * time.Millisecond
+	stuck := PointKey{Kernel: "JACOBI", Method: "Orig", N: 40}
+	opt.faultInject = func(o Options, m core.Method, n int) {
+		if m == core.Orig && n == 40 && !o.DisableSteady {
+			time.Sleep(400 * time.Millisecond) // primary attempt hangs; fallback is clean
+		}
+	}
+	var diagMu sync.Mutex
+	diagAbandoned := map[PointKey]int{}
+	opt.DiagHook = func(d PointDiag) {
+		diagMu.Lock()
+		diagAbandoned[d.Key] += d.Abandoned
+		diagMu.Unlock()
+	}
+	total0, _ := AbandonedWorkers()
+	outs, err := simGrid(stencil.Jacobi, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total1, _ := AbandonedWorkers()
+	if total1-total0 != 1 {
+		t.Errorf("abandoned total rose by %d, want 1", total1-total0)
+	}
+	diagMu.Lock()
+	if diagAbandoned[stuck] != 1 {
+		t.Errorf("PointDiag.Abandoned for %s = %d, want 1", stuck, diagAbandoned[stuck])
+	}
+	diagMu.Unlock()
+
+	clean := opt
+	clean.faultInject = nil
+	clean.PointTimeout = 0
+	clean.DiagHook = nil
+	wants, err := simGrid(stencil.Jacobi, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Key == stuck {
+			if !o.Degraded || o.Failed {
+				t.Fatalf("%s: want Degraded success after timeout, got %+v", o.Key, o)
+			}
+			if o.Res != wants[i].Res {
+				t.Errorf("%s: degraded result %+v != clean %+v", o.Key, o.Res, wants[i].Res)
+			}
+			continue
+		}
+		if o.Degraded || o.Failed || o.Res != wants[i].Res {
+			t.Errorf("%s: outcome corrupted by an abandoned neighbor: %+v != %+v", o.Key, o, wants[i])
+		}
+	}
+
+	// The abandoned goroutine eventually finishes and the live gauge
+	// returns to its starting level (other tests may abandon workers of
+	// their own, so poll for quiescence rather than an absolute value).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, live := AbandonedWorkers(); live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, live := AbandonedWorkers()
+			t.Fatalf("abandoned live gauge stuck at %d", live)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
