@@ -96,6 +96,71 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelReleasesProbe checks the non-outcome settle path: a
+// probe holder shed before reaching the backend cancels, and the very
+// next request may probe instead of finding the breaker wedged
+// half-open forever.
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute)
+	b.now = clk.now
+
+	b.Record(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failure = %v, want open", got)
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// The probe is shed (saturated pool, bad request, expired deadline):
+	// cancelled, not recorded.
+	b.Cancel()
+	if !b.Allow() {
+		t.Fatal("breaker wedged half-open after a cancelled probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after replacement probe = %v, want closed", got)
+	}
+
+	// Cancel outside half-open is a no-op.
+	b.Cancel()
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request after no-op Cancel")
+	}
+}
+
+// TestBreakerHalfOpenReprobe checks the leak backstop: a probe that
+// never settles (neither Record nor Cancel reached) keeps half-open
+// exclusive for one cooldown only, after which a replacement probe is
+// admitted rather than degrading every request until restart.
+func TestBreakerHalfOpenReprobe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute)
+	b.now = clk.now
+
+	b.Record(false)
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Within the cooldown the lost probe still holds the slot...
+	clk.advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is still fresh")
+	}
+	// ...but a full cooldown later it is presumed lost.
+	clk.advance(30 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker wedged half-open behind a lost probe")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after replacement probe = %v, want closed", got)
+	}
+}
+
 func testResponse(key string) *PlanResponse {
 	return &PlanResponse{Key: key, Method: "Euc3D", N: 200, Verdict: "test"}
 }
@@ -233,6 +298,59 @@ func TestCacheDegradedNotStored(t *testing.T) {
 	}
 	if r2, cached2, _ := c.Do(ctx, "k", healthy); !cached2 || r2.Degraded {
 		t.Fatalf("healthy response not cached: cached=%v degraded=%v", cached2, r2.Degraded)
+	}
+}
+
+// TestCacheDoPanicSafe checks a panicking compute cannot poison its
+// key: the flight settles with an error (shared by any deduped waiter)
+// instead of leaking, and the next request computes fresh rather than
+// blocking on a never-closed done channel until its deadline.
+func TestCacheDoPanicSafe(t *testing.T) {
+	c := NewResultCache(time.Minute, 16)
+	ctx := context.Background()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var leadErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leadErr = c.Do(ctx, "p", func() (*PlanResponse, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+
+	// A second caller dedups onto the doomed flight before it panics.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "p", func() (*PlanResponse, error) { return testResponse("p"), nil })
+		waiterErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Dedups == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if leadErr == nil || !strings.Contains(leadErr.Error(), "panicked") {
+		t.Fatalf("leader error = %v, want recovered panic", leadErr)
+	}
+	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("waiter error = %v, want recovered panic", err)
+	}
+
+	// The key is not poisoned: a fresh request computes and succeeds.
+	r, cached, err := c.Do(ctx, "p", func() (*PlanResponse, error) { return testResponse("p"), nil })
+	if err != nil || cached || r == nil {
+		t.Fatalf("post-panic Do = %+v cached=%v err=%v, want fresh success", r, cached, err)
 	}
 }
 

@@ -42,10 +42,11 @@ type Breaker struct {
 	cooldown  time.Duration
 	now       func() time.Time
 
-	state    BreakerState
-	fails    int
-	openedAt time.Time
-	probing  bool
+	state      BreakerState
+	fails      int
+	openedAt   time.Time
+	probing    bool
+	probeStart time.Time
 }
 
 // NewBreaker builds a closed breaker that opens after threshold
@@ -59,7 +60,9 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 
 // Allow reports whether a request may use the backend right now. An
 // open breaker past its cooldown transitions to half-open and admits
-// exactly one probe; Record must be called with the probe's outcome.
+// exactly one probe; the probe holder must settle it with Record (an
+// outcome) or Cancel (no outcome — shed, refused, or aborted before the
+// backend's health could be judged).
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -72,13 +75,33 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
+		b.probeStart = b.now()
 		return true
 	default: // half-open
-		if b.probing {
+		if b.probing && b.now().Sub(b.probeStart) < b.cooldown {
 			return false
 		}
+		// No probe out, or the one that is has been gone a full cooldown
+		// without settling — presume it lost (leaked past both Record and
+		// Cancel) and admit a replacement rather than wedging half-open
+		// forever.
 		b.probing = true
+		b.probeStart = b.now()
 		return true
+	}
+}
+
+// Cancel releases a half-open probe without recording an outcome — the
+// settle path for a probe holder whose request was shed by the pool,
+// rejected as deterministically bad, or killed by its own deadline:
+// none of those say anything about the backend's health, so the next
+// request probes instead. In any other state it is a no-op, which makes
+// it safe to call whenever Allow returned true.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
 	}
 }
 

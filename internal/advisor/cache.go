@@ -2,6 +2,7 @@ package advisor
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -95,14 +96,25 @@ func (c *ResultCache) Do(ctx context.Context, key string, compute func() (*PlanR
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	f.resp, f.err = compute()
-	c.mu.Lock()
-	delete(c.flights, key)
-	if f.err == nil && !f.resp.Degraded {
-		c.storeLocked(key, f.resp)
-	}
-	c.mu.Unlock()
-	close(f.done)
+	// The flight must settle no matter how compute ends: a panic that
+	// escaped here would leak the flight entry and leave done forever
+	// open, blocking every later request for the key until its deadline.
+	// Mirror Pool.Do's recover and turn the panic into an error instead.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				f.resp, f.err = nil, fmt.Errorf("advisor: request panicked: %v", rec)
+			}
+			c.mu.Lock()
+			delete(c.flights, key)
+			if f.err == nil && f.resp != nil && !f.resp.Degraded {
+				c.storeLocked(key, f.resp)
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.resp, f.err = compute()
+	}()
 	if f.err != nil {
 		return nil, false, f.err
 	}

@@ -6,12 +6,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
 
 	"tiling3d/internal/bench"
 )
+
+// validJobID matches the generated id form (SweepRequest.ID). Get
+// rejects anything else before joining the id into a path: the mux
+// matches segments on the escaped URL, so a percent-encoded slash or
+// dot survives into PathValue and would otherwise walk a crafted id
+// out of the journal directory.
+var validJobID = regexp.MustCompile(`^job-[0-9a-f]{16}$`)
 
 // Job states reported by GET /v1/jobs/{id}.
 const (
@@ -262,8 +270,12 @@ func (m *JobManager) run(ctx context.Context, j *job) {
 }
 
 // Get returns the job's status, consulting disk for jobs finished by a
-// previous process.
+// previous process. Ids that don't match the generated form don't exist
+// by definition and never touch the filesystem.
 func (m *JobManager) Get(id string) (JobStatus, bool) {
+	if !validJobID.MatchString(id) {
+		return JobStatus{}, false
+	}
 	m.mu.Lock()
 	j, ok := m.jobs[id]
 	m.mu.Unlock()

@@ -219,14 +219,33 @@ func (s *Server) compute(ctx context.Context, req PlanRequest) (*PlanResponse, e
 		resp.Miss = miss
 		return resp, nil
 	case errors.Is(err, ErrSaturated) || errors.Is(err, ErrDraining):
-		// Admission refusals say nothing about the backend's health; the
-		// caller sheds the request without touching the breaker.
+		// Admission refusals say nothing about the backend's health: the
+		// caller sheds the request without charging the breaker, and a
+		// half-open probe claimed by Allow is released for the next
+		// request instead of wedging the breaker mid-probe.
+		s.breaker.Cancel()
 		return nil, err
 	case isBadRequest(err):
 		// The request itself cannot simulate (e.g. sweep preconditions);
-		// deterministic, so the breaker is not charged. Serve analytic.
+		// deterministic, so the breaker is not charged (and a claimed
+		// probe is released — a bad request proves nothing). Serve
+		// analytic.
+		s.breaker.Cancel()
 		s.degrade(resp, req, fmt.Sprintf("request cannot simulate: %v", err))
 		return resp, nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded), ctx.Err() != nil:
+		// The request's own deadline or cancellation — whether it expired
+		// waiting for a pool slot or mid-simulation — says nothing about
+		// backend health either: a storm of short client deadlines must
+		// not trip the breaker while the backend is fine. Degrade on a
+		// deadline (the caller may still want an answer); a cancelled
+		// request gets its error back.
+		s.breaker.Cancel()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.degrade(resp, req, fmt.Sprintf("simulation aborted by request deadline: %v", err))
+			return resp, nil
+		}
+		return nil, err
 	default:
 		s.breaker.Record(false)
 		s.cfg.Log.Printf("advisor: simulation degraded for %s: %v", resp.Key, err)

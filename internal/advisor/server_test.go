@@ -2,11 +2,15 @@ package advisor
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -313,6 +317,132 @@ func TestBreakerDegradesAndRecovers(t *testing.T) {
 	}
 	if st := srv.Breaker().State(); st != BreakerClosed {
 		t.Fatalf("breaker after successful probe = %v, want closed", st)
+	}
+}
+
+// occupyPool parks a blocking task in the pool and returns the release
+// function; the caller gets a saturated single-worker pool.
+func occupyPool(t *testing.T, p *Pool) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	occupied := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func() error {
+			close(occupied)
+			<-block
+			return nil
+		})
+	}()
+	<-occupied
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(block)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if running, _ := p.Load(); running == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("pool slot never freed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestHalfOpenProbeShedDoesNotWedge reproduces the probe leak: the
+// breaker is half-open, the probe request is shed by a saturated pool,
+// and the probe must pass to the next request instead of wedging the
+// breaker (and every future /v1/plan) on the analytic model forever.
+func TestHalfOpenProbeShedDoesNotWedge(t *testing.T) {
+	srv, _ := newTestServer(t, Config{
+		Workers: 1, Queue: -1, // -1 normalizes to 0: no waiting room
+		BreakerFails:    1,
+		BreakerCooldown: time.Millisecond,
+	})
+	// Trip the breaker, let the cooldown lapse, then claim the half-open
+	// probe with a request that gets shed at admission.
+	srv.Breaker().Record(false)
+	time.Sleep(5 * time.Millisecond)
+	release := occupyPool(t, srv.pool)
+	defer release()
+
+	if _, err := srv.compute(context.Background(), planReq(40)); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("probe request error = %v, want ErrSaturated", err)
+	}
+	release()
+
+	pr, err := srv.compute(context.Background(), planReq(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Degraded {
+		t.Fatalf("breaker wedged half-open after a shed probe: %s", pr.DegradedReason)
+	}
+	if st := srv.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker after replacement probe = %v, want closed", st)
+	}
+}
+
+// TestDeadlineWhileQueuedDoesNotTripBreaker checks a request deadline
+// expiring while the request waits for a pool slot degrades the
+// response without charging the breaker: short client deadlines under
+// load say nothing about the backend's health.
+func TestDeadlineWhileQueuedDoesNotTripBreaker(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Workers: 1, BreakerFails: 1})
+	release := occupyPool(t, srv.pool)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	pr, err := srv.compute(ctx, planReq(40))
+	if err != nil {
+		t.Fatalf("compute = %v, want a degraded response", err)
+	}
+	if !pr.Degraded || !strings.Contains(pr.DegradedReason, "deadline") {
+		t.Fatalf("response = degraded:%v reason:%q, want deadline degradation", pr.Degraded, pr.DegradedReason)
+	}
+	if st := srv.Breaker().State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after a queued deadline expiry, want closed (threshold 1)", st)
+	}
+}
+
+// TestJobIDPathTraversalRejected checks GET /v1/jobs/{id} never joins a
+// crafted id into the journal path: percent-encoded slashes survive the
+// mux's segment matching, so a decoy job planted one directory above
+// the journal must stay unreachable (404), as must any other id that
+// doesn't match the generated form.
+func TestJobIDPathTraversalRejected(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "jobs")
+	// The decoy: a "finished job" outside JournalDir that a traversal id
+	// like ../secret would resolve.
+	spec := mustMarshal(SweepRequest{Kernel: "jacobi", Methods: []string{"Orig"}, NMin: 40, NMax: 40, NStep: 8, K: 8, L1: testGeometry()})
+	if err := os.WriteFile(filepath.Join(parent, "secret.job.json"), spec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(parent, "secret.result.json"), []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{JournalDir: dir})
+
+	for _, id := range []string{"..%2Fsecret", "%2E%2E%2Fsecret", "job-..%2F..%2Fsecret", "job-0123456789abcdef", "job-XYZ"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /v1/jobs/%s = %d, want 404: %s", id, resp.StatusCode, body)
+		}
+	}
+	if _, ok := srv.Jobs().Get("../secret"); ok {
+		t.Error("JobManager.Get resolved a traversal id")
 	}
 }
 
