@@ -1,33 +1,72 @@
-// Command tilinglint is the repo's multichecker: it runs the custom
-// analyzers of internal/lint (mustcheck, rawindex) over the given
-// packages and exits non-zero on findings.
+// Command tilinglint is the repo's multichecker: it loads and
+// type-checks the given packages and runs the custom analyzers of
+// internal/lint over them — the syntactic pair (mustcheck, rawindex)
+// and the flow-sensitive settlement suite (settle, atomicwrite,
+// ctxflow, degrademark).
 //
 //	tilinglint ./...
-//	tilinglint internal/grid internal/stencil
+//	tilinglint -json ./... > findings.json
+//	tilinglint -settle=false internal/advisor
 //
 // Deliberate exceptions are annotated in the source with
-// `//lint:allow <analyzer>` on the same line or the line above.
+// `//lint:allow <analyzer> -- reason` on the same line or the line
+// above; the driver itself audits those annotations (analyzer name
+// required, justification required, stale allows flagged) and reports
+// violations under the pseudo-analyzer "allow".
+//
+// Exit codes: 0 means no findings, 1 means findings were reported, and
+// 2 means the run itself failed (unparseable pattern, unreadable
+// package).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"tiling3d/internal/lint"
+	"tiling3d/internal/lint/analysis"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
+	}
+	flag.Parse()
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.Run(patterns, lint.Analyzers())
+
+	findings, err := lint.Run(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "tilinglint: %d finding(s)\n", len(findings))

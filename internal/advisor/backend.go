@@ -316,7 +316,12 @@ func simPrediction(req PlanRequest, res bench.SimResult) *MissPrediction {
 // Analytic predicts the planned loop's miss rates from the closed-form
 // capacity model — the degraded path when the breaker is open or the
 // simulation failed, and the only path for listings. First-order and
-// conflict-blind by design; the response's Source says so.
+// conflict-blind by design; the response's Source says so. The
+// degrademark analyzer holds every caller that stores this result into
+// a response to also set Degraded = true (or carry a justified
+// //lint:allow where analytic is the requested source, not a fallback).
+//
+//lint:fallback mark=Degraded
 func Analytic(req PlanRequest, plan PlanInfo) *MissPrediction {
 	req = req.normalize()
 	p := &MissPrediction{Source: "analytic"}

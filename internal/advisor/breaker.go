@@ -62,7 +62,12 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 // open breaker past its cooldown transitions to half-open and admits
 // exactly one probe; the probe holder must settle it with Record (an
 // outcome) or Cancel (no outcome — shed, refused, or aborted before the
-// backend's health could be judged).
+// backend's health could be judged). The settle analyzer proves that
+// settlement on every path of every caller: the PR 8 probe leak — a
+// shed request returning with the probe still claimed — is now a lint
+// failure, not a code-review catch.
+//
+//lint:pair settle=Record,Cancel
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -64,62 +64,85 @@ func (c *ResultCache) get(key string) (*PlanResponse, bool) {
 	return &resp, true
 }
 
+// claim looks up key under one lock acquisition: a live cache entry, an
+// existing flight to share, or — when mine is true — a fresh flight the
+// caller now owns. An owned flight is a claim in the settle analyzer's
+// sense: it must reach settleFlight no matter how the computation ends,
+// including by panic, or the leaked entry leaves done forever open and
+// blocks every later request for the key until its deadline.
+//
+//lint:pair settle=settleFlight panicguard
+func (c *ResultCache) claim(key string) (cached *PlanResponse, f *flight, mine bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && !c.now().After(e.expires) {
+		c.hits++
+		resp := *e.resp
+		return &resp, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		c.dedups++
+		return nil, f, false
+	}
+	c.misses++
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return nil, f, true
+}
+
+// settleFlight publishes an owned flight's outcome: unregisters it,
+// stores non-degraded successes, and releases every waiter.
+func (c *ResultCache) settleFlight(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && f.resp != nil && !f.resp.Degraded {
+		c.storeLocked(key, f.resp)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
 // Do returns the cached response for key or computes it, deduplicating
 // concurrent computations for the same key: one caller runs compute,
 // the rest wait for its result (or their own context, whichever ends
 // first). The second result reports whether the response came from the
 // cache or a shared flight rather than this caller's own computation.
-func (c *ResultCache) Do(ctx context.Context, key string, compute func() (*PlanResponse, error)) (*PlanResponse, bool, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && !c.now().After(e.expires) {
-		c.hits++
-		resp := *e.resp
-		c.mu.Unlock()
-		return &resp, true, nil
-	}
-	if f, ok := c.flights[key]; ok {
-		c.dedups++
-		c.mu.Unlock()
+func (c *ResultCache) Do(ctx context.Context, key string, compute func() (*PlanResponse, error)) (resp *PlanResponse, shared bool, err error) {
+	cached, f, mine := c.claim(key)
+	if !mine {
+		if cached != nil {
+			return cached, true, nil
+		}
 		select {
 		case <-f.done:
 			if f.err != nil {
 				return nil, true, f.err
 			}
-			resp := *f.resp
-			return &resp, true, nil
+			r := *f.resp
+			return &r, true, nil
 		case <-ctx.Done():
 			return nil, true, ctx.Err()
 		}
 	}
-	c.misses++
-	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	c.mu.Unlock()
 
-	// The flight must settle no matter how compute ends: a panic that
-	// escaped here would leak the flight entry and leave done forever
-	// open, blocking every later request for the key until its deadline.
-	// Mirror Pool.Do's recover and turn the panic into an error instead.
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				f.resp, f.err = nil, fmt.Errorf("advisor: request panicked: %v", rec)
-			}
-			c.mu.Lock()
-			delete(c.flights, key)
-			if f.err == nil && f.resp != nil && !f.resp.Degraded {
-				c.storeLocked(key, f.resp)
-			}
-			c.mu.Unlock()
-			close(f.done)
-		}()
-		f.resp, f.err = compute()
+	// The settle is deferred so it runs however compute ends: a panic is
+	// recovered into the flight's error (mirroring Pool.Do) before the
+	// flight publishes, and the deferred block then rewrites this call's
+	// own results from the settled flight.
+	defer func() {
+		if rec := recover(); rec != nil {
+			f.resp, f.err = nil, fmt.Errorf("advisor: request panicked: %v", rec)
+		}
+		c.settleFlight(key, f)
+		if f.err != nil {
+			resp, shared, err = nil, false, f.err
+			return
+		}
+		r := *f.resp
+		resp, shared, err = &r, false, nil
 	}()
-	if f.err != nil {
-		return nil, false, f.err
-	}
-	resp := *f.resp
-	return &resp, false, nil
+	f.resp, f.err = compute()
+	return nil, false, nil
 }
 
 // storeLocked inserts an entry, evicting the soonest-expiring one when

@@ -42,12 +42,15 @@ func NewPool(workers, queue int) *Pool {
 	return &Pool{running: make(chan struct{}, workers), queue: queue}
 }
 
-// Do runs fn once a worker slot is free. It refuses with ErrSaturated
-// when the admission queue is full, ErrDraining during shutdown, and the
-// context's error if ctx ends before a slot frees. A panic in fn is
-// recovered into an error: one poisoned request must not take the
-// server down.
-func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
+// acquireSlot admits the caller and takes a worker slot: it refuses
+// with ErrDraining during shutdown, ErrSaturated when the admission
+// queue is full, and the context's error if ctx ends before a slot
+// frees. On nil return the caller holds a slot and must return it with
+// releaseSlot on every path — the settle analyzer proves that for every
+// caller.
+//
+//lint:pair settle=releaseSlot
+func (p *Pool) acquireSlot(ctx context.Context) error {
 	p.mu.Lock()
 	if p.draining {
 		p.mu.Unlock()
@@ -60,19 +63,40 @@ func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
 	p.waiting++
 	p.wg.Add(1)
 	p.mu.Unlock()
-	defer func() {
-		p.mu.Lock()
-		p.waiting--
-		p.mu.Unlock()
-		p.wg.Done()
-	}()
 
 	select {
 	case p.running <- struct{}{}:
+		return nil
 	case <-ctx.Done():
+		p.depart()
 		return ctx.Err()
 	}
-	defer func() { <-p.running }()
+}
+
+// releaseSlot returns an acquired worker slot and reverses the
+// admission bookkeeping.
+func (p *Pool) releaseSlot() {
+	<-p.running
+	p.depart()
+}
+
+// depart undoes the admission bookkeeping for a caller leaving the
+// pool, slot or no slot.
+func (p *Pool) depart() {
+	p.mu.Lock()
+	p.waiting--
+	p.mu.Unlock()
+	p.wg.Done()
+}
+
+// Do runs fn once a worker slot is free, refusing as acquireSlot does.
+// A panic in fn is recovered into an error: one poisoned request must
+// not take the server down.
+func (p *Pool) Do(ctx context.Context, fn func() error) (err error) {
+	if err := p.acquireSlot(ctx); err != nil {
+		return err
+	}
+	defer p.releaseSlot()
 	defer func() {
 		if rec := recover(); rec != nil {
 			// The error travels into response bodies (DegradedReason), so
@@ -90,6 +114,7 @@ func (p *Pool) Drain(ctx context.Context) error {
 	p.draining = true
 	p.mu.Unlock()
 	done := make(chan struct{})
+	//lint:allow ctxflow -- the wait-pump must outlive ctx: it turns wg.Wait into a channel the select below races against ctx
 	go func() {
 		p.wg.Wait()
 		close(done)

@@ -200,7 +200,7 @@ func (s *Server) compute(ctx context.Context, req PlanRequest) (*PlanResponse, e
 		return nil, err
 	}
 	if !req.wantSimulation() {
-		resp.Miss = Analytic(req, resp.Plan)
+		resp.Miss = Analytic(req, resp.Plan) //lint:allow degrademark -- listings cannot simulate: analytic is the requested source here, not a fallback
 		return resp, nil
 	}
 	if !s.breaker.Allow() {

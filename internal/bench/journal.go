@@ -1,3 +1,10 @@
+// This file owns the checkpoint journal on disk — a durable artifact:
+// the atomicwrite analyzer holds every file creation in this package to
+// the temp+rename protocol (appends to an existing journal are the
+// format's own crash-safe protocol and stay legal).
+//
+//lint:persist
+
 package bench
 
 import (

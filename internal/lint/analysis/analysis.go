@@ -1,16 +1,20 @@
 // Package analysis is a minimal, API-compatible subset of the
 // golang.org/x/tools go/analysis framework, implemented on the standard
-// library only (this module carries no external dependencies). It
-// supports exactly what the repo's analyzers need: purely syntactic
-// single-file passes over parsed ASTs with position-carrying
-// diagnostics. Analyzers written against it port to the real framework
-// by changing one import path.
+// library only (this module carries no external dependencies). Since PR
+// 9 it carries what the repo's flow-sensitive analyzers need: per-
+// package passes with go/types information (TypesInfo, Pkg) loaded by
+// the driver, plus a Facts index carrying the repo's annotation-declared
+// invariants (//lint:pair, //lint:fallback, //lint:persist). Analyzers
+// written against it port to the real framework by changing one import
+// path and threading facts through the framework's own mechanism.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"strings"
 )
 
 // Analyzer describes one analysis: a name (used in diagnostics and
@@ -21,11 +25,28 @@ type Analyzer struct {
 	Run  func(*Pass) (interface{}, error)
 }
 
-// Pass carries one analyzer's view of one package's worth of files.
+// Pass carries one analyzer's view of one package.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	Files    []*ast.File
+	// Files holds every parsed file of the package unit, including
+	// _test.go files. Test files are parsed but not type-checked:
+	// expressions in them have no TypesInfo entries.
+	Files []*ast.File
+	// Pkg is the type-checked package; nil when type-checking failed
+	// outright (analyzers must tolerate it).
+	Pkg *types.Package
+	// TypesInfo maps expressions of the package's non-test files to
+	// types and objects. Never nil, possibly sparsely populated.
+	TypesInfo *types.Info
+	// TypeErrors collects soft type-check errors; the pass still runs.
+	TypeErrors []error
+	// Facts is the cross-package annotation index built by the driver.
+	// Never nil.
+	Facts *Facts
+	// Persist reports whether any file of the package carries a
+	// //lint:persist marker (journal/result/cache files live here).
+	Persist bool
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -44,4 +65,76 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // Position resolves a token.Pos against the pass's file set.
 func (p *Pass) Position(pos token.Pos) token.Position {
 	return p.Fset.Position(pos)
+}
+
+// IsTestFile reports whether the file was parsed from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Position(f.Pos()).Filename, "_test.go")
+}
+
+// PairSpec is one acquire/settle invariant declared with
+//
+//	//lint:pair settle=<name>[,<name>...] [panicguard]
+//
+// on the acquiring function or method: every call to the annotated
+// function claims a resource that must reach one of the settle calls on
+// every path to the function's exit. When the acquire returns a bool,
+// the claim holds only on paths where that bool is true; when its last
+// result is an error, only where the error is nil. panicguard
+// additionally demands the settle be deferred (or precede any call that
+// could panic): the resource must survive a panic unwinding through the
+// region.
+type PairSpec struct {
+	// Settles are the sanctioned settle call names (method or function
+	// names; matched against calls whose receiver has the acquirer's
+	// receiver type, or against calls settling the acquire's result).
+	Settles []string
+	// PanicGuard demands panic-safe settlement (defer).
+	PanicGuard bool
+}
+
+// FallbackSpec is one degradation invariant declared with
+//
+//	//lint:fallback mark=<Field>
+//
+// on a fallback-producing function: any assignment of its result must
+// be accompanied by a `<base>.<Field> = true` store on every path
+// through the assignment (<base> being the assigned-to value), so a
+// degraded answer is always marked as such. mark defaults to Degraded.
+type FallbackSpec struct {
+	Mark string
+}
+
+// Facts is the annotation index the driver builds over every loaded
+// module package before analyzers run, keyed by the defining objects so
+// cross-package calls resolve without name games.
+type Facts struct {
+	Pairs     map[*types.Func]PairSpec
+	Fallbacks map[*types.Func]FallbackSpec
+}
+
+// NewFacts returns an empty index.
+func NewFacts() *Facts {
+	return &Facts{
+		Pairs:     map[*types.Func]PairSpec{},
+		Fallbacks: map[*types.Func]FallbackSpec{},
+	}
+}
+
+// PairFor resolves the pair invariant for a called function, if any.
+func (f *Facts) PairFor(fn *types.Func) (PairSpec, bool) {
+	if f == nil || fn == nil {
+		return PairSpec{}, false
+	}
+	spec, ok := f.Pairs[fn]
+	return spec, ok
+}
+
+// FallbackFor resolves the fallback invariant for a called function.
+func (f *Facts) FallbackFor(fn *types.Func) (FallbackSpec, bool) {
+	if f == nil || fn == nil {
+		return FallbackSpec{}, false
+	}
+	spec, ok := f.Fallbacks[fn]
+	return spec, ok
 }

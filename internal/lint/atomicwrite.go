@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// Atomicwrite guards the durability protocol of packages that own
+// journal, result, or cache files on disk (marked with a //lint:persist
+// file comment): a crash mid-write must never leave a torn file behind,
+// so every create-or-truncate write has to go through the temp-file +
+// rename protocol (os.CreateTemp in the destination directory, write,
+// close, os.Rename). Direct os.WriteFile, os.Create, and os.OpenFile
+// with O_CREATE or O_TRUNC are flagged. Append-only opens
+// (O_WRONLY|O_APPEND) are the journal's own protocol and stay legal, as
+// does os.CreateTemp — the temp half of the rename dance.
+var Atomicwrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "persisted packages (//lint:persist) must write files via temp+rename, not in place",
+	Run:  runAtomicwrite,
+}
+
+func runAtomicwrite(pass *analysis.Pass) (interface{}, error) {
+	if !pass.Persist {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "WriteFile":
+				pass.Reportf(call.Pos(),
+					"os.WriteFile writes a persisted file in place; write to a temp file in the same directory and os.Rename it")
+			case "Create":
+				pass.Reportf(call.Pos(),
+					"os.Create truncates a persisted file in place; use os.CreateTemp and os.Rename")
+			case "OpenFile":
+				if len(call.Args) >= 2 && flagsCreateOrTruncate(call.Args[1]) {
+					pass.Reportf(call.Pos(),
+						"os.OpenFile with O_CREATE/O_TRUNC rewrites a persisted file in place; use os.CreateTemp and os.Rename")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// flagsCreateOrTruncate reports whether the open-flags expression
+// mentions O_CREATE or O_TRUNC. The check is syntactic over the flag
+// expression (flags are invariably spelled as an or-chain of the os
+// constants), which keeps it independent of platform flag values.
+func flagsCreateOrTruncate(flags ast.Expr) bool {
+	found := false
+	ast.Inspect(flags, func(n ast.Node) bool {
+		name := ""
+		switch x := n.(type) {
+		case *ast.Ident:
+			name = x.Name
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		}
+		if name == "O_CREATE" || name == "O_TRUNC" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// Ctxflow keeps cancellation wired through the advisor's call graph: a
+// function that receives a context.Context must not sever it by minting
+// context.Background() or context.TODO() further down (the request's
+// deadline and cancellation would silently stop propagating), and a
+// goroutine launched as a function literal inside such a function must
+// capture or be handed a context so it can observe shutdown.
+//
+// The one sanctioned Background() is the nil-default idiom — assigning
+// the fresh context to the very parameter that was nil:
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// Detached work that deliberately outlives the request (background
+// jobs) documents itself with //lint:allow ctxflow -- reason.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background/TODO where a ctx parameter is in scope; funclit goroutines must see a context",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cw := &ctxWalk{pass: pass, exempt: exemptCtxCalls(pass, fd.Body)}
+			cw.walkFunc(fd.Type, fd.Body, nil)
+		}
+	}
+	return nil, nil
+}
+
+// typeOf resolves an expression's type like types.Info.TypeOf: the
+// Types map first, then the object maps for bare identifiers.
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// isCancelSignal reports whether t is a receive-only struct{} channel —
+// the shape of ctx.Done() and of every done-channel in the cancellation
+// idiom. A goroutine watching one can observe shutdown even though it
+// never touches a context.Context value.
+func isCancelSignal(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() != types.RecvOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// exemptCtxCalls collects Background/TODO calls that are the RHS of the
+// nil-default idiom: `param = context.Background()` where the LHS is
+// itself a context-typed variable already in scope.
+func exemptCtxCalls(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !isContextType(obj.Type()) {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isCtxMint(pass, call) != "" {
+			exempt[call] = true
+		}
+		return true
+	})
+	return exempt
+}
+
+// isCtxMint resolves calls to context.Background / context.TODO,
+// returning the called name or "".
+func isCtxMint(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// ctxWalk walks one declaration, tracking the stack of context-typed
+// parameters in scope as it descends into function literals.
+type ctxWalk struct {
+	pass   *analysis.Pass
+	exempt map[*ast.CallExpr]bool
+}
+
+// walkFunc analyzes one function layer. scope carries the context
+// parameters of the enclosing layers; the layer's own are appended.
+func (cw *ctxWalk) walkFunc(ft *ast.FuncType, body *ast.BlockStmt, scope []types.Object) {
+	scope = append(scope, cw.ctxParams(ft)...)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			cw.walkFunc(n.Type, n.Body, scope)
+			return false
+		case *ast.GoStmt:
+			cw.checkGoStmt(n, scope)
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				cw.walkFunc(lit.Type, lit.Body, scope)
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, func(a ast.Node) bool {
+						if l, ok := a.(*ast.FuncLit); ok {
+							cw.walkFunc(l.Type, l.Body, scope)
+							return false
+						}
+						return true
+					})
+				}
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if name := isCtxMint(cw.pass, n); name != "" && len(scope) > 0 && !cw.exempt[n] {
+				cw.pass.Reportf(n.Pos(),
+					"context.%s() severs the context chain: parameter %s is in scope; thread it instead",
+					name, scope[len(scope)-1].Name())
+			}
+		}
+		return true
+	})
+}
+
+// ctxParams extracts the context-typed parameter objects of a function
+// type.
+func (cw *ctxWalk) ctxParams(ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := cw.pass.TypesInfo.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkGoStmt flags `go func(){...}()` goroutines that can never
+// observe cancellation: launched where a context is in scope, yet the
+// literal neither captures nor receives a context-typed value or a
+// cancellation signal (a receive-only struct{} channel like
+// ctx.Done()). Method and named-function goroutines are out of scope —
+// their context plumbing is their own signature's business.
+func (cw *ctxWalk) checkGoStmt(g *ast.GoStmt, scope []types.Object) {
+	if len(scope) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	for _, arg := range g.Call.Args {
+		if t := typeOf(cw.pass, arg); t != nil && (isContextType(t) || isCancelSignal(t)) {
+			return
+		}
+	}
+	sees := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sees {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := cw.pass.TypesInfo.Uses[id]; obj != nil && (isContextType(obj.Type()) || isCancelSignal(obj.Type())) {
+				sees = true
+			}
+		}
+		return true
+	})
+	if !sees {
+		cw.pass.Reportf(g.Pos(),
+			"goroutine cannot observe cancellation: %s is in scope but the literal neither captures nor receives a context",
+			scope[len(scope)-1].Name())
+	}
+}

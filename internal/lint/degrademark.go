@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"tiling3d/internal/lint/analysis"
+	"tiling3d/internal/lint/cfg"
+)
+
+// Degrademark enforces honest degradation: when a response field is
+// filled from a fallback producer (a function annotated
+// `//lint:fallback mark=<Field>`, the analytic miss model standing in
+// for a real simulation), the response must also carry the degradation
+// mark — `<base>.<Field> = true` — on every path through that
+// assignment. A path that stores the fallback but can reach the
+// function's exit without ever setting the mark (before or after the
+// store) ships a degraded answer disguised as a measured one.
+//
+// Call sites where the analytic model is the *requested* source rather
+// than a fallback say so with //lint:allow degrademark -- reason.
+var Degrademark = &analysis.Analyzer{
+	Name: "degrademark",
+	Doc:  "fallback-producer results (//lint:fallback) must be accompanied by the degradation mark on every path",
+	Run:  runDegrademark,
+}
+
+func runDegrademark(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			degradeScope(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// degradeScope checks one function scope; literals are their own
+// scopes.
+func degradeScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var sites []*fallbackSite
+	var nested []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, lit)
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if site := classifyFallbackAssign(pass, as); site != nil {
+				sites = append(sites, site)
+			}
+		}
+		return true
+	})
+	if len(sites) > 0 {
+		g := cfg.New(body)
+		for _, site := range sites {
+			checkFallbackSite(pass, g, site)
+		}
+	}
+	for _, lit := range nested {
+		degradeScope(pass, lit.Body)
+	}
+}
+
+// fallbackSite is one `base.Field = fallbackCall(...)` assignment.
+type fallbackSite struct {
+	assign  *ast.AssignStmt
+	callee  string // rendered producer name for the diagnostic
+	mark    string // required mark field (FallbackSpec.Mark)
+	baseKey string // structural identity of <base>
+}
+
+// classifyFallbackAssign recognizes single assignments whose RHS is a
+// call to an annotated fallback producer and whose LHS selects a field
+// of some base value. Plain-identifier destinations are out of scope:
+// the invariant is about response structs carrying their own mark.
+func classifyFallbackAssign(pass *analysis.Pass, as *ast.AssignStmt) *fallbackSite {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pass, call)
+	spec, ok := pass.Facts.FallbackFor(fn)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	baseKey := exprKey(pass, sel.X)
+	if baseKey == "" {
+		return nil
+	}
+	return &fallbackSite{assign: as, callee: acquireName(fn), mark: spec.Mark, baseKey: baseKey}
+}
+
+// exprKey renders a selector chain rooted at an identifier into a
+// structural identity string ("" when the shape is anything else). The
+// root is identified by its object so shadowing cannot alias.
+func exprKey(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("%p", obj)
+	case *ast.SelectorExpr:
+		base := exprKey(pass, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(pass, e.X)
+	}
+	return ""
+}
+
+// marksNode reports whether the node contains a store of the mark on
+// the site's base: `base.Mark = true`, or a composite literal binding
+// `Mark: true` assigned to the base itself.
+func marksNode(pass *analysis.Pass, site *fallbackSite, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		// base.Mark = true
+		if sel, ok := ast.Unparen(as.Lhs[0]).(*ast.SelectorExpr); ok && sel.Sel.Name == site.mark {
+			if exprKey(pass, sel.X) == site.baseKey && isTrueExpr(as.Rhs[0]) {
+				found = true
+				return false
+			}
+		}
+		// base = Type{..., Mark: true, ...} (possibly &-composite)
+		if exprKey(pass, as.Lhs[0]) == site.baseKey {
+			rhs := ast.Unparen(as.Rhs[0])
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			if lit, ok := rhs.(*ast.CompositeLit); ok {
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == site.mark && isTrueExpr(kv.Value) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isTrueExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// checkFallbackSite reports when some entry→assignment→exit path never
+// stores the mark.
+func checkFallbackSite(pass *analysis.Pass, g *cfg.Graph, site *fallbackSite) {
+	blk, idx := findAssign(g, site.assign)
+	if blk == nil {
+		return
+	}
+	// Same-block mark (before or after the assignment) dominates every
+	// path through it.
+	for i, n := range blk.Nodes {
+		if i != idx && marksNode(pass, site, n) {
+			return
+		}
+	}
+	marks := func(b *cfg.Block) bool {
+		for _, n := range b.Nodes {
+			if marksNode(pass, site, n) {
+				return true
+			}
+		}
+		return false
+	}
+	unmarkedBefore := blk == g.Entry || reachesBlock(g.Entry, blk, marks)
+	unmarkedAfter := reachesExit(g, blk, marks)
+	if unmarkedBefore && unmarkedAfter {
+		pass.Reportf(site.assign.Pos(),
+			"fallback from %s is stored without setting %s = true on some path; mark the degradation or justify with //lint:allow degrademark",
+			site.callee, site.mark)
+	}
+}
+
+// findAssign locates the block and index holding the assignment node
+// itself (not merely containing it inside a nested literal).
+func findAssign(g *cfg.Graph, as *ast.AssignStmt) (*cfg.Block, int) {
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if x == as {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// reachesBlock reports whether target is reachable from start without
+// passing through a block where stop holds (start is not tested; target
+// only needs to be entered).
+func reachesBlock(start, target *cfg.Block, stop func(*cfg.Block) bool) bool {
+	if start == target {
+		return true
+	}
+	if stop(start) {
+		// Every node of a block runs before its successors, so a mark
+		// anywhere in the start block covers all paths out of it.
+		return false
+	}
+	seen := map[*cfg.Block]bool{start: true}
+	stack := []*cfg.Block{start}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if e.To == target {
+				return true
+			}
+			if seen[e.To] || stop(e.To) {
+				continue
+			}
+			seen[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+	return false
+}
+
+// reachesExit reports whether the exit is reachable from the block's
+// successors (non-panic edges) without passing a stop block.
+func reachesExit(g *cfg.Graph, from *cfg.Block, stop func(*cfg.Block) bool) bool {
+	seen := map[*cfg.Block]bool{}
+	var stack []*cfg.Block
+	push := func(b *cfg.Block) {
+		if !seen[b] {
+			seen[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for _, e := range from.Succs {
+		if e.Panic {
+			continue
+		}
+		if e.To == g.Exit {
+			return true
+		}
+		if !stop(e.To) {
+			push(e.To)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			if e.Panic {
+				continue
+			}
+			if e.To == g.Exit {
+				return true
+			}
+			if !stop(e.To) {
+				push(e.To)
+			}
+		}
+	}
+	return false
+}

@@ -16,57 +16,116 @@ import (
 
 // Finding is one unsuppressed diagnostic, ready for display.
 type Finding struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+	// Flattened position for -json output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzers returns the repo's analyzer set.
+// AllowAnalyzerName is the pseudo-analyzer the driver reports
+// //lint:allow hygiene under: missing justifications and stale
+// (nothing-suppressed) annotations. Driver findings cannot themselves
+// be suppressed.
+const AllowAnalyzerName = "allow"
+
+// Analyzers returns the repo's analyzer set: the two original syntactic
+// analyzers plus the four flow-sensitive ones added with the settlement
+// suite.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Mustcheck, Rawindex}
+	return []*analysis.Analyzer{Mustcheck, Rawindex, Settle, Atomicwrite, Ctxflow, Degrademark}
 }
 
-// Run lints the Go files matched by the patterns (a directory, a file,
-// or a `dir/...` tree pattern) with the given analyzers, returning the
-// findings that survive //lint:allow suppression, sorted by position.
+// runUnit is one package directory scheduled for analysis.
+type runUnit struct {
+	dir       string
+	pkg       *pkgUnit    // typed non-test unit (may be nil on load error)
+	testFiles []*ast.File // parsed _test.go files (never type-checked)
+	// only restricts reported findings (and allow hygiene) to these
+	// base names; empty means the whole directory.
+	only map[string]bool
+}
+
+func (u *runUnit) includes(filename string) bool {
+	if len(u.only) == 0 {
+		return true
+	}
+	return u.only[filepath.Base(filename)]
+}
+
+// Run lints the Go packages matched by the patterns (a directory, a
+// file, or a `dir/...` tree pattern; testdata and hidden directories
+// are skipped in tree walks) with the given analyzers. Packages are
+// loaded and type-checked — module-internal imports from source, the
+// standard library through go/importer — before per-package passes run,
+// so analyzers see go/types information and the annotation facts
+// (//lint:pair, //lint:fallback, //lint:persist) declared anywhere in
+// the module. Findings that survive //lint:allow suppression come back
+// sorted by position, together with the driver's own allow-hygiene
+// findings (missing `-- reason` justifications, stale allows that
+// suppressed nothing).
 func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	files, err := collectFiles(patterns)
+	l := sharedLoader
+	l.registerModuleFor(".")
+
+	units, err := collectUnits(l, patterns)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	var parsed []*ast.File
-	for _, path := range files {
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	for _, u := range units {
+		pkg, err := l.load(u.dir, l.importPathFor(u.dir))
 		if err != nil {
 			return nil, err
 		}
-		parsed = append(parsed, f)
+		u.pkg = pkg
+		if err := parseTestFiles(l, u); err != nil {
+			return nil, err
+		}
 	}
-	allow := buildAllowIndex(fset, parsed)
+
+	allow := buildAllowIndex(l.fset, unitFiles(units))
 
 	var findings []Finding
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    parsed,
-			Report: func(d analysis.Diagnostic) {
-				pos := fset.Position(d.Pos)
-				if allow.allows(a.Name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-			},
+	report := func(u *runUnit, name string, d analysis.Diagnostic) {
+		pos := l.fset.Position(d.Pos)
+		if allow.allows(name, pos) {
+			return
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		if !u.includes(pos.Filename) {
+			return
+		}
+		findings = append(findings, Finding{
+			Analyzer: name, Pos: pos, Message: d.Message,
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+		})
+	}
+	for _, a := range analyzers {
+		for _, u := range units {
+			a, u := a, u
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       l.fset,
+				Files:      append(append([]*ast.File{}, u.pkg.files...), u.testFiles...),
+				Pkg:        u.pkg.pkg,
+				TypesInfo:  u.pkg.info,
+				TypeErrors: u.pkg.errs,
+				Facts:      l.facts,
+				Persist:    u.pkg.persist,
+				Report:     func(d analysis.Diagnostic) { report(u, a.Name, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+			}
 		}
 	}
+	findings = append(findings, allowHygiene(allow, analyzers, units)...)
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -80,35 +139,59 @@ func Run(patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
-// collectFiles expands the patterns into a deduplicated list of .go
-// files. `dir/...` walks the tree (skipping hidden directories);
-// anything else is a file or a single directory.
-func collectFiles(patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var out []string
-	add := func(path string) {
-		if !seen[path] {
-			seen[path] = true
-			out = append(out, path)
+// collectUnits expands the patterns into package units. `dir/...` walks
+// the tree (skipping hidden and testdata directories); a plain
+// directory is one unit; a file restricts its directory's unit to that
+// file.
+func collectUnits(l *loader, patterns []string) ([]*runUnit, error) {
+	byDir := map[string]*runUnit{}
+	var order []*runUnit
+	addDir := func(dir string, only string) *runUnit {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			abs = dir
 		}
+		u := byDir[abs]
+		if u == nil {
+			u = &runUnit{dir: dir}
+			if only != "" {
+				u.only = map[string]bool{}
+			}
+			byDir[abs] = u
+			order = append(order, u)
+		}
+		switch {
+		case only == "":
+			u.only = nil
+		case u.only != nil:
+			u.only[only] = true
+		}
+		return u
 	}
 	for _, pat := range patterns {
 		if root, ok := strings.CutSuffix(pat, "/..."); ok {
 			if root == "" || root == "." {
 				root = "."
 			}
+			l.registerModuleFor(root)
+			seen := map[string]bool{}
 			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 				if err != nil {
 					return err
 				}
 				if d.IsDir() {
-					if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+					name := d.Name()
+					if name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
 						return filepath.SkipDir
 					}
 					return nil
 				}
 				if strings.HasSuffix(path, ".go") {
-					add(path)
+					dir := filepath.Dir(path)
+					if !seen[dir] {
+						seen[dir] = true
+						addDir(dir, "")
+					}
 				}
 				return nil
 			})
@@ -122,66 +205,166 @@ func collectFiles(patterns []string) ([]string, error) {
 			return nil, fmt.Errorf("lint: %s: %w", pat, err)
 		}
 		if info.IsDir() {
-			entries, err := os.ReadDir(pat)
-			if err != nil {
-				return nil, err
-			}
-			for _, e := range entries {
-				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-					add(filepath.Join(pat, e.Name()))
-				}
-			}
+			l.registerModuleFor(pat)
+			addDir(pat, "")
 			continue
 		}
-		add(pat)
+		l.registerModuleFor(filepath.Dir(pat))
+		addDir(filepath.Dir(pat), filepath.Base(pat))
 	}
-	sort.Strings(out)
-	return out, nil
+	return order, nil
 }
 
-// allowIndex records, per file, the lines carrying //lint:allow
-// comments for each analyzer.
-type allowIndex map[string]map[int]map[string]bool
+// parseTestFiles parses the _test.go files of the unit's directory
+// (package-name agnostic: in-package and external test files alike).
+// They join the pass's Files without type information.
+func parseTestFiles(l *loader, u *runUnit) error {
+	entries, err := os.ReadDir(u.dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(u.dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		u.testFiles = append(u.testFiles, f)
+	}
+	return nil
+}
+
+func unitFiles(units []*runUnit) []*ast.File {
+	var out []*ast.File
+	for _, u := range units {
+		out = append(out, u.pkg.files...)
+		out = append(out, u.testFiles...)
+	}
+	return out
+}
+
+// allowEntry is one //lint:allow comment.
+type allowEntry struct {
+	pos    token.Position
+	names  []string
+	reason string
+	hits   map[string]int
+}
+
+// allowIndex records, per file and line, the //lint:allow entries.
+type allowIndex struct {
+	byLine map[string]map[int][]*allowEntry
+	all    []*allowEntry
+}
 
 // allows reports whether a finding at pos is suppressed: an allow
-// comment for the analyzer on the same line or the line above.
-func (ai allowIndex) allows(analyzer string, pos token.Position) bool {
-	lines := ai[pos.Filename]
+// comment naming the analyzer on the same line or the line above. A
+// match is recorded on the entry so the driver can flag stale allows.
+func (ai *allowIndex) allows(analyzer string, pos token.Position) bool {
+	lines := ai.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, e := range lines[line] {
+			for _, n := range e.names {
+				if n == analyzer {
+					e.hits[analyzer]++
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
-	ai := allowIndex{}
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ai := &allowIndex{byLine: map[string]map[int][]*allowEntry{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 				rest, ok := strings.CutPrefix(text, "lint:allow")
 				if !ok {
 					continue
 				}
-				// Anything after "--" is the human justification.
-				rest, _, _ = strings.Cut(rest, "--")
-				pos := fset.Position(c.Pos())
-				byLine := ai[pos.Filename]
+				// Anything after an embedded `//` is commentary (the
+				// golden tests put their expectations there), not part
+				// of the directive.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				names, reason, _ := strings.Cut(rest, "--")
+				e := &allowEntry{
+					pos:    fset.Position(c.Pos()),
+					names:  strings.Fields(names),
+					reason: strings.TrimSpace(reason),
+					hits:   map[string]int{},
+				}
+				byLine := ai.byLine[e.pos.Filename]
 				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					ai[pos.Filename] = byLine
+					byLine = map[int][]*allowEntry{}
+					ai.byLine[e.pos.Filename] = byLine
 				}
-				byAnalyzer := byLine[pos.Line]
-				if byAnalyzer == nil {
-					byAnalyzer = map[string]bool{}
-					byLine[pos.Line] = byAnalyzer
-				}
-				for _, name := range strings.Fields(rest) {
-					byAnalyzer[name] = true
-				}
+				byLine[e.pos.Line] = append(byLine[e.pos.Line], e)
+				ai.all = append(ai.all, e)
 			}
 		}
 	}
 	return ai
+}
+
+// allowHygiene audits the allow annotations themselves: every allow
+// must name at least one analyzer, carry a non-empty `-- reason`
+// justification, and actually suppress something for each analyzer it
+// names (judged only for analyzers that ran; a stale allow is one that
+// would silently rot into a blanket exemption).
+func allowHygiene(ai *allowIndex, analyzers []*analysis.Analyzer, units []*runUnit) []Finding {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	// Judge only entries in files the caller asked about (a single-file
+	// pattern must not audit its siblings).
+	included := func(filename string) bool {
+		for _, u := range units {
+			dir, err := filepath.Abs(u.dir)
+			fdir, ferr := filepath.Abs(filepath.Dir(filename))
+			if err == nil && ferr == nil && dir == fdir && u.includes(filename) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Finding
+	add := func(e *allowEntry, msg string) {
+		out = append(out, Finding{
+			Analyzer: AllowAnalyzerName, Pos: e.pos, Message: msg,
+			File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
+		})
+	}
+	for _, e := range ai.all {
+		if !included(e.pos.Filename) {
+			continue
+		}
+		if len(e.names) == 0 {
+			add(e, "lint:allow names no analyzer (write `//lint:allow <analyzer> -- reason`)")
+			continue
+		}
+		if e.reason == "" {
+			add(e, fmt.Sprintf("lint:allow %s has no justification (append `-- reason`)", strings.Join(e.names, " ")))
+		}
+		for _, n := range e.names {
+			if ran[n] && e.hits[n] == 0 {
+				add(e, fmt.Sprintf("stale lint:allow %s: it suppresses nothing (remove it or fix the annotation placement)", n))
+			}
+		}
+	}
+	return out
 }

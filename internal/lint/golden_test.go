@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// The golden packages under testdata/src each exercise one analyzer (or
+// the driver's allow hygiene) against `// want `regex“ expectation
+// comments: every finding must be expected, every expectation must
+// fire. probeleak and flightpanic are the seeded regressions — the PR 8
+// probe-leak and singleflight-panic patterns reproduced pre-fix; if
+// their diagnostics ever disappear these tests fail.
+func TestGolden(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no golden packages: %v", err)
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			checkGolden(t, dir)
+		})
+	}
+}
+
+func checkGolden(t *testing.T, dir string) {
+	t.Helper()
+	findings, err := Run([]string{dir}, Analyzers())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wants := collectWants(t, dir)
+	for _, f := range findings {
+		if w := matchWant(wants, f.File, f.Line, f.Message); w != nil {
+			w.hit = true
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q did not fire", w.file, w.line, w.re)
+		}
+	}
+}
+
+// expectation is one `// want `regex“ comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	wantLineRE = regexp.MustCompile(`// want (.+)$`)
+	wantArgRE  = regexp.MustCompile("`([^`]*)`")
+)
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	var out []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatalf("abs %s: %v", path, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment without a backquoted pattern", path, i+1)
+			}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, a[1], err)
+				}
+				out = append(out, &expectation{file: abs, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// TestSeededRegressions pins the two PR 8 incident patterns by name:
+// the probe-leak and the singleflight panic-poisoning must stay flagged
+// by the settle analyzer alone.
+func TestSeededRegressions(t *testing.T) {
+	findings, err := Run(
+		[]string{filepath.Join("testdata", "src", "probeleak"), filepath.Join("testdata", "src", "flightpanic")},
+		[]*analysis.Analyzer{Settle},
+	)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var probe, flight bool
+	for _, f := range findings {
+		if strings.Contains(f.Message, "Breaker.Allow is not settled") {
+			probe = true
+		}
+		if strings.Contains(f.Message, "Cache.claim is not panic-safe") {
+			flight = true
+		}
+	}
+	if !probe {
+		t.Error("the PR 8 probe-leak pattern is no longer flagged by the settle analyzer")
+	}
+	if !flight {
+		t.Error("the PR 8 singleflight panic-poisoning pattern is no longer flagged by the settle analyzer")
+	}
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"tiling3d/internal/lint/analysis"
+)
+
+// The loader turns directories of Go files into type-checked packages
+// using only the standard library: module-internal imports resolve
+// through the loader itself (recursively, memoized), everything else —
+// in this dependency-free module, exactly the standard library — goes
+// through go/importer's source importer, which type-checks stdlib
+// packages from $GOROOT/src. One process-wide loader is shared across
+// driver runs so the (expensive, ~seconds) stdlib closure is paid once
+// per process, not once per Run call; the test suite leans on that.
+type loader struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	modules map[string]string // module path → absolute root dir
+	pkgs    map[string]*pkgUnit
+	facts   *analysis.Facts
+}
+
+// pkgUnit is one loaded, type-checked package directory.
+type pkgUnit struct {
+	dir     string
+	path    string // import path ("" for rootless test trees)
+	files   []*ast.File
+	pkg     *types.Package
+	info    *types.Info
+	errs    []error
+	persist bool
+	loading bool // cycle guard
+}
+
+var sharedLoader = &loader{
+	fset:    token.NewFileSet(),
+	modules: map[string]string{},
+	pkgs:    map[string]*pkgUnit{},
+	facts:   analysis.NewFacts(),
+}
+
+func init() {
+	sharedLoader.std, _ = importer.ForCompiler(sharedLoader.fset, "source", nil).(types.ImporterFrom)
+}
+
+// registerModuleFor walks up from dir looking for a go.mod and records
+// its module path → root mapping, so imports of that module resolve to
+// source directories.
+func (l *loader) registerModuleFor(dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					mod := strings.TrimSpace(rest)
+					l.mu.Lock()
+					l.modules[mod] = d
+					l.mu.Unlock()
+					return
+				}
+			}
+			return
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return
+		}
+		d = parent
+	}
+}
+
+// dirFor resolves an import path against the registered modules.
+func (l *loader) dirFor(path string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for mod, root := range l.modules {
+		if path == mod {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, mod+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+// importPathFor inverts dirFor: the import path of a directory inside a
+// registered module, or "".
+func (l *loader) importPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for mod, root := range l.modules {
+		if abs == root {
+			return mod
+		}
+		if rest, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(rest, "..") {
+			return mod + "/" + filepath.ToSlash(rest)
+		}
+	}
+	return ""
+}
+
+// lintImporter adapts the loader to go/types.
+type lintImporter struct{ l *loader }
+
+func (im lintImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im lintImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := im.l.dirFor(path); ok {
+		u, err := im.l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if u.pkg == nil {
+			return nil, fmt.Errorf("lint: %s: type-check produced no package", path)
+		}
+		return u.pkg, nil
+	}
+	if im.l.std == nil {
+		return nil, fmt.Errorf("lint: no importer for %q", path)
+	}
+	return im.l.std.ImportFrom(path, srcDir, mode)
+}
+
+// load parses and type-checks the non-test files of dir (memoized).
+// importPath may be "" for directories outside any registered module.
+// Type errors are soft: they are collected on the unit and the partial
+// types.Info is kept, so syntactic analyzers still run and type-aware
+// ones degrade gracefully.
+func (l *loader) load(dir, importPath string) (*pkgUnit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if u, ok := l.pkgs[abs]; ok {
+		if u.loading {
+			l.mu.Unlock()
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+		l.mu.Unlock()
+		return u, nil
+	}
+	u := &pkgUnit{dir: abs, path: importPath, loading: true}
+	l.pkgs[abs] = u
+	l.mu.Unlock()
+	defer func() { u.loading = false }()
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		u.files = append(u.files, f)
+	}
+	l.typeCheck(u)
+	l.collectFacts(u)
+	return u, nil
+}
+
+func (l *loader) typeCheck(u *pkgUnit) {
+	u.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	if len(u.files) == 0 {
+		return
+	}
+	path := u.path
+	if path == "" {
+		path = u.dir
+	}
+	conf := types.Config{
+		Importer:                 lintImporter{l},
+		FakeImportC:              true,
+		Error:                    func(err error) { u.errs = append(u.errs, err) },
+		DisableUnusedImportCheck: true,
+	}
+	pkg, err := conf.Check(path, l.fset, u.files, u.info)
+	u.pkg = pkg
+	if err != nil && len(u.errs) == 0 {
+		u.errs = append(u.errs, err)
+	}
+	for _, f := range u.files {
+		if filePersistMarker(f) {
+			u.persist = true
+		}
+	}
+}
+
+// collectFacts scans the unit's declarations for annotation directives
+// and records them in the process-wide Facts index.
+func (l *loader) collectFacts(u *pkgUnit) {
+	for _, f := range u.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			obj, _ := u.info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, "lint:pair"); ok {
+					spec, err := parsePairSpec(rest)
+					if err != nil {
+						continue
+					}
+					l.mu.Lock()
+					l.facts.Pairs[obj] = spec
+					l.mu.Unlock()
+				}
+				if rest, ok := strings.CutPrefix(text, "lint:fallback"); ok {
+					spec := parseFallbackSpec(rest)
+					l.mu.Lock()
+					l.facts.Fallbacks[obj] = spec
+					l.mu.Unlock()
+				}
+			}
+		}
+	}
+}
+
+func parsePairSpec(rest string) (analysis.PairSpec, error) {
+	var spec analysis.PairSpec
+	for _, field := range strings.Fields(rest) {
+		switch {
+		case strings.HasPrefix(field, "settle="):
+			for _, s := range strings.Split(strings.TrimPrefix(field, "settle="), ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					spec.Settles = append(spec.Settles, s)
+				}
+			}
+		case field == "panicguard":
+			spec.PanicGuard = true
+		}
+	}
+	if len(spec.Settles) == 0 {
+		return spec, fmt.Errorf("lint:pair without settle= names")
+	}
+	return spec, nil
+}
+
+func parseFallbackSpec(rest string) analysis.FallbackSpec {
+	spec := analysis.FallbackSpec{Mark: "Degraded"}
+	for _, field := range strings.Fields(rest) {
+		if m, ok := strings.CutPrefix(field, "mark="); ok && m != "" {
+			spec.Mark = m
+		}
+	}
+	return spec
+}
+
+// filePersistMarker reports whether the file carries a //lint:persist
+// comment, marking its package as one that owns journal/result/cache
+// files (the atomicwrite analyzer's scope).
+func filePersistMarker(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "lint:persist") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,646 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tiling3d/internal/lint/analysis"
+	"tiling3d/internal/lint/cfg"
+)
+
+// Settle is the flow-sensitive acquire/release analyzer: every call to
+// an acquire function declared with `//lint:pair settle=...` (a breaker
+// probe claim, a singleflight flight, a pool slot) must reach one of
+// its settle calls on every path to the function's exit, and — for
+// pairs marked panicguard — must survive a panic unwinding through the
+// region (the settle has to be deferred before any call that can
+// panic). time.NewTimer and time.AfterFunc are built-in pairs: a
+// watchdog timer must be stopped.
+//
+// The claim is guard-aware: when the acquire returns a bool, only paths
+// where that bool is true carry the claim (`if !b.Allow() { return }`
+// claims nothing on the early return); when its last result is an
+// error, only nil-error paths do. Paths ending in an explicit panic,
+// os.Exit, or log.Fatal are assertions, not leaks. Function literals
+// are separate scopes: an acquire settled only by a sibling goroutine
+// needs a //lint:allow with its justification.
+var Settle = &analysis.Analyzer{
+	Name: "settle",
+	Doc:  "acquired resources (breaker probes, singleflight entries, pool slots, watchdog timers) must settle on all paths",
+	Run:  runSettle,
+}
+
+// builtinTimerPair matches time.NewTimer / time.AfterFunc.
+func builtinTimerPair(fn *types.Func) (analysis.PairSpec, bool) {
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		(fn.Name() == "NewTimer" || fn.Name() == "AfterFunc") {
+		return analysis.PairSpec{Settles: []string{"Stop"}}, true
+	}
+	return analysis.PairSpec{}, false
+}
+
+func runSettle(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			settleScope(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// settleScope analyzes one function scope (a declared body or a
+// function literal) and recurses into nested literals as their own
+// scopes.
+func settleScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acquires []*acquireSite
+	var nested []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, lit)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if site := classifyAcquire(pass, call); site != nil {
+				acquires = append(acquires, site)
+			}
+		}
+		return true
+	})
+	if len(acquires) > 0 {
+		g := cfg.New(body)
+		for _, site := range acquires {
+			checkAcquire(pass, g, body, site)
+		}
+	}
+	for _, lit := range nested {
+		settleScope(pass, lit.Body)
+	}
+}
+
+// acquireSite is one acquire call with its resolved pair invariant.
+type acquireSite struct {
+	call *ast.CallExpr
+	fn   *types.Func
+	spec analysis.PairSpec
+	// recv is the acquirer's receiver named type for receiver-mode
+	// settles (settle = same-named method on the same type); nil for
+	// result-mode (settle = method on the value the acquire returned).
+	recv *types.Named
+	// tracked is the local object bound to the acquire's result in
+	// result mode.
+	tracked types.Object
+	// guard describes the conditional claim, if any.
+	guard guardInfo
+	// name renders in diagnostics.
+	name string
+}
+
+// guardInfo describes which branch of a condition carries the claim.
+type guardInfo struct {
+	// obj is the bool/error result object the claim hangs on; nil when
+	// the claim hangs directly on the call expression in an if
+	// condition, or when the claim is unconditional.
+	obj types.Object
+	// call is the acquire call itself when it appears directly in a
+	// condition.
+	call *ast.CallExpr
+	// kind is "bool" (claim when true), "err" (claim when nil), or ""
+	// (unconditional).
+	kind string
+}
+
+func (g guardInfo) conditional() bool { return g.kind != "" }
+
+// classifyAcquire resolves a call against the pair index.
+func classifyAcquire(pass *analysis.Pass, call *ast.CallExpr) *acquireSite {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	spec, ok := pass.Facts.PairFor(fn)
+	if !ok {
+		spec, ok = builtinTimerPair(fn)
+	}
+	if !ok {
+		return nil
+	}
+	site := &acquireSite{call: call, fn: fn, spec: spec, name: acquireName(fn)}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		site.recv = namedRecv(sig.Recv().Type())
+	}
+	return site
+}
+
+// calleeFunc resolves the called *types.Func, nil for calls through
+// values, conversions, or untyped code.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func acquireName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedRecv(sig.Recv().Type()); n != nil {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// checkAcquire runs the dataflow for one acquire site.
+func checkAcquire(pass *analysis.Pass, g *cfg.Graph, body *ast.BlockStmt, site *acquireSite) {
+	// Locate the CFG node carrying the acquire.
+	blk, idx := findNode(g, site.call)
+	if blk == nil {
+		return
+	}
+	node := blk.Nodes[idx]
+
+	// Resolve how the results are consumed: guards, tracked handles,
+	// escapes.
+	switch owner := node.(type) {
+	case *ast.AssignStmt:
+		if !resolveAssign(pass, site, owner) {
+			return // result escapes into a field/arg; not ours to prove
+		}
+	case *ast.ExprStmt:
+		if site.recv == nil {
+			// A discarded handle can never settle.
+			pass.Reportf(site.call.Pos(), "result of %s is discarded; keep the returned value and settle it with %s",
+				site.name, strings.Join(site.spec.Settles, "/"))
+			return
+		}
+	default:
+		// The call sits inside a condition, a return, a composite
+		// literal, or an argument. Direct if-condition claims are
+		// guardable; everything else escapes.
+		if cond, okNeg := enclosingCond(node, site.call); cond {
+			site.guard = guardInfo{call: site.call, kind: "bool"}
+			_ = okNeg
+		} else if site.recv == nil {
+			return // handle escapes (returned, passed on)
+		}
+	}
+
+	w := &settleWalk{pass: pass, g: g, site: site, visited: map[walkKey]bool{}}
+	state := claimState{claim: claimActive}
+	if site.guard.conditional() {
+		state.claim = claimConditional
+	}
+	w.walkFrom(blk, idx+1, state)
+	w.report()
+}
+
+// resolveAssign inspects `lhs... := acquire(...)`: binds the guard
+// variable (bool result, or trailing error) and the tracked handle for
+// result-mode pairs. Returns false when the handle escapes analysis.
+func resolveAssign(pass *analysis.Pass, site *acquireSite, as *ast.AssignStmt) bool {
+	if len(as.Rhs) != 1 || ast.Unparen(as.Rhs[0]) != site.call {
+		return site.recv != nil
+	}
+	sig, _ := site.fn.Type().(*types.Signature)
+	if sig == nil {
+		return site.recv != nil
+	}
+	results := sig.Results()
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+	// Guard: first bool result wins, else a trailing error.
+	if len(as.Lhs) == results.Len() {
+		for i := 0; i < results.Len(); i++ {
+			if isBool(results.At(i).Type()) {
+				if obj := objOf(as.Lhs[i]); obj != nil {
+					site.guard = guardInfo{obj: obj, kind: "bool"}
+				}
+				break
+			}
+		}
+		if !site.guard.conditional() {
+			if last := results.Len() - 1; last >= 0 && isError(results.At(last).Type()) {
+				if obj := objOf(as.Lhs[last]); obj != nil {
+					site.guard = guardInfo{obj: obj, kind: "err"}
+				}
+			}
+		}
+	}
+	if site.recv != nil {
+		return true
+	}
+	// Result mode: track the handle (the first non-bool, non-error
+	// result). A blank or non-ident destination escapes the analysis —
+	// except blank, which can never settle.
+	handleIdx := 0
+	for i := 0; i < results.Len(); i++ {
+		if !isBool(results.At(i).Type()) && !isError(results.At(i).Type()) {
+			handleIdx = i
+			break
+		}
+	}
+	if len(as.Lhs) <= handleIdx {
+		return false
+	}
+	id, ok := as.Lhs[handleIdx].(*ast.Ident)
+	if !ok {
+		return false // stored into a field or index: escapes
+	}
+	if id.Name == "_" {
+		pass.Reportf(site.call.Pos(), "result of %s is discarded; keep the returned value and settle it with %s",
+			site.name, strings.Join(site.spec.Settles, "/"))
+		return false
+	}
+	site.tracked = objOf(id)
+	return site.tracked != nil
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isError(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// enclosingCond reports whether the call is (possibly negated) the
+// whole condition it appears in — i.e. the claim hangs directly on the
+// call's boolean value.
+func enclosingCond(owner ast.Node, call *ast.CallExpr) (isCond, negated bool) {
+	e, ok := owner.(ast.Expr)
+	if !ok {
+		return false, false
+	}
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		e = ast.Unparen(u.X)
+		negated = true
+	}
+	return e == call, negated
+}
+
+// findNode locates the block and node index containing the expression.
+func findNode(g *cfg.Graph, target ast.Expr) (*cfg.Block, int) {
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if x == target {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// claimState is the dataflow lattice position along one path.
+type claimState struct {
+	claim int // claimDead, claimConditional, claimActive
+	// deferredSettle records that a settle has been deferred: every
+	// later exit — normal or panicking — settles.
+	deferredSettle bool
+}
+
+const (
+	claimDead = iota
+	claimConditional
+	claimActive
+)
+
+type walkKey struct {
+	blk   *cfg.Block
+	state claimState
+}
+
+// settleWalk is the DFS over the CFG for one acquire.
+type settleWalk struct {
+	pass    *analysis.Pass
+	g       *cfg.Graph
+	site    *acquireSite
+	visited map[walkKey]bool
+
+	leakLine      int // first exit line reached with an unsettled claim
+	panicLeakLine int // first may-panic call line with no deferred settle
+}
+
+func (w *settleWalk) report() {
+	if w.leakLine > 0 {
+		w.pass.Reportf(w.site.call.Pos(),
+			"acquire %s is not settled on the path reaching line %d: need a call to %s on every path",
+			w.site.name, w.leakLine, strings.Join(w.site.spec.Settles, "/"))
+	}
+	if w.panicLeakLine > 0 && w.site.spec.PanicGuard {
+		w.pass.Reportf(w.site.call.Pos(),
+			"acquire %s is not panic-safe: the call at line %d can panic before the settle; defer the %s",
+			w.site.name, w.panicLeakLine, strings.Join(w.site.spec.Settles, "/"))
+	}
+}
+
+// walkFrom scans blk starting at node index from with the given state.
+func (w *settleWalk) walkFrom(blk *cfg.Block, from int, state claimState) {
+	if from == 0 {
+		key := walkKey{blk, state}
+		if w.visited[key] {
+			return
+		}
+		w.visited[key] = true
+	}
+	for i := from; i < len(blk.Nodes); i++ {
+		n := blk.Nodes[i]
+		switch s := w.scanNode(n, &state); s {
+		case scanSettled:
+			return
+		case scanReturn:
+			if state.claim != claimDead && !state.deferredSettle {
+				w.noteLeak(w.pass.Position(n.Pos()).Line)
+			}
+			return
+		}
+	}
+	for _, e := range blk.Succs {
+		next := state
+		if e.Cond != nil && state.claim == claimConditional {
+			switch w.resolveGuardEdge(e) {
+			case +1:
+				next.claim = claimActive
+			case -1:
+				next.claim = claimDead
+			}
+		}
+		if e.To == w.g.Exit {
+			if e.Panic {
+				continue // explicit assertion path
+			}
+			if next.claim != claimDead && !next.deferredSettle {
+				w.noteLeak(w.lineOfBlockEnd(blk))
+			}
+			continue
+		}
+		w.walkFrom(e.To, 0, next)
+	}
+}
+
+func (w *settleWalk) noteLeak(line int) {
+	if w.leakLine == 0 || line < w.leakLine {
+		w.leakLine = line
+	}
+}
+
+func (w *settleWalk) lineOfBlockEnd(blk *cfg.Block) int {
+	if n := len(blk.Nodes); n > 0 {
+		return w.pass.Position(blk.Nodes[n-1].End()).Line
+	}
+	return w.pass.Position(w.site.call.Pos()).Line
+}
+
+// resolveGuardEdge maps a conditional edge to the claim outcome:
+// +1 claim holds, -1 claim dead, 0 unrelated condition.
+func (w *settleWalk) resolveGuardEdge(e cfg.Edge) int {
+	cond := ast.Unparen(e.Cond)
+	val := e.Val
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond = ast.Unparen(u.X)
+		val = !val
+	}
+	g := w.site.guard
+	switch g.kind {
+	case "bool":
+		if g.call != nil && cond == g.call {
+			if val {
+				return +1
+			}
+			return -1
+		}
+		if id, ok := cond.(*ast.Ident); ok && g.obj != nil && w.pass.TypesInfo.Uses[id] == g.obj {
+			if val {
+				return +1
+			}
+			return -1
+		}
+	case "err":
+		b, ok := cond.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+			return 0
+		}
+		id, nilSide := guardNilCompare(b)
+		if id == nil || !nilSide || g.obj == nil || w.pass.TypesInfo.Uses[id] != g.obj {
+			return 0
+		}
+		// err != nil true → claim dead; err == nil true → claim holds.
+		errNonNil := (b.Op == token.NEQ) == val
+		if errNonNil {
+			return -1
+		}
+		return +1
+	}
+	return 0
+}
+
+// guardNilCompare extracts `<ident> op nil` in either order.
+func guardNilCompare(b *ast.BinaryExpr) (*ast.Ident, bool) {
+	if id, ok := ast.Unparen(b.X).(*ast.Ident); ok && isNilIdent(b.Y) {
+		return id, true
+	}
+	if id, ok := ast.Unparen(b.Y).(*ast.Ident); ok && isNilIdent(b.X) {
+		return id, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+const (
+	scanContinue = iota
+	scanSettled
+	scanReturn
+)
+
+// scanNode processes one CFG node: settles, defers, may-panic calls,
+// returns.
+func (w *settleWalk) scanNode(n ast.Node, state *claimState) int {
+	if _, ok := n.(*ast.ReturnStmt); ok {
+		if w.nodeSettles(n, false) {
+			return scanSettled
+		}
+		return scanReturn
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if w.nodeSettles(d, true) {
+			state.deferredSettle = true
+			return scanSettled
+		}
+		return scanContinue
+	}
+	if w.nodeSettles(n, false) {
+		return scanSettled
+	}
+	if w.site.spec.PanicGuard && state.claim != claimDead && !state.deferredSettle {
+		if line := w.mayPanicLine(n); line > 0 && w.panicLeakLine == 0 {
+			w.panicLeakLine = line
+		}
+	}
+	return scanContinue
+}
+
+// nodeSettles reports whether the node contains a settle call for the
+// site. Function literals are descended only when immediately invoked
+// or when the node is a defer (whose body runs at exit); goroutine
+// bodies never count — concurrent settlement is not an ordering
+// guarantee.
+func (w *settleWalk) nodeSettles(n ast.Node, inDefer bool) bool {
+	found := false
+	var visit func(ast.Node) bool
+	visit = func(x ast.Node) bool {
+		if found || x == nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			if !inDefer {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if w.isSettleCall(x) {
+				found = true
+				return false
+			}
+			// Descend into immediately-invoked literals.
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, visit)
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return found
+}
+
+func (w *settleWalk) isSettleCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// Same-package settle function called unqualified.
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		fn, _ := w.pass.TypesInfo.Uses[id].(*types.Func)
+		return fn != nil && w.settleName(fn.Name()) && w.site.recv == nil
+	}
+	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || !w.settleName(fn.Name()) {
+		return false
+	}
+	if w.site.recv != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		return sig != nil && sig.Recv() != nil && namedRecv(sig.Recv().Type()) == w.site.recv
+	}
+	// Result mode: the receiver must be the tracked handle.
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && w.site.tracked != nil && w.pass.TypesInfo.Uses[id] == w.site.tracked
+}
+
+func (w *settleWalk) settleName(name string) bool {
+	for _, s := range w.site.spec.Settles {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// mayPanicLine returns the line of the first call in the node that can
+// plausibly panic: any non-builtin call other than the acquire and its
+// settles. Non-invoked function literals don't run here and are
+// skipped.
+func (w *settleWalk) mayPanicLine(n ast.Node) int {
+	line := 0
+	var visit func(ast.Node) bool
+	visit = func(x ast.Node) bool {
+		if line > 0 || x == nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if x == w.site.call || w.isSettleCall(x) || isCalmCall(w.pass, x) {
+				return true
+			}
+			line = w.pass.Position(x.Pos()).Line
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+	return line
+}
+
+// isCalmCall reports calls that cannot panic for our purposes:
+// builtins (len, cap, append, ...) and type conversions.
+func isCalmCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			return true
+		case *types.TypeName:
+			return true
+		case nil:
+			_ = obj
+			// Untyped code: assume a real call.
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, ok := pass.TypesInfo.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	return false
+}

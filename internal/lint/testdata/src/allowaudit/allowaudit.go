@@ -1,0 +1,32 @@
+// Package allowaudit exercises the driver's //lint:allow hygiene: a
+// suppression must name an analyzer, carry a `-- reason` justification,
+// and actually suppress something.
+//
+//lint:persist
+package allowaudit
+
+import "os"
+
+// writeJustified is the healthy shape: named analyzer, real reason, and
+// a finding to suppress.
+func writeJustified(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600) //lint:allow atomicwrite -- scratch mirror, rebuilt from the journal on start
+}
+
+// writeUnjustified suppresses the finding but gives no reason.
+func writeUnjustified(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600) //lint:allow atomicwrite // want `lint:allow atomicwrite has no justification \(append .-- reason.\)`
+}
+
+// nothingToSuppress: the allow matches no finding and has rotted into a
+// blanket exemption.
+func nothingToSuppress() int {
+	x := 1 //lint:allow atomicwrite -- stale on purpose // want `stale lint:allow atomicwrite: it suppresses nothing`
+	return x
+}
+
+// nameless names no analyzer at all — and therefore suppresses
+// nothing: the write finding fires alongside the hygiene one.
+func nameless(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600) //lint:allow -- shrug // want `lint:allow names no analyzer` `os\.WriteFile writes a persisted file in place`
+}

@@ -1,0 +1,80 @@
+// Package ctxleak exercises the ctxflow analyzer: minting a fresh
+// context where the caller's is in scope severs cancellation, the
+// nil-default idiom is sanctioned, and funclit goroutines must be able
+// to observe the in-scope context.
+package ctxleak
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func severed(ctx context.Context) {
+	use(context.Background()) // want `context\.Background\(\) severs the context chain: parameter ctx is in scope`
+}
+
+func severedTODO(ctx context.Context) {
+	use(context.TODO()) // want `context\.TODO\(\) severs the context chain: parameter ctx is in scope`
+}
+
+// nilDefault is the sanctioned idiom: defaulting the very parameter
+// that was nil.
+func nilDefault(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	use(ctx)
+}
+
+// topLevel has no context parameter anywhere in scope; minting one is
+// the only option.
+func topLevel() {
+	use(context.Background())
+}
+
+// nestedLit inherits the enclosing scope: the literal has no ctx
+// parameter of its own, but the declaration does.
+func nestedLit(ctx context.Context) {
+	f := func() {
+		use(context.Background()) // want `context\.Background\(\) severs the context chain: parameter ctx is in scope`
+	}
+	f()
+}
+
+// goroutineBlind can never observe cancellation.
+func goroutineBlind(ctx context.Context, done chan struct{}) {
+	go func() { // want `goroutine cannot observe cancellation: ctx is in scope but the literal neither captures nor receives a context`
+		<-done
+	}()
+	<-ctx.Done()
+}
+
+// goroutineCaptures watches ctx directly.
+func goroutineCaptures(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goroutineReceives is handed the context as an argument.
+func goroutineReceives(ctx context.Context) {
+	go func(c context.Context) {
+		<-c.Done()
+	}(ctx)
+}
+
+// goroutineWatchesSignal captures a cancellation signal derived from
+// the context — ctx.Done() is a <-chan struct{} — which observes
+// shutdown just as well as the context itself.
+func goroutineWatchesSignal(ctx context.Context, work chan int) {
+	done := ctx.Done()
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}

@@ -1,0 +1,57 @@
+// Package degrade exercises the degrademark analyzer: filling a
+// response field from the annotated fallback producer requires the
+// degradation mark on every path through the assignment.
+package degrade
+
+type miss struct{ cycles float64 }
+
+type response struct {
+	Miss     miss
+	Degraded bool
+}
+
+// analytic is the stand-in miss model used when simulation is
+// unavailable.
+//
+//lint:fallback mark=Degraded
+func analytic(n int) miss { return miss{cycles: float64(n)} }
+
+// markBefore sets the mark before storing the fallback.
+func markBefore(resp *response, n int) {
+	resp.Degraded = true
+	resp.Miss = analytic(n)
+}
+
+// markAfter sets it after; same block, same guarantee.
+func markAfter(resp *response, n int) {
+	resp.Miss = analytic(n)
+	resp.Degraded = true
+}
+
+// unmarked ships a fallback disguised as a measurement.
+func unmarked(resp *response, n int) {
+	resp.Miss = analytic(n) // want `fallback from degrade\.analytic is stored without setting Degraded = true on some path`
+}
+
+// partially marks only one branch after the store.
+func partially(resp *response, n int, loud bool) {
+	resp.Miss = analytic(n) // want `fallback from degrade\.analytic is stored without setting Degraded = true on some path`
+	if loud {
+		resp.Degraded = true
+	}
+}
+
+// branchMarked marks on the only branch that stores.
+func branchMarked(resp *response, n int, deep bool) {
+	if !deep {
+		resp.Degraded = true
+		resp.Miss = analytic(n)
+	}
+}
+
+// litMarked builds the response with the mark already set.
+func litMarked(n int) *response {
+	resp := &response{Degraded: true}
+	resp.Miss = analytic(n)
+	return resp
+}

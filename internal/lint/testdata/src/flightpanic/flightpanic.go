@@ -1,0 +1,88 @@
+// Package flightpanic reproduces the PR 8 singleflight poisoning as a
+// regression fixture: the flight owner settled the entry only after the
+// compute call, so a panic in compute left the flight registered and
+// unsettled — every later request for the key waited forever on a done
+// channel nobody would close. The pair is declared panicguard: the
+// settle analyzer must demand a deferred settle around may-panic calls.
+package flightpanic
+
+import "sync"
+
+type flight struct {
+	done chan struct{}
+	resp interface{}
+	err  error
+}
+
+// Cache is the minimal shape of the advisor's singleflight result
+// cache.
+type Cache struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// claim registers interest in key: mine reports whether the caller owns
+// the flight and must settle it.
+//
+//lint:pair settle=settleFlight panicguard
+func (c *Cache) claim(key string) (f *flight, mine bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	if c.flights == nil {
+		c.flights = map[string]*flight{}
+	}
+	c.flights[key] = f
+	return f, true
+}
+
+// settleFlight publishes the flight's outcome and unregisters it.
+func (c *Cache) settleFlight(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// doLeaky is the pre-fix PR 8 pattern: compute can panic before the
+// flight settles, poisoning the key for every waiter.
+func (c *Cache) doLeaky(key string, compute func() (interface{}, error)) (interface{}, error) {
+	f, mine := c.claim(key) // want `acquire Cache\.claim is not panic-safe: the call at line \d+ can panic before the settle; defer the settleFlight`
+	if !mine {
+		<-f.done
+		return f.resp, f.err
+	}
+	f.resp, f.err = compute()
+	c.settleFlight(key, f)
+	return f.resp, f.err
+}
+
+// doFixed defers the settle before compute runs, so a panic unwinds
+// through it.
+func (c *Cache) doFixed(key string, compute func() (interface{}, error)) (interface{}, error) {
+	f, mine := c.claim(key)
+	if !mine {
+		<-f.done
+		return f.resp, f.err
+	}
+	defer func() {
+		c.settleFlight(key, f)
+	}()
+	f.resp, f.err = compute()
+	return f.resp, f.err
+}
+
+// doWaiterOnly never owns the flight on the early path; waiting settles
+// nothing and claims nothing.
+func (c *Cache) doWaiterOnly(key string) (interface{}, error) {
+	f, mine := c.claim(key)
+	if !mine {
+		<-f.done
+		return f.resp, f.err
+	}
+	c.settleFlight(key, f)
+	return f.resp, f.err
+}

@@ -1,0 +1,45 @@
+// Package persistwrite exercises the atomicwrite analyzer inside a
+// persisted package: direct in-place writes are flagged, the temp +
+// rename protocol and append-only opens stay legal.
+//
+//lint:persist
+package persistwrite
+
+import "os"
+
+func saveBad(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `os\.WriteFile writes a persisted file in place`
+}
+
+func createBad(path string) (*os.File, error) {
+	return os.Create(path) // want `os\.Create truncates a persisted file in place`
+}
+
+func openBad(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `os\.OpenFile with O_CREATE/O_TRUNC rewrites a persisted file in place`
+}
+
+// appendOK is the journal's own protocol: append-only, no create, no
+// truncate.
+func appendOK(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// saveGood is the sanctioned shape: temp file in the destination
+// directory, then rename.
+func saveGood(dir, path string, b []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

@@ -1,0 +1,67 @@
+// Package probeleak reproduces the PR 8 circuit-breaker probe leak as
+// a regression fixture: a half-open probe claimed with Allow was never
+// settled when the pool shed the request, so the breaker stayed wedged
+// in half-open forever. The settle analyzer must flag the pre-fix shape
+// and accept the fixed one.
+package probeleak
+
+import "errors"
+
+var errSaturated = errors.New("saturated")
+
+// Breaker is the minimal shape of the advisor's circuit breaker.
+type Breaker struct{ state int }
+
+// Allow claims the half-open probe slot when it returns true.
+//
+//lint:pair settle=Record,Cancel
+func (b *Breaker) Allow() bool { return b.state == 0 }
+
+// Record settles the probe with an outcome.
+func (b *Breaker) Record(ok bool) {}
+
+// Cancel releases the probe without an outcome.
+func (b *Breaker) Cancel() {}
+
+type pool struct{}
+
+func (p *pool) Do(fn func() error) error { return fn() }
+
+// computeLeaky is the pre-fix PR 8 pattern: the saturated-pool path
+// returns while the probe claim is still outstanding.
+func computeLeaky(b *Breaker, p *pool, fn func() error) error {
+	if !b.Allow() { // want `acquire Breaker\.Allow is not settled on the path reaching line \d+: need a call to Record/Cancel`
+		return errSaturated
+	}
+	err := p.Do(fn)
+	if errors.Is(err, errSaturated) {
+		return err // the probe leaks here
+	}
+	b.Record(err == nil)
+	return nil
+}
+
+// computeFixed settles the probe on every path: Cancel on shed, Record
+// on outcome.
+func computeFixed(b *Breaker, p *pool, fn func() error) error {
+	if !b.Allow() {
+		return errSaturated
+	}
+	err := p.Do(fn)
+	if errors.Is(err, errSaturated) {
+		b.Cancel()
+		return err
+	}
+	b.Record(err == nil)
+	return nil
+}
+
+// deniedPathClean: a false Allow claims nothing, so the early return is
+// not a leak.
+func deniedPathClean(b *Breaker) error {
+	if !b.Allow() {
+		return errSaturated
+	}
+	b.Cancel()
+	return nil
+}

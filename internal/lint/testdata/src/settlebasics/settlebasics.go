@@ -1,0 +1,95 @@
+// Package settlebasics exercises the settle analyzer's guard and
+// tracking modes beyond the two regression fixtures: error-guarded
+// acquires, the built-in timer pairs, discarded watchdogs, escape
+// skips, and assertion-path exemptions.
+package settlebasics
+
+import (
+	"errors"
+	"time"
+)
+
+type gate struct{ full bool }
+
+// acquire takes a slot; a non-nil error means nothing was claimed.
+//
+//lint:pair settle=release
+func (g *gate) acquire() error {
+	if g.full {
+		return errors.New("full")
+	}
+	return nil
+}
+
+// release returns the slot.
+func (g *gate) release() {}
+
+func errGuardOK(g *gate) error {
+	if err := g.acquire(); err != nil {
+		return err
+	}
+	defer g.release()
+	return nil
+}
+
+func errGuardLeak(g *gate) error {
+	if err := g.acquire(); err != nil { // want `acquire gate\.acquire is not settled on the path reaching line \d+: need a call to release`
+		return err
+	}
+	return nil
+}
+
+// assertionPathOK: paths ending in an explicit panic are assertions,
+// not leaks.
+func assertionPathOK(g *gate) {
+	if err := g.acquire(); err != nil {
+		panic(err)
+	}
+	g.release()
+}
+
+func timerOK(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+func timerLeak(d time.Duration) {
+	t := time.NewTimer(d) // want `acquire time\.NewTimer is not settled on the path reaching line \d+: need a call to Stop`
+	<-t.C
+}
+
+// watchdogDiscard drops the *Timer on the floor; nothing can ever stop
+// it.
+func watchdogDiscard(d time.Duration) {
+	time.AfterFunc(d, func() {}) // want `result of time\.AfterFunc is discarded; keep the returned value and settle it with Stop`
+}
+
+func watchdogBlank(d time.Duration) {
+	_ = time.NewTimer(d) // want `result of time\.NewTimer is discarded; keep the returned value and settle it with Stop`
+}
+
+func watchdogOK(d time.Duration, fn func()) {
+	w := time.AfterFunc(d, fn)
+	defer w.Stop()
+	fn()
+}
+
+// escapeSkip hands the timer to the caller: settlement is the caller's
+// burden, not this function's.
+func escapeSkip(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}
+
+// branchSettleOK settles through either branch.
+func branchSettleOK(g *gate, hard bool) error {
+	if err := g.acquire(); err != nil {
+		return err
+	}
+	if hard {
+		g.release()
+		return errors.New("hard stop")
+	}
+	g.release()
+	return nil
+}

@@ -2,6 +2,10 @@
 // against a stored baseline — regression tracking for the reproduction:
 // after a change to the simulator or the selection algorithms, rerun and
 // diff against the committed numbers instead of eyeballing tables.
+//
+// temp+rename so a crash can never leave a torn snapshot behind.
+//
+//lint:persist — baselines are durable artifacts; writes go through
 package results
 
 import (
@@ -9,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"tiling3d/internal/bench"
 	"tiling3d/internal/core"
@@ -76,13 +81,39 @@ func methodMap(in map[core.Method]float64) map[string]float64 {
 	return out
 }
 
-// Save writes the snapshot as indented JSON.
+// Save writes the snapshot as indented JSON, atomically: the bytes land
+// in a temp file next to the destination and are renamed into place, so
+// a crash mid-write leaves either the old baseline or the new one —
+// never a torn file that would poison every later Compare.
 func Save(path string, s *Snapshot) error {
 	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	f, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*.json")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 // Load reads a snapshot.

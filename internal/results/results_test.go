@@ -98,3 +98,48 @@ func TestLoadErrors(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestSaveIsAtomic pins the temp+rename protocol the atomicwrite
+// analyzer demands of this package: overwriting an existing baseline
+// leaves either the old content or the new, the destination directory
+// holds no temp droppings afterward, and the file is world-readable.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	if err := Save(path, &Snapshot{Label: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, &Snapshot{Label: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "second" {
+		t.Errorf("label after overwrite = %q, want %q", got.Label, "second")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "baseline.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory holds %v, want only baseline.json (no temp droppings)", names)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("baseline mode = %o, want 644", perm)
+	}
+	// A Save into a directory that vanished must fail without leaving
+	// the old baseline damaged elsewhere.
+	if err := Save(filepath.Join(dir, "missing", "x.json"), &Snapshot{}); err == nil {
+		t.Error("Save into a missing directory did not fail")
+	}
+}
