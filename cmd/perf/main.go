@@ -13,15 +13,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
+	"time"
 
 	"tiling3d/internal/bench"
+	"tiling3d/internal/cache"
 	"tiling3d/internal/core"
 	"tiling3d/internal/profiling"
 	"tiling3d/internal/stencil"
@@ -47,6 +53,10 @@ func main() {
 		injectN    = flag.Int("inject-panic", 0, "model mode: panic every simulation point with this N (demonstrates isolation)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		workers    = flag.Int("workers", cache.DefaultWorkers(), "worker goroutines: simulation points in model mode, kernel tiles in native mode when -schedule is not serial")
+		schedName  = flag.String("schedule", "serial", "native-mode kernel execution: serial, batch or wavefront (certified tile schedules; batch refuses kernels with carried dependences)")
+		scaling    = flag.String("scaling", "", "comma-separated worker counts (e.g. 1,2,4,8): measure a native parallel scaling series at N=-max for each method, instead of the size sweep")
+		scalingOut = flag.String("scaling-json", "", "with -scaling: also write the report as JSON (the BENCH_parallel.json shape) to this path")
 	)
 	flag.Parse()
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -61,10 +71,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	sched, err := stencil.ParseScheduleMode(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(2)
+	}
 	opt := bench.DefaultOptions()
 	opt.NMin, opt.NMax, opt.NStep, opt.K = *nMin, *nMax, *step, *k
 	opt.TargetElems = *cacheBytes / 8
 	opt.DisableSteady = !*steady
+	opt.Workers = *workers
+	opt.ExecWorkers = *workers
+	opt.ExecSchedule = sched
 	if *methodList != "" {
 		opt.Methods = nil
 		for _, name := range strings.Split(*methodList, ",") {
@@ -93,6 +111,24 @@ func main() {
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "perf:", err)
 		os.Exit(2)
+	}
+
+	if *scaling != "" {
+		// A scaling series is always native wall-clock; -mode is ignored.
+		counts, err := parseWorkerCounts(*scaling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(2)
+		}
+		if sched == stencil.ScheduleSerial {
+			fmt.Fprintln(os.Stderr, "perf: -scaling measures a parallel schedule; pass -schedule batch or -schedule wavefront")
+			os.Exit(2)
+		}
+		if err := runScaling(kernel, sched, counts, opt, *scalingOut); err != nil {
+			fmt.Fprintln(os.Stderr, "perf:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var sweep map[core.Method][]bench.PerfPoint
@@ -176,4 +212,62 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
 	}
+}
+
+// parseWorkerCounts parses the -scaling worker list ("1,2,4,8").
+func parseWorkerCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-scaling: worker counts must be integers >= 1, got %q", f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// runScaling measures one scaling series per method at N=NMax and prints
+// the report, optionally also as JSON in the BENCH_parallel.json shape.
+func runScaling(kernel stencil.Kernel, sched stencil.ScheduleMode, counts []int, opt bench.Options, jsonPath string) error {
+	report := bench.ScalingReport{
+		Description: fmt.Sprintf("native parallel MFlops of the certified %s schedule across worker counts; the 1-worker point is the schedule's serial linearization", sched),
+		Host:        bench.HostDescription(),
+		Date:        time.Now().Format("2006-01-02"),
+	}
+	for _, m := range opt.Methods {
+		s, err := bench.MeasureScaling(kernel, m, opt.NMax, sched, counts, opt)
+		if err != nil {
+			return err
+		}
+		report.Series = append(report.Series, s)
+	}
+	if err := writeScalingReport(os.Stdout, report); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func writeScalingReport(w io.Writer, report bench.ScalingReport) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "# %s (%s)\n", report.Description, report.Host)
+	for _, s := range report.Series {
+		fmt.Fprintf(tw, "# %s %s N=%d K=%d %s (GOMAXPROCS=%d)\n",
+			s.Kernel, s.Method, s.N, s.K, s.Schedule, s.GOMAXPROCS)
+		fmt.Fprint(tw, "workers\tMFlops\tmedian\tspeedup\t\n")
+		for _, p := range s.Points {
+			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2fx\t\n", p.Workers, p.MFlops, p.Median, p.Speedup)
+		}
+	}
+	return tw.Flush()
 }

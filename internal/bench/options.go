@@ -41,6 +41,17 @@ type Options struct {
 	// negative means cache.DefaultWorkers (GOMAXPROCS). Results are
 	// identical for every worker count.
 	Workers int
+	// ExecWorkers bounds the goroutines one native kernel sweep executes
+	// on when ExecSchedule is not serial; zero or negative means
+	// GOMAXPROCS, and the pool is clamped to the tile count. Distinct
+	// from Workers, which fans out simulation points, not the kernel
+	// itself. Kernel results are bit-identical for every worker count.
+	ExecWorkers int
+	// ExecSchedule selects how native sweeps execute: the classic serial
+	// path (zero value), or tiles distributed under a certified batch or
+	// wavefront schedule (internal/schedule). Execution knob: measured
+	// wall-clock changes, computed bytes do not.
+	ExecSchedule stencil.ScheduleMode
 	// DisableSteady turns off the steady-state plane-cycle engine,
 	// forcing every plane of every sweep to be simulated in full. The
 	// zero value (steady detection on) is the default; statistics are
@@ -195,9 +206,10 @@ func (o Options) Validate() error {
 // Fingerprint identifies the result-determining part of the options: two
 // sweeps with equal fingerprints produce bit-identical simulation
 // results for the same (kernel, method, N) point, so their journal
-// entries are interchangeable. Execution knobs (Workers, DisableSteady,
-// timeouts, paranoia) are deliberately excluded — the engine guarantees
-// identical statistics across all of them.
+// entries are interchangeable. Execution knobs (Workers, ExecWorkers,
+// ExecSchedule, DisableSteady, timeouts, paranoia) are deliberately
+// excluded — the engine guarantees identical statistics across all of
+// them.
 func (o Options) Fingerprint() string {
 	sweeps := o.Sweeps
 	if sweeps <= 0 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -61,16 +62,35 @@ func PerfSweep(k stencil.Kernel, opt Options) map[core.Method][]PerfPoint {
 // MFlops. It keeps every repeat's sweep time so the point carries both
 // the best sweep (headline) and the median (dispersion): on a noisy
 // host the two diverge, which is exactly what Figures 15/17/19/21
-// readers need to see.
+// readers need to see. With ExecSchedule set, every sweep runs under
+// that certified parallel schedule on ExecWorkers goroutines; a kernel
+// that refuses the requested mode yields a Failed point.
 func MeasurePoint(k stencil.Kernel, m core.Method, n int, opt Options) PerfPoint {
 	plan := opt.Plan(k, m, n)
 	w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
-	w.RunNative() // warm the host caches and the page tables
+	p, err := timeSweeps(w, func() error {
+		return w.RunScheduled(opt.ExecSchedule, opt.ExecWorkers)
+	})
+	if err != nil {
+		return PerfPoint{N: n, Failed: true}
+	}
+	return p
+}
+
+// timeSweeps runs the warm-up sweep and then repeats measured sweeps
+// until MinMeasureTime accumulates, converting the best and median
+// sweep to MFlops.
+func timeSweeps(w *stencil.Workload, run func() error) (PerfPoint, error) {
+	if err := run(); err != nil { // warm the host caches and the page tables
+		return PerfPoint{}, err
+	}
 	var elapsed time.Duration
 	var times []time.Duration
 	for elapsed < MinMeasureTime {
 		start := time.Now()
-		w.RunNative()
+		if err := run(); err != nil {
+			return PerfPoint{}, err
+		}
 		d := time.Since(start)
 		elapsed += d
 		times = append(times, d)
@@ -79,19 +99,22 @@ func MeasurePoint(k stencil.Kernel, m core.Method, n int, opt Options) PerfPoint
 	mflops := func(d time.Duration) float64 { return flops / d.Seconds() / 1e6 }
 	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
 	return PerfPoint{
-		N:      n,
+		N:      w.N,
 		MFlops: mflops(times[0]),
 		Median: mflops(times[len(times)/2]),
-	}
+	}, nil
 }
 
 // AveragePerfImprovement returns the mean percent improvement of opt over
-// orig, paired by problem size: mean((opt/orig - 1) * 100). Pairs where
-// either side failed or never ran are skipped, so an isolated failure
-// does not poison the average.
-func AveragePerfImprovement(orig, opt []PerfPoint) float64 {
-	if len(orig) == 0 || len(orig) != len(opt) {
-		return 0
+// orig, paired by problem size: mean((opt/orig - 1) * 100). Series of
+// different lengths cannot be paired (a cancelled sweep cuts a series
+// short) and are an error rather than a silent zero, so misaligned
+// series can never be mis-averaged. Pairs where either side failed or
+// never ran are skipped, so an isolated failure does not poison the
+// average.
+func AveragePerfImprovement(orig, opt []PerfPoint) (float64, error) {
+	if len(orig) != len(opt) {
+		return 0, fmt.Errorf("bench: cannot pair perf series of %d and %d points", len(orig), len(opt))
 	}
 	var sum float64
 	n := 0
@@ -103,7 +126,7 @@ func AveragePerfImprovement(orig, opt []PerfPoint) float64 {
 		n++
 	}
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	return sum / float64(n)
+	return sum / float64(n), nil
 }

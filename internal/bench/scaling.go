@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+// ScalingPoint is one worker count of a parallel scaling series.
+type ScalingPoint struct {
+	Workers int     `json:"workers"`
+	MFlops  float64 `json:"mflops"`
+	// Median is the median-sweep MFlops (MFlops is the best sweep).
+	Median float64 `json:"median_mflops"`
+	// Speedup is MFlops over the series' 1-worker MFlops; 0 when the
+	// series has no 1-worker point to normalize against.
+	Speedup float64 `json:"speedup"`
+}
+
+// ScalingSeries is the measured MFlops of one (kernel, method, size)
+// cell across worker counts under one schedule mode — the parallel
+// companion of the per-size PerfSeries.
+type ScalingSeries struct {
+	Kernel   string         `json:"kernel"`
+	Method   string         `json:"method"`
+	N        int            `json:"n"`
+	K        int            `json:"k"`
+	Schedule string         `json:"schedule"`
+	Points   []ScalingPoint `json:"points"`
+	// GOMAXPROCS records the host parallelism the series ran under;
+	// scaling is bounded by it no matter how many workers are asked for.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// MeasureScaling times one (kernel, method, size) cell at each worker
+// count under the given schedule mode, timing exactly like MeasurePoint
+// (warm-up, then repeats until MinMeasureTime; best and median sweeps
+// reported). The workload is re-allocated per worker count so one
+// count's cache residue cannot flatter the next. Speedups are
+// normalized to the 1-worker point when the list contains one.
+func MeasureScaling(k stencil.Kernel, m core.Method, n int, mode stencil.ScheduleMode, workerCounts []int, opt Options) (ScalingSeries, error) {
+	if len(workerCounts) == 0 {
+		return ScalingSeries{}, fmt.Errorf("bench: no worker counts to scale over")
+	}
+	s := ScalingSeries{
+		Kernel:     k.String(),
+		Method:     m.String(),
+		N:          n,
+		K:          opt.K,
+		Schedule:   mode.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	plan := opt.Plan(k, m, n)
+	base := 0.0
+	for _, workers := range workerCounts {
+		if opt.ctx().Err() != nil {
+			break
+		}
+		// The 1-worker baseline runs the schedule's serial linearization
+		// (RunScheduled with workers=1), not RunNative, so the series
+		// isolates the executor's scaling rather than mixing in
+		// unrelated code-path differences.
+		w := stencil.NewWorkload(k, n, opt.K, plan, opt.Coeffs)
+		p, err := timeSweeps(w, func() error {
+			return w.RunScheduled(mode, workers)
+		})
+		if err != nil {
+			return s, fmt.Errorf("bench: scaling %s/%s N=%d workers=%d: %w", k, m, n, workers, err)
+		}
+		sp := ScalingPoint{Workers: workers, MFlops: p.MFlops, Median: p.Median}
+		if workers == 1 {
+			base = p.MFlops
+		}
+		if base > 0 {
+			sp.Speedup = sp.MFlops / base
+		}
+		s.Points = append(s.Points, sp)
+	}
+	return s, nil
+}
+
+// ScalingReport is the committed BENCH_parallel.json shape: a set of
+// scaling series plus host provenance.
+type ScalingReport struct {
+	Description string          `json:"description"`
+	Host        string          `json:"host"`
+	Date        string          `json:"date"`
+	Series      []ScalingSeries `json:"series"`
+}
+
+// HostDescription labels a measured report with the CPU and toolchain:
+// /proc/cpuinfo's model name when readable, always the platform triple.
+func HostDescription() string {
+	plat := fmt.Sprintf("%s/%s, %s", runtime.GOOS, runtime.GOARCH, runtime.Version())
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			name, ok := strings.CutPrefix(line, "model name")
+			if !ok {
+				continue
+			}
+			if i := strings.IndexByte(name, ':'); i >= 0 {
+				return strings.TrimSpace(name[i+1:]) + ", " + plat
+			}
+		}
+	}
+	return plat
+}

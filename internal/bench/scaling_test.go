@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/stencil"
+)
+
+func quickScalingOptions() Options {
+	opt := DefaultOptions()
+	opt.NMin, opt.NMax, opt.NStep = 64, 64, 1
+	opt.K = 16
+	return opt
+}
+
+func TestMeasureScalingSeries(t *testing.T) {
+	opt := quickScalingOptions()
+	s, err := MeasureScaling(stencil.Jacobi, core.MethodEuc3D, 64, stencil.ScheduleBatch, []int{1, 2}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(s.Points))
+	}
+	if s.Kernel != "JACOBI" && s.Kernel != "jacobi" && s.Kernel == "" {
+		t.Errorf("kernel label = %q", s.Kernel)
+	}
+	if s.Points[0].Workers != 1 || s.Points[0].Speedup != 1 {
+		t.Errorf("1-worker point = %+v, want speedup 1", s.Points[0])
+	}
+	if s.Points[1].Speedup <= 0 {
+		t.Errorf("2-worker speedup = %g, want > 0", s.Points[1].Speedup)
+	}
+	if s.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d", s.GOMAXPROCS)
+	}
+}
+
+func TestMeasureScalingRefusals(t *testing.T) {
+	opt := quickScalingOptions()
+	if _, err := MeasureScaling(stencil.Jacobi, core.MethodEuc3D, 64, stencil.ScheduleBatch, nil, opt); err == nil {
+		t.Error("empty worker list not rejected")
+	}
+	// Red-black under a batch request refuses, and the refusal carries
+	// through with the cell named.
+	if _, err := MeasureScaling(stencil.RedBlack, core.MethodTile, 64, stencil.ScheduleBatch, []int{1, 2}, opt); err == nil {
+		t.Error("red-black batch scaling did not refuse")
+	}
+}
+
+func TestMeasurePointScheduled(t *testing.T) {
+	opt := quickScalingOptions()
+	opt.ExecSchedule = stencil.ScheduleWavefront
+	opt.ExecWorkers = 2
+	p := MeasurePoint(stencil.RedBlack, core.MethodTile, 64, opt)
+	if p.Failed || p.MFlops <= 0 {
+		t.Errorf("scheduled red-black point = %+v", p)
+	}
+	// A refusing combination yields a Failed point, not a panic.
+	opt.ExecSchedule = stencil.ScheduleBatch
+	p = MeasurePoint(stencil.RedBlack, core.MethodTile, 64, opt)
+	if !p.Failed {
+		t.Errorf("refusing combination not marked failed: %+v", p)
+	}
+}
+
+// TestScalingSmoke is the CI scaling gate: on a multi-core runner
+// (SCALING_SMOKE=1), 4 workers must beat the serial linearization by
+// more than 1.3x on a quick Jacobi workload. Skipped by default — a
+// single-core host has nothing to scale onto.
+func TestScalingSmoke(t *testing.T) {
+	if os.Getenv("SCALING_SMOKE") == "" {
+		t.Skip("set SCALING_SMOKE=1 to run the scaling assertion")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: host cannot scale", runtime.GOMAXPROCS(0))
+	}
+	opt := DefaultOptions()
+	opt.NMin, opt.NMax, opt.NStep = 256, 256, 1
+	opt.K = 30
+	s, err := MeasureScaling(stencil.Jacobi, core.MethodEuc3D, 256, stencil.ScheduleBatch, []int{1, 4}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := s.Points[1].Speedup; sp <= 1.3 {
+		t.Errorf("speedup at 4 workers = %.2fx, want > 1.3x (1 worker %.1f MFlops, 4 workers %.1f MFlops)",
+			sp, s.Points[0].MFlops, s.Points[1].MFlops)
+	}
+}

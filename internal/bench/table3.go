@@ -77,11 +77,20 @@ func table3Row(k stencil.Kernel, opt Options, withPerf bool) (Table3Row, error) 
 		l1, l2 := AverageMiss(miss[m])
 		row.L1Imp[m] = row.OrigL1 - l1
 		row.L2Imp[m] = row.OrigL2 - l2
-		row.EstImp[m] = AveragePerfImprovement(est[core.Orig], est[m])
+		// Estimate series come from one CombinedSweep, so a length
+		// mismatch is a bug, not a cancellation artifact.
+		imp, ierr := AveragePerfImprovement(est[core.Orig], est[m])
+		if ierr != nil {
+			return row, ierr
+		}
+		row.EstImp[m] = imp
 		if withPerf {
 			// Wall-clock measurements stay serial: concurrent timing
-			// would perturb itself.
-			row.PerfImp[m] = AveragePerfImprovement(origPerf, PerfSeries(k, m, opt))
+			// would perturb itself. A cancelled sweep cuts a series
+			// short; the unpaired row keeps its zero.
+			if imp, ierr := AveragePerfImprovement(origPerf, PerfSeries(k, m, opt)); ierr == nil {
+				row.PerfImp[m] = imp
+			}
 		}
 	}
 	return row, nil

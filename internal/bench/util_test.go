@@ -36,14 +36,15 @@ func TestWorkersDoNotChangeResults(t *testing.T) {
 func TestAveragePerfImprovement(t *testing.T) {
 	orig := []PerfPoint{{N: 1, MFlops: 100}, {N: 2, MFlops: 50}}
 	opt := []PerfPoint{{N: 1, MFlops: 120}, {N: 2, MFlops: 60}}
-	if got := AveragePerfImprovement(orig, opt); got < 20-1e-9 || got > 20+1e-9 {
-		t.Errorf("improvement = %g, want 20", got)
+	got, err := AveragePerfImprovement(orig, opt)
+	if err != nil || got < 20-1e-9 || got > 20+1e-9 {
+		t.Errorf("improvement = %g, %v, want 20", got, err)
 	}
-	if got := AveragePerfImprovement(nil, nil); got != 0 {
-		t.Errorf("empty = %g", got)
+	if got, err := AveragePerfImprovement(nil, nil); err != nil || got != 0 {
+		t.Errorf("empty = %g, %v", got, err)
 	}
-	if got := AveragePerfImprovement(orig, opt[:1]); got != 0 {
-		t.Errorf("mismatched lengths = %g", got)
+	if _, err := AveragePerfImprovement(orig, opt[:1]); err == nil {
+		t.Error("mismatched lengths not rejected")
 	}
 }
 

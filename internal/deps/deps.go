@@ -239,9 +239,9 @@ func Dependences(n *ir.Nest) (*Table, error) {
 			if len(s.Coeff) == 0 || isConst(s) {
 				continue
 			}
-			v, _, ok := ir.AsVarPlusConst(s)
+			v, _, _, ok := ir.AsScaledVarPlusConst(s)
 			if !ok {
-				issue(ri, dim, fmt.Sprintf("subscript %q is not loopVar+const", s))
+				issue(ri, dim, fmt.Sprintf("subscript %q is not coeff*loopVar+const", s))
 				analyzable[ri] = false
 				continue
 			}
@@ -436,8 +436,8 @@ func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason st
 			report(dim, which, "mixes a loop subscript with a constant; dependence distance is not uniform")
 			unknown = true
 		default:
-			av, ac, _ := ir.AsVarPlusConst(as)
-			bv, bc, _ := ir.AsVarPlusConst(bs)
+			av, acoeff, ac, _ := ir.AsScaledVarPlusConst(as)
+			bv, bcoeff, bc, _ := ir.AsScaledVarPlusConst(bs)
 			if av != bv {
 				// Different index spaces (A(I,J) vs A(J,I)): overlap is
 				// possible but not at a constant distance.
@@ -445,8 +445,22 @@ func pairDistance(n *ir.Nest, a, b ir.Ref, report func(dim, which int, reason st
 				unknown = true
 				continue
 			}
+			if acoeff != bcoeff {
+				// coeff*V on one side and coeff'*V on the other overlap at
+				// distances that depend on V itself, not a constant.
+				report(dim, 0, fmt.Sprintf("indexed by %d*%s in one reference and %d*%s in another", acoeff, av, bcoeff, bv))
+				unknown = true
+				continue
+			}
 			li := n.LoopIndex(av)
-			d := ac - bc
+			num := ac - bc
+			if num%acoeff != 0 {
+				// coeff*V+c1 = coeff*V'+c2 has no integer solution: the
+				// references live on disjoint residues (the parity argument
+				// that makes interp's eight stores independent).
+				return nil, nil, pairNone
+			}
+			d := num / acoeff
 			if set[li] && dist[li] != d {
 				// Two dimensions constrain the same loop inconsistently:
 				// no common element exists.

@@ -1,0 +1,133 @@
+package deps
+
+import (
+	"testing"
+
+	"tiling3d/internal/ir"
+)
+
+// TestScaledSubscriptDistance pins the coeff*var+const support: equal
+// coefficients divide the constant gap, odd gaps prove disjointness, and
+// mismatched coefficients degrade to Unknown.
+func TestScaledSubscriptDistance(t *testing.T) {
+	f2 := func(c int) ir.Expr { return ir.Expr{Const: c, Coeff: map[string]int{"I": 2}} }
+
+	// store F(2I) vs load F(2I+2): gap 2 / coeff 2 = distance 1.
+	nest := &ir.Nest{
+		Loops: []ir.Loop{ir.SimpleLoop("I", 0, 9)},
+		Body:  []ir.Ref{ir.Ref{Array: "F", Store: true, Subs: []ir.Expr{f2(0)}}, ir.Load("F", f2(2))},
+	}
+	tab, err := Dependences(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Issues) != 0 {
+		t.Fatalf("issues on scaled subscripts: %v", tab.IssueStrings())
+	}
+	if len(tab.Deps) != 1 || tab.Deps[0].Unknown || tab.Deps[0].Dist[0] != 1 {
+		t.Fatalf("deps = %v, want one distance-(1) dependence", tab.Deps)
+	}
+
+	// store F(2I) vs load F(2I+1): odd gap, disjoint parities, no dep.
+	nest.Body[1] = ir.Load("F", f2(1))
+	tab, err = Dependences(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Deps) != 0 {
+		t.Fatalf("parity-disjoint pair produced deps: %v", tab.Deps)
+	}
+
+	// store F(2I) vs load F(3I): coefficients differ, Unknown.
+	nest.Body[1] = ir.Load("F", ir.Expr{Coeff: map[string]int{"I": 3}})
+	tab, err = Dependences(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Deps) != 1 || !tab.Deps[0].Unknown {
+		t.Fatalf("deps = %v, want one Unknown dependence", tab.Deps)
+	}
+}
+
+// TestTransferNestsAreIndependent proves the MG transfer operators carry
+// no loop-carried dependences: rprj3 and psinv have none at all, and
+// interp's only dependences are the same-iteration fine += read/write
+// pairs.
+func TestTransferNestsAreIndependent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		nest *ir.Nest
+	}{
+		{"rprj3", ir.Rprj3Nest(10)},
+		{"psinv", ir.PsinvNest(10)},
+		{"interp", ir.InterpNest(10)},
+		{"resid-aliased", ir.ResidNestDims(10, 10, 10, true)},
+	} {
+		tab, err := Dependences(tc.nest)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if tab.HasUnknown() {
+			t.Fatalf("%s: unknown dependences: %v", tc.name, tab.Deps)
+		}
+		if carried := tab.Carried(); len(carried) != 0 {
+			t.Errorf("%s: carried dependences: %v", tc.name, carried)
+		}
+	}
+}
+
+// TestTimePipelineNestCone pins the time-skewing flow cone the diamond
+// schedule is derived from.
+func TestTimePipelineNestCone(t *testing.T) {
+	tab, err := Dependences(ir.TimePipelineNest(5, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int]bool{{1, -1}: false, {1, 0}: false, {1, 1}: false}
+	for _, d := range tab.Deps {
+		if d.Unknown {
+			t.Fatalf("unknown dependence: %v", d)
+		}
+		if d.Kind != Flow {
+			t.Fatalf("non-flow dependence: %v", d)
+		}
+		key := [2]int{d.Dist[0], d.Dist[1]}
+		if _, ok := want[key]; !ok {
+			t.Fatalf("unexpected distance %v", d)
+		}
+		want[key] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("distance %v missing from the table", k)
+		}
+	}
+}
+
+// TestRedBlackFusedNestCone proves every tile-relevant dependence of the
+// fused red-black nest points into the non-negative (J, I) quadrant —
+// the fact that makes the (1,1) wavefront legal.
+func TestRedBlackFusedNestCone(t *testing.T) {
+	tab, err := Dependences(ir.RedBlackFusedNest(12, 12, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.HasUnknown() {
+		t.Fatalf("unknown dependences: %v", tab.Deps)
+	}
+	if len(tab.Carried()) == 0 {
+		t.Fatal("fused red-black nest carries no dependences; the model is wrong")
+	}
+	ji := tab.Nest.LoopIndex("J")
+	ii := tab.Nest.LoopIndex("I")
+	for _, d := range tab.Deps {
+		if d.Dist[ji] < 0 {
+			t.Errorf("dependence with negative J distance: %v", d)
+		}
+		// A negative I distance is only tolerable when J advances: the
+		// tile box for (J>=1, I>=-1) still sits in the wavefront cone.
+		if d.Dist[ii] < 0 && d.Dist[ji] == 0 {
+			t.Errorf("dependence with negative I distance at J=0: %v", d)
+		}
+	}
+}

@@ -161,6 +161,26 @@ func AsVarPlusConst(e Expr) (v string, c int, ok bool) {
 	return v, e.Const, true
 }
 
+// AsScaledVarPlusConst decomposes e as coeff*loopVar+const: a single
+// variable with any nonzero coefficient plus a constant. It generalizes
+// AsVarPlusConst for the grid-transfer subscripts (2*I+d) of multigrid
+// restriction and prolongation. ok is false for constants and
+// multi-variable expressions.
+func AsScaledVarPlusConst(e Expr) (v string, coeff, c int, ok bool) {
+	nvars := 0
+	for name, co := range e.Coeff {
+		if co == 0 {
+			continue
+		}
+		v, coeff = name, co
+		nvars++
+	}
+	if nvars != 1 {
+		return "", 0, 0, false
+	}
+	return v, coeff, e.Const, true
+}
+
 // DependenceDistances returns the distance vectors (indexed by loop
 // position, outermost first) between every store and every other
 // reference to the same array: the number of iterations of each loop

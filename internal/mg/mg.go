@@ -47,6 +47,11 @@ type Params struct {
 	// same plan — the "remaining subroutines" the paper expects further
 	// improvement from.
 	TileSmoother bool
+	// Workers distributes every level's operators over that many
+	// goroutines (0 or 1 runs serially; negative panics in New) under
+	// certified plane- or tile-batch schedules. Iterates are
+	// bit-identical to the serial solver for every worker count.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -78,6 +83,9 @@ func New(p Params) *Solver {
 	p = p.withDefaults()
 	if p.LM < 1 || p.LM > 10 {
 		panic(fmt.Sprintf("mg: LM=%d out of range [1,10]", p.LM))
+	}
+	if p.Workers < 0 {
+		panic(fmt.Sprintf("mg: Workers=%d negative (0 or 1 = serial)", p.Workers))
 	}
 	s := &Solver{p: p}
 	s.u = make([]*grid.Grid3D, p.LM+1)
@@ -158,22 +166,79 @@ func (s *Solver) SetPointCharges(count int) {
 // Resid computes r = v - A u on the finest level, tiled per the plan.
 // Exposed separately because it is the kernel the paper transforms.
 func (s *Solver) Resid() {
-	l := s.p.LM
-	if s.p.Plan.Tiled {
-		stencil.ResidTiled(s.r[l], s.v, s.u[l], s.p.A, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
-	} else {
-		stencil.ResidOrig(s.r[l], s.v, s.u[l], s.p.A)
-	}
+	s.residLevel(s.p.LM, s.v)
 }
+
+// par reports whether operators run under certified parallel schedules.
+func (s *Solver) par() bool { return s.p.Workers > 1 }
 
 // residLevel computes r = v - A u for any level with explicit operands
 // (coarser levels use r as both input and output storage, like MGRID).
 func (s *Solver) residLevel(l int, v *grid.Grid3D) {
 	if l == s.p.LM && s.p.Plan.Tiled {
-		stencil.ResidTiled(s.r[l], v, s.u[l], s.p.A, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
+		if s.par() {
+			stencil.ResidTiledParallel(s.r[l], v, s.u[l], s.p.A, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ, s.p.Workers)
+		} else {
+			stencil.ResidTiled(s.r[l], v, s.u[l], s.p.A, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
+		}
 		return
 	}
-	stencil.ResidOrig(s.r[l], v, s.u[l], s.p.A)
+	s.residInto(s.r[l], v, s.u[l])
+}
+
+// residInto computes r = v - A u with explicit operands under the
+// configured execution mode; the parallel path schedules per-J-row
+// tiles (full I span), which preserves every point's operand order.
+// The coarser levels pass v aliased to r — ResidTiledParallel detects
+// the alias and derives its schedule from the aliased nest.
+func (s *Solver) residInto(r, v, u *grid.Grid3D) {
+	if s.par() {
+		stencil.ResidTiledParallel(r, v, u, s.p.A, r.NI, 1, s.p.Workers)
+		return
+	}
+	stencil.ResidOrig(r, v, u, s.p.A)
+}
+
+// smooth applies psinv under the configured execution mode.
+func (s *Solver) smooth(u, r *grid.Grid3D) {
+	if s.par() {
+		psinvParallel(u, r, s.p.C, s.p.Workers)
+		return
+	}
+	psinv(u, r, s.p.C)
+}
+
+// smoothFinest applies the finest-level smoother, tiled when the plan
+// extends to it (TileSmoother).
+func (s *Solver) smoothFinest(u, r *grid.Grid3D) {
+	if !(s.p.TileSmoother && s.p.Plan.Tiled) {
+		s.smooth(u, r)
+		return
+	}
+	ti, tj := s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ
+	if s.par() {
+		psinvTiledParallel(u, r, s.p.C, ti, tj, s.p.Workers)
+		return
+	}
+	psinvTiled(u, r, s.p.C, ti, tj)
+}
+
+// restrict applies rprj3 under the configured execution mode.
+func (s *Solver) restrict(coarse, fine *grid.Grid3D) {
+	if s.par() {
+		rprj3Parallel(coarse, fine, s.p.Workers)
+		return
+	}
+	rprj3(coarse, fine)
+}
+
+// prolongate applies interp under the configured execution mode.
+func (s *Solver) prolongate(fine, coarse *grid.Grid3D) {
+	if s.par() {
+		interpParallel(fine, coarse, s.p.Workers)
+		return
+	}
+	interp(fine, coarse)
 }
 
 // VCycle performs one MG V-cycle (the NAS mg3P structure): restrict the
@@ -183,28 +248,24 @@ func (s *Solver) VCycle() {
 	lm := s.p.LM
 	// Downward: restrict residuals.
 	for l := lm; l >= 2; l-- {
-		rprj3(s.r[l-1], s.r[l])
+		s.restrict(s.r[l-1], s.r[l])
 	}
 	// Coarsest: u = C r.
 	s.u[1].Fill(0)
-	psinv(s.u[1], s.r[1], s.p.C)
+	s.smooth(s.u[1], s.r[1])
 	// Upward.
 	for l := 2; l < lm; l++ {
 		s.u[l].Fill(0)
-		interp(s.u[l], s.u[l-1])
+		s.prolongate(s.u[l], s.u[l-1])
 		s.residLevel(l, s.r[l]) // r_l := r_l - A u_l (v = current r)
-		psinv(s.u[l], s.r[l], s.p.C)
+		s.smooth(s.u[l], s.r[l])
 	}
 	// Finest level: accumulate into the solution.
 	if lm >= 2 {
-		interp(s.u[lm], s.u[lm-1])
+		s.prolongate(s.u[lm], s.u[lm-1])
 	}
 	s.residLevel(lm, s.v)
-	if s.p.TileSmoother && s.p.Plan.Tiled {
-		psinvTiled(s.u[lm], s.r[lm], s.p.C, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
-	} else {
-		psinv(s.u[lm], s.r[lm], s.p.C)
-	}
+	s.smoothFinest(s.u[lm], s.r[lm])
 }
 
 // Iterate runs the MGRID main loop: an initial residual, then n V-cycles,
@@ -232,17 +293,17 @@ func (s *Solver) FMG(vPerLevel int) float64 {
 	for l := lm - 1; l >= 1; l-- {
 		m := (1 << l) + 2
 		rhs[l] = grid.New3D(m, m, m)
-		rprj3(rhs[l], rhs[l+1])
+		s.restrict(rhs[l], rhs[l+1])
 	}
 	// Coarsest: smooth from zero.
 	s.u[1].Fill(0)
-	stencil.ResidOrig(s.r[1], rhs[1], s.u[1], s.p.A)
-	psinv(s.u[1], s.r[1], s.p.C)
+	s.residInto(s.r[1], rhs[1], s.u[1])
+	s.smooth(s.u[1], s.r[1])
 	// Work upward: prolongate, then refine with V-like sweeps against
 	// this level's RHS.
 	for l := 2; l <= lm; l++ {
 		s.u[l].Fill(0)
-		interp(s.u[l], s.u[l-1])
+		s.prolongate(s.u[l], s.u[l-1])
 		for v := 0; v < vPerLevel; v++ {
 			s.partialVCycle(l, rhs[l])
 		}
@@ -256,19 +317,19 @@ func (s *Solver) FMG(vPerLevel int) float64 {
 func (s *Solver) partialVCycle(top int, rhs *grid.Grid3D) {
 	s.residLevel(top, rhs)
 	for l := top; l >= 2; l-- {
-		rprj3(s.r[l-1], s.r[l])
+		s.restrict(s.r[l-1], s.r[l])
 	}
 	corr := make([]*grid.Grid3D, top+1)
 	corr[1] = grid.New3D(s.u[1].NI, s.u[1].NJ, s.u[1].NK)
-	psinv(corr[1], s.r[1], s.p.C)
+	s.smooth(corr[1], s.r[1])
 	for l := 2; l <= top; l++ {
 		m := s.u[l].NI
 		di, dj := s.u[l].DI, s.u[l].DJ
 		corr[l] = grid.Must3DPadded(m, m, m, di, dj) //lint:allow mustcheck -- dims copied from existing grids
-		interp(corr[l], corr[l-1])
+		s.prolongate(corr[l], corr[l-1])
 		if l < top {
-			stencil.ResidOrig(s.r[l], s.r[l], corr[l], s.p.A)
-			psinv(corr[l], s.r[l], s.p.C)
+			s.residInto(s.r[l], s.r[l], corr[l])
+			s.smooth(corr[l], s.r[l])
 		}
 	}
 	// Apply the correction at the top level and post-smooth.
@@ -277,10 +338,10 @@ func (s *Solver) partialVCycle(top int, rhs *grid.Grid3D) {
 		ud[i] += cd[i]
 	}
 	s.residLevel(top, rhs)
-	if top == s.p.LM && s.p.TileSmoother && s.p.Plan.Tiled {
-		psinvTiled(s.u[top], s.r[top], s.p.C, s.p.Plan.Tile.TI, s.p.Plan.Tile.TJ)
+	if top == s.p.LM {
+		s.smoothFinest(s.u[top], s.r[top])
 	} else {
-		psinv(s.u[top], s.r[top], s.p.C)
+		s.smooth(s.u[top], s.r[top])
 	}
 }
 

@@ -74,38 +74,45 @@ func psinvRow(u, r *grid.Grid3D, c [4]float64, lo, hi, j, k int) {
 // 1/2 (center), 1/4 (faces), 1/8 (edges), 1/16 (corners).
 func rprj3(coarse, fine *grid.Grid3D) {
 	mc := coarse.NI
-	fd, cd := fine.Data, coarse.Data
 	for k := 1; k <= mc-2; k++ {
-		fk := 2 * k
-		for j := 1; j <= mc-2; j++ {
-			fj := 2 * j
-			c00 := fine.Index(0, fj, fk)
-			cm0 := fine.Index(0, fj-1, fk)
-			cp0 := fine.Index(0, fj+1, fk)
-			c0m := fine.Index(0, fj, fk-1)
-			c0p := fine.Index(0, fj, fk+1)
-			cmm := fine.Index(0, fj-1, fk-1)
-			cpm := fine.Index(0, fj+1, fk-1)
-			cmp := fine.Index(0, fj-1, fk+1)
-			cpp := fine.Index(0, fj+1, fk+1)
-			rc := coarse.Index(0, j, k)
-			for i := 1; i <= mc-2; i++ {
-				fi := 2 * i
-				cd[rc+i] = 0.5*fd[c00+fi] +
-					0.25*(fd[c00+fi-1]+fd[c00+fi+1]+
-						fd[cm0+fi]+fd[cp0+fi]+
-						fd[c0m+fi]+fd[c0p+fi]) +
-					0.125*(fd[cm0+fi-1]+fd[cm0+fi+1]+
-						fd[cp0+fi-1]+fd[cp0+fi+1]+
-						fd[cmm+fi]+fd[cpm+fi]+
-						fd[cmp+fi]+fd[cpp+fi]+
-						fd[c0m+fi-1]+fd[c0m+fi+1]+
-						fd[c0p+fi-1]+fd[c0p+fi+1]) +
-					0.0625*(fd[cmm+fi-1]+fd[cmm+fi+1]+
-						fd[cpm+fi-1]+fd[cpm+fi+1]+
-						fd[cmp+fi-1]+fd[cmp+fi+1]+
-						fd[cpp+fi-1]+fd[cpp+fi+1])
-			}
+		rprj3Plane(coarse, fine, k)
+	}
+}
+
+// rprj3Plane restricts one coarse K plane — the schedulable unit of
+// rprj3: plane k writes only coarse plane k, so planes are independent.
+func rprj3Plane(coarse, fine *grid.Grid3D, k int) {
+	mc := coarse.NI
+	fd, cd := fine.Data, coarse.Data
+	fk := 2 * k
+	for j := 1; j <= mc-2; j++ {
+		fj := 2 * j
+		c00 := fine.Index(0, fj, fk)
+		cm0 := fine.Index(0, fj-1, fk)
+		cp0 := fine.Index(0, fj+1, fk)
+		c0m := fine.Index(0, fj, fk-1)
+		c0p := fine.Index(0, fj, fk+1)
+		cmm := fine.Index(0, fj-1, fk-1)
+		cpm := fine.Index(0, fj+1, fk-1)
+		cmp := fine.Index(0, fj-1, fk+1)
+		cpp := fine.Index(0, fj+1, fk+1)
+		rc := coarse.Index(0, j, k)
+		for i := 1; i <= mc-2; i++ {
+			fi := 2 * i
+			cd[rc+i] = 0.5*fd[c00+fi] +
+				0.25*(fd[c00+fi-1]+fd[c00+fi+1]+
+					fd[cm0+fi]+fd[cp0+fi]+
+					fd[c0m+fi]+fd[c0p+fi]) +
+				0.125*(fd[cm0+fi-1]+fd[cm0+fi+1]+
+					fd[cp0+fi-1]+fd[cp0+fi+1]+
+					fd[cmm+fi]+fd[cpm+fi]+
+					fd[cmp+fi]+fd[cpp+fi]+
+					fd[c0m+fi-1]+fd[c0m+fi+1]+
+					fd[c0p+fi-1]+fd[c0p+fi+1]) +
+				0.0625*(fd[cmm+fi-1]+fd[cmm+fi+1]+
+					fd[cpm+fi-1]+fd[cpm+fi+1]+
+					fd[cmp+fi-1]+fd[cmp+fi+1]+
+					fd[cpp+fi-1]+fd[cpp+fi+1])
 		}
 	}
 }
@@ -117,32 +124,40 @@ func rprj3(coarse, fine *grid.Grid3D) {
 func interp(fine, coarse *grid.Grid3D) {
 	mc := coarse.NI
 	for k := 0; k <= mc-2; k++ {
-		fk := 2 * k
-		for j := 0; j <= mc-2; j++ {
-			fj := 2 * j
-			for i := 0; i <= mc-2; i++ {
-				fi := 2 * i
-				u000 := coarse.At(i, j, k)
-				u100 := coarse.At(i+1, j, k)
-				u010 := coarse.At(i, j+1, k)
-				u110 := coarse.At(i+1, j+1, k)
-				u001 := coarse.At(i, j, k+1)
-				u101 := coarse.At(i+1, j, k+1)
-				u011 := coarse.At(i, j+1, k+1)
-				u111 := coarse.At(i+1, j+1, k+1)
-				add := func(di, dj, dk int, v float64) {
-					idx := fine.Index(fi+di, fj+dj, fk+dk)
-					fine.Data[idx] += v
-				}
-				add(0, 0, 0, u000)
-				add(1, 0, 0, 0.5*(u000+u100))
-				add(0, 1, 0, 0.5*(u000+u010))
-				add(1, 1, 0, 0.25*(u000+u100+u010+u110))
-				add(0, 0, 1, 0.5*(u000+u001))
-				add(1, 0, 1, 0.25*(u000+u100+u001+u101))
-				add(0, 1, 1, 0.25*(u000+u010+u001+u011))
-				add(1, 1, 1, 0.125*(u000+u100+u010+u110+u001+u101+u011+u111))
+		interpPlane(fine, coarse, k)
+	}
+}
+
+// interpPlane prolongates one coarse K plane — the schedulable unit of
+// interp: plane k writes only fine planes 2k and 2k+1, so distinct
+// coarse planes touch disjoint fine planes.
+func interpPlane(fine, coarse *grid.Grid3D, k int) {
+	mc := coarse.NI
+	fk := 2 * k
+	for j := 0; j <= mc-2; j++ {
+		fj := 2 * j
+		for i := 0; i <= mc-2; i++ {
+			fi := 2 * i
+			u000 := coarse.At(i, j, k)
+			u100 := coarse.At(i+1, j, k)
+			u010 := coarse.At(i, j+1, k)
+			u110 := coarse.At(i+1, j+1, k)
+			u001 := coarse.At(i, j, k+1)
+			u101 := coarse.At(i+1, j, k+1)
+			u011 := coarse.At(i, j+1, k+1)
+			u111 := coarse.At(i+1, j+1, k+1)
+			add := func(di, dj, dk int, v float64) {
+				idx := fine.Index(fi+di, fj+dj, fk+dk)
+				fine.Data[idx] += v
 			}
+			add(0, 0, 0, u000)
+			add(1, 0, 0, 0.5*(u000+u100))
+			add(0, 1, 0, 0.5*(u000+u010))
+			add(1, 1, 0, 0.25*(u000+u100+u010+u110))
+			add(0, 0, 1, 0.5*(u000+u001))
+			add(1, 0, 1, 0.25*(u000+u100+u001+u101))
+			add(0, 1, 1, 0.25*(u000+u010+u001+u011))
+			add(1, 1, 1, 0.125*(u000+u100+u010+u110+u001+u101+u011+u111))
 		}
 	}
 }

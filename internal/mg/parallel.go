@@ -1,0 +1,130 @@
+package mg
+
+import (
+	"fmt"
+
+	"tiling3d/internal/deps"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/schedule"
+)
+
+// Parallel MG operators, executed through internal/schedule. Each
+// operator's unit is one K plane (the outermost loop of the NAS
+// routines): the dependence tables of the operator nests — psinv
+// updates U in place at the center point only, rprj3 and interp store
+// through scaled subscripts that never collide across planes — carry no
+// cross-plane dependence, so every derived schedule is a certified
+// batch. Results are bit-identical to the serial operators: each output
+// element is written by exactly one plane unit with the same operand
+// order.
+
+// planeBatch derives and certifies the K-plane batch for one operator
+// nest. Derivation failure means the operator's dependence model
+// stopped matching its code — an internal invariant, reported as a
+// panic naming the refusing dependence.
+func planeBatch(nest *ir.Nest, count int) *schedule.Schedule {
+	tab, err := deps.Dependences(nest)
+	if err != nil {
+		panic(fmt.Sprintf("mg: dependence analysis failed: %v", err))
+	}
+	s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+		{Loop: "K", Size: 1, Count: count},
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("mg: plane schedule refused: %v", err))
+	}
+	if s.Kind != schedule.Batch {
+		panic(fmt.Sprintf("mg: operator planes are no longer independent: %v", s))
+	}
+	return s
+}
+
+func mustExecute(s *schedule.Schedule, workers int, fn func(coord []int)) {
+	if err := s.Execute(workers, fn); err != nil {
+		panic(fmt.Sprintf("mg: plane schedule: %v", err))
+	}
+}
+
+// psinvParallel is psinv with interior K planes distributed over
+// workers goroutines (0 = GOMAXPROCS, clamped to the plane count).
+func psinvParallel(u, r *grid.Grid3D, c [4]float64, workers int) {
+	m := u.NI
+	if m < 3 {
+		return
+	}
+	s := planeBatch(ir.PsinvNest(m), m-2)
+	mustExecute(s, workers, func(tc []int) {
+		k := 1 + tc[0]
+		for j := 1; j <= m-2; j++ {
+			psinvRow(u, r, c, 1, m-2, j, k)
+		}
+	})
+}
+
+// psinvTiledParallel distributes psinvTiled's (J, I) tile blocks — the
+// smoother's tiles are independent, so the schedule is a tile batch.
+// Bit-identical to psinvTiled (and psinv): tiling and scheduling change
+// only the traversal order of independent point updates.
+func psinvTiledParallel(u, r *grid.Grid3D, c [4]float64, ti, tj, workers int) {
+	m := u.NI
+	if m < 3 {
+		return
+	}
+	tab, err := deps.Dependences(ir.PsinvNest(m))
+	if err != nil {
+		panic(fmt.Sprintf("mg: dependence analysis failed: %v", err))
+	}
+	nt := func(size int) int { return (m - 2 + size - 1) / size }
+	s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+		{Loop: "J", Size: tj, Count: nt(tj)},
+		{Loop: "I", Size: ti, Count: nt(ti)},
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("mg: smoother tile schedule refused: %v", err))
+	}
+	mustExecute(s, workers, func(tc []int) {
+		jj := 1 + tc[0]*tj
+		ii := 1 + tc[1]*ti
+		jHi := min(jj+tj-1, m-2)
+		iHi := min(ii+ti-1, m-2)
+		for k := 1; k <= m-2; k++ {
+			for j := jj; j <= jHi; j++ {
+				psinvRow(u, r, c, ii, iHi, j, k)
+			}
+		}
+	})
+}
+
+// rprj3Parallel is rprj3 with coarse K planes distributed over workers
+// goroutines.
+func rprj3Parallel(coarse, fine *grid.Grid3D, workers int) {
+	mc := coarse.NI
+	if mc < 3 {
+		return
+	}
+	s := planeBatch(ir.Rprj3Nest(mc), mc-2)
+	mustExecute(s, workers, func(tc []int) {
+		rprj3Plane(coarse, fine, 1+tc[0])
+	})
+}
+
+// interpParallel is interp with coarse K planes distributed over
+// workers goroutines; plane k owns fine planes 2k and 2k+1.
+func interpParallel(fine, coarse *grid.Grid3D, workers int) {
+	mc := coarse.NI
+	if mc < 2 {
+		return
+	}
+	s := planeBatch(ir.InterpNest(mc), mc-1)
+	mustExecute(s, workers, func(tc []int) {
+		interpPlane(fine, coarse, tc[0])
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+// The tile executor: dependency-counting dataflow over a certified
+// schedule. Every tile carries an atomic count of unfinished
+// predecessors (the tiles T-δ for each certified edge delta δ); a tile
+// whose count hits zero enters a ready queue drained by a bounded pool
+// of worker goroutines. There are no barriers between wavefront steps —
+// a tile starts the moment its own predecessors finish, even while
+// earlier steps still have stragglers elsewhere in the grid — which is
+// what the dependence cone allows and a per-step barrier forfeits.
+package schedule
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// ClampWorkers normalizes a worker-count request against a job count:
+// zero or negative asks for GOMAXPROCS, and no pool is ever wider than
+// the number of jobs it could possibly occupy (the forEachTile bug this
+// package subsumes: spawning `workers` goroutines for fewer tiles).
+func ClampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// gate tracks the live worker goroutines of one Execute call.
+// acquireSlot registers the calling goroutine as a live worker;
+// releaseSlot retires it and emits the completion token the coordinator
+// collects. The pairing is declared for the settle analyzer: a worker
+// that exits — panic included, hence the deferred release — without
+// retiring would leave Execute waiting forever.
+type gate struct {
+	live int32
+	done chan struct{}
+}
+
+// acquireSlot registers the caller as a live worker.
+//
+//lint:pair settle=releaseSlot panicguard
+func (g *gate) acquireSlot() {
+	atomic.AddInt32(&g.live, 1)
+}
+
+// releaseSlot retires a live worker and signals the coordinator.
+func (g *gate) releaseSlot() {
+	atomic.AddInt32(&g.live, -1)
+	g.done <- struct{}{}
+}
+
+// Execute runs fn once per tile, honoring the certified schedule. fn
+// receives the tile coordinate (one index per Dim, 0-based); the slice
+// is owned by the callee for the duration of the call only. workers
+// follows the repo convention: <= 0 means GOMAXPROCS, and the pool is
+// clamped to the tile count. workers == 1 runs serially in (step,
+// lexicographic) order — the order the parallel execution linearizes
+// to — without spawning a goroutine. Execute (re-)certifies the
+// schedule if needed and refuses to run one that fails.
+func (s *Schedule) Execute(workers int, fn func(coord []int)) error {
+	if !s.certified {
+		if err := s.Certify(); err != nil {
+			return fmt.Errorf("schedule: refusing to execute: %w", err)
+		}
+	}
+	tiles := s.Tiles()
+	if tiles == 0 {
+		return nil
+	}
+	coords := make([][]int, tiles)
+	steps := make([]int, tiles)
+	coord := make([]int, len(s.Dims))
+	for i := 0; i < tiles; i++ {
+		coords[i] = append([]int(nil), coord...)
+		steps[i] = s.Step(coord)
+		for d := len(coord) - 1; d >= 0; d-- {
+			coord[d]++
+			if coord[d] < s.Dims[d].Count {
+				break
+			}
+			coord[d] = 0
+		}
+	}
+
+	w := ClampWorkers(workers, tiles)
+	if w == 1 {
+		order := make([]int, tiles)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return steps[order[a]] < steps[order[b]] })
+		for _, i := range order {
+			fn(coords[i])
+		}
+		return nil
+	}
+
+	deltas, _, err := s.expandEdges()
+	if err != nil {
+		return err
+	}
+	// Tile indices are row-major over Dims; delta δ moves the linear
+	// index by a fixed stride, but boundary wrap makes per-coordinate
+	// checks necessary anyway, so predecessors are resolved per tile.
+	strides := make([]int, len(s.Dims))
+	stride := 1
+	for d := len(s.Dims) - 1; d >= 0; d-- {
+		strides[d] = stride
+		stride *= s.Dims[d].Count
+	}
+	preds := make([]int32, tiles)
+	succs := make([][]int32, tiles)
+	for i := 0; i < tiles; i++ {
+		c := coords[i]
+		for _, δ := range deltas {
+			j, in := 0, true
+			for d := range c {
+				x := c[d] + δ[d]
+				if x < 0 || x >= s.Dims[d].Count {
+					in = false
+					break
+				}
+				j += x * strides[d]
+			}
+			if in {
+				succs[i] = append(succs[i], int32(j))
+				preds[j]++
+			}
+		}
+	}
+
+	// The ready queue holds every tile at most once (its predecessor
+	// count reaches zero exactly once), so a buffer of `tiles` makes
+	// every send non-blocking — workers never deadlock on the queue.
+	ready := make(chan int32, tiles)
+	for i := 0; i < tiles; i++ {
+		if preds[i] == 0 {
+			ready <- int32(i)
+		}
+	}
+	remaining := int32(tiles)
+	g := &gate{done: make(chan struct{}, w)}
+	for i := 0; i < w; i++ {
+		go func() {
+			g.acquireSlot()
+			defer g.releaseSlot()
+			for idx := range ready {
+				fn(coords[idx])
+				for _, sj := range succs[idx] {
+					if atomic.AddInt32(&preds[sj], -1) == 0 {
+						ready <- sj
+					}
+				}
+				if atomic.AddInt32(&remaining, -1) == 0 {
+					// Last tile done: every send already happened (each
+					// worker finishes its successor pushes before its
+					// remaining decrement), so closing is safe and
+					// releases the pool.
+					close(ready)
+				}
+			}
+		}()
+	}
+	for i := 0; i < w; i++ {
+		<-g.done
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package schedule
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"tiling3d/internal/ir"
+)
+
+func wavefront11(t *testing.T, count int) *Schedule {
+	t.Helper()
+	tab := mustTable(t, ir.RedBlackFusedNest(4*count, 4*count, 8))
+	s, err := Derive(tab, TileMap{Dims: []Dim{
+		{Loop: "J", Size: 4, Count: count},
+		{Loop: "I", Size: 4, Count: count},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExecuteRunsEveryTileOnce covers worker counts from serial to far
+// beyond the tile count, batch and wavefront alike.
+func TestExecuteRunsEveryTileOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64, 0} {
+		for _, s := range []*Schedule{
+			wavefront11(t, 5),
+			{Kind: Batch, Dims: []Dim{{Loop: "K", Size: 1, Count: 17}}},
+			{Kind: Batch, Dims: []Dim{{Loop: "K", Size: 1, Count: 1}}},
+		} {
+			var mu sync.Mutex
+			seen := map[int]int{}
+			err := s.Execute(workers, func(c []int) {
+				idx := 0
+				for d := range s.Dims {
+					idx = idx*s.Dims[d].Count + c[d]
+				}
+				mu.Lock()
+				seen[idx]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatalf("workers=%d %v: %v", workers, s, err)
+			}
+			if len(seen) != s.Tiles() {
+				t.Fatalf("workers=%d %v: %d distinct tiles, want %d", workers, s, len(seen), s.Tiles())
+			}
+			for idx, n := range seen {
+				if n != 1 {
+					t.Fatalf("workers=%d %v: tile %d ran %d times", workers, s, idx, n)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteHonorsDependences proves the dataflow protocol: for every
+// certified edge delta, the predecessor tile completes before the
+// successor starts, across worker counts.
+func TestExecuteHonorsDependences(t *testing.T) {
+	s := wavefront11(t, 6)
+	deltas, _, err := s.expandEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 64} {
+		var mu sync.Mutex
+		clock := 0
+		start := map[[2]int]int{}
+		done := map[[2]int]int{}
+		err := s.Execute(workers, func(c []int) {
+			key := [2]int{c[0], c[1]}
+			mu.Lock()
+			clock++
+			start[key] = clock
+			mu.Unlock()
+
+			mu.Lock()
+			clock++
+			done[key] = clock
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key := range start {
+			for _, δ := range deltas {
+				pred := [2]int{key[0] - δ[0], key[1] - δ[1]}
+				pd, ok := done[pred]
+				if !ok {
+					continue // predecessor outside the grid
+				}
+				if pd > start[key] {
+					t.Fatalf("workers=%d: tile %v started at %d before predecessor %v finished at %d",
+						workers, key, start[key], pred, pd)
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteSerialOrder: the single-worker path runs tiles in (step,
+// lexicographic) order — the canonical linearization of the parallel
+// schedule.
+func TestExecuteSerialOrder(t *testing.T) {
+	s := wavefront11(t, 4)
+	var order [][]int
+	if err := s.Execute(1, func(c []int) {
+		order = append(order, append([]int(nil), c...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != s.Tiles() {
+		t.Fatalf("ran %d tiles, want %d", len(order), s.Tiles())
+	}
+	for i := 1; i < len(order); i++ {
+		sa, sb := s.Step(order[i-1]), s.Step(order[i])
+		if sb < sa {
+			t.Fatalf("tiles out of step order: %v (step %d) before %v (step %d)", order[i-1], sa, order[i], sb)
+		}
+		if sb == sa {
+			a, b := order[i-1], order[i]
+			lex := 0
+			for d := range a {
+				if a[d] != b[d] {
+					lex = a[d] - b[d]
+					break
+				}
+			}
+			if lex >= 0 {
+				t.Fatalf("same-step tiles out of lexicographic order: %v before %v", a, b)
+			}
+		}
+	}
+}
+
+// TestClampWorkers pins the pool-clamping satellite: never wider than
+// the job count, GOMAXPROCS when unset.
+func TestClampWorkers(t *testing.T) {
+	if got := ClampWorkers(8, 3); got != 3 {
+		t.Errorf("ClampWorkers(8,3) = %d, want 3", got)
+	}
+	if got := ClampWorkers(2, 100); got != 2 {
+		t.Errorf("ClampWorkers(2,100) = %d, want 2", got)
+	}
+	if got := ClampWorkers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("ClampWorkers(0,100) = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := ClampWorkers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("ClampWorkers(-3,100) = %d, want GOMAXPROCS", got)
+	}
+	if got := ClampWorkers(0, 0); got != 1 {
+		t.Errorf("ClampWorkers(0,0) = %d, want 1", got)
+	}
+}

@@ -1,78 +1,105 @@
 package stencil
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
 
+	"tiling3d/internal/deps"
 	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/schedule"
 )
 
-// Parallel tiled kernels: the tiles the paper's transformation produces
-// are independent for kernels that write an array they do not read
-// (Jacobi, RESID) — each TI x TJ x (N-2) block writes a disjoint region
-// of the output and reads only the immutable input — so the tile loops
-// parallelize directly across goroutines. This is the tiling-for-
-// parallelism composition Mitchell et al. discuss and a natural extension
-// of the paper on multicore hosts. Results stay bit-identical: each
-// point's update is computed by exactly one goroutine with the same
-// operand order.
+// Parallel tiled kernels, executed through internal/schedule: the tile
+// schedule is derived from the kernel nest's dependence table and
+// certified before any goroutine runs. For kernels that write an array
+// they do not read (Jacobi, RESID) the table is empty over the (J, I)
+// tile dimensions and the derived schedule is a batch — every tile is
+// one parallel step, distributed over a pool clamped to the tile count.
+// Results stay bit-identical to the serial tiled kernels: each point's
+// update is computed by exactly one goroutine with the same operand
+// order.
 //
-// Red-black SOR is excluded: its skewed tiles depend on earlier tiles.
+// Red-black SOR's skewed tiles carry dependences and take the wavefront
+// path in wavefront.go; the time-fused pipeline takes the diamond path
+// in timeskew.go.
 
-// tileJob describes one tile-column block.
-type tileJob struct {
-	ii, iHi, jj, jHi int
+// batchSchedule derives and certifies the (J, I) tile batch for an
+// independent-tile nest. Derivation failure means the kernel's
+// dependence model stopped matching its code — an internal invariant,
+// reported as a panic with the refusing dependence.
+func batchSchedule(nest *ir.Nest, jLoop, iLoop string, nI, nJ, ti, tj int) *schedule.Schedule {
+	tab, err := deps.Dependences(nest)
+	if err != nil {
+		panic(fmt.Sprintf("stencil: dependence analysis failed: %v", err))
+	}
+	s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+		{Loop: jLoop, Size: tj, Count: tileCount(nJ-2, tj)},
+		{Loop: iLoop, Size: ti, Count: tileCount(nI-2, ti)},
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: tile schedule refused: %v", err))
+	}
+	return s
 }
 
-// forEachTile partitions the interior into tile blocks and runs fn on
-// workers goroutines.
-func forEachTile(n1, n2, ti, tj, workers int, fn func(tileJob)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// tileCount returns how many size-S tiles cover `span` iterations.
+func tileCount(span, size int) int {
+	if span < 1 {
+		return 0
 	}
-	jobs := make(chan tileJob, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				fn(j)
-			}
-		}()
-	}
-	for jj := 1; jj <= n2-2; jj += tj {
-		jHi := min(jj+tj-1, n2-2)
-		for ii := 1; ii <= n1-2; ii += ti {
-			jobs <- tileJob{ii: ii, iHi: min(ii+ti-1, n1-2), jj: jj, jHi: jHi}
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	return (span + size - 1) / size
 }
 
 // JacobiTiledParallel performs one tiled Jacobi sweep with tile blocks
-// distributed over workers goroutines (0 = GOMAXPROCS).
+// distributed over workers goroutines (0 = GOMAXPROCS, clamped to the
+// tile count). Bit-identical to JacobiTiled.
 func JacobiTiledParallel(a, b *grid.Grid3D, c float64, ti, tj, workers int) {
-	n3 := a.NK
-	forEachTile(a.NI, a.NJ, ti, tj, workers, func(t tileJob) {
+	n1, n2, n3 := a.NI, a.NJ, a.NK
+	if n1 < 3 || n2 < 3 || n3 < 3 {
+		return // no interior
+	}
+	s := batchSchedule(ir.JacobiNestDims(n1, n2, n3), "J", "I", n1, n2, ti, tj)
+	err := s.Execute(workers, func(tc []int) {
+		jj := 1 + tc[0]*tj
+		ii := 1 + tc[1]*ti
+		jHi := min(jj+tj-1, n2-2)
+		iHi := min(ii+ti-1, n1-2)
 		for k := 1; k <= n3-2; k++ {
-			for j := t.jj; j <= t.jHi; j++ {
-				jacobiRow(a, b, c, t.ii, t.iHi, j, k)
+			for j := jj; j <= jHi; j++ {
+				jacobiRow(a, b, c, ii, iHi, j, k)
 			}
 		}
 	})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: jacobi schedule: %v", err))
+	}
 }
 
 // ResidTiledParallel performs one tiled RESID sweep with tile blocks
-// distributed over workers goroutines (0 = GOMAXPROCS).
+// distributed over workers goroutines (0 = GOMAXPROCS, clamped to the
+// tile count). Bit-identical to ResidTiled. The caller may alias v to r
+// (multigrid's coarse levels overwrite the residual in place); the
+// schedule is then derived from the aliased nest, where the V load
+// reads R at distance zero — still a batch, but proven against the
+// store it actually races with.
 func ResidTiledParallel(r, v, u *grid.Grid3D, a [4]float64, t1, t2, workers int) {
-	n3 := r.NK
-	forEachTile(r.NI, r.NJ, t1, t2, workers, func(t tileJob) {
+	n1, n2, n3 := r.NI, r.NJ, r.NK
+	if n1 < 3 || n2 < 3 || n3 < 3 {
+		return // no interior
+	}
+	s := batchSchedule(ir.ResidNestDims(n1, n2, n3, r == v), "I2", "I1", n1, n2, t1, t2)
+	err := s.Execute(workers, func(tc []int) {
+		jj := 1 + tc[0]*t2
+		ii := 1 + tc[1]*t1
+		jHi := min(jj+t2-1, n2-2)
+		iHi := min(ii+t1-1, n1-2)
 		for i3 := 1; i3 <= n3-2; i3++ {
-			for i2 := t.jj; i2 <= t.jHi; i2++ {
-				residRow(r, v, u, a, t.ii, t.iHi, i2, i3)
+			for i2 := jj; i2 <= jHi; i2++ {
+				residRow(r, v, u, a, ii, iHi, i2, i3)
 			}
 		}
 	})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: resid schedule: %v", err))
+	}
 }

@@ -1,0 +1,108 @@
+package stencil
+
+import (
+	"fmt"
+
+	"tiling3d/internal/deps"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/schedule"
+)
+
+// ScheduleMode selects how a workload sweep is executed: the classic
+// serial path, a batch of provably-independent tiles, or whatever
+// parallel schedule (batch, wavefront, diamond) the dependence table
+// admits. Batch is a *request*: a kernel whose tiles carry dependences
+// refuses it rather than degrading to a wavefront silently.
+type ScheduleMode int
+
+const (
+	ScheduleSerial ScheduleMode = iota
+	ScheduleBatch
+	ScheduleWavefront
+)
+
+func (m ScheduleMode) String() string {
+	switch m {
+	case ScheduleSerial:
+		return "serial"
+	case ScheduleBatch:
+		return "batch"
+	case ScheduleWavefront:
+		return "wavefront"
+	}
+	return fmt.Sprintf("ScheduleMode(%d)", int(m))
+}
+
+// ParseScheduleMode parses the -schedule flag value shared by the
+// command-line tools.
+func ParseScheduleMode(s string) (ScheduleMode, error) {
+	switch s {
+	case "serial":
+		return ScheduleSerial, nil
+	case "batch":
+		return ScheduleBatch, nil
+	case "wavefront":
+		return ScheduleWavefront, nil
+	}
+	return ScheduleSerial, fmt.Errorf("unknown schedule mode %q (want serial, batch, or wavefront)", s)
+}
+
+// RunScheduled performs one kernel sweep like RunNative, but executes
+// the tiles under a certified parallel schedule across `workers`
+// goroutines (0 = GOMAXPROCS, clamped to the tile count; 1 runs the
+// schedule's serial linearization). Results are bit-identical to
+// RunNative for every mode, worker count, and plan.
+//
+// Untiled Jacobi and RESID plans are parallelized per interior J row —
+// tiles of shape (full I span) x 1 — which preserves each point's
+// operand order exactly. An untiled red-black plan has no tile grid to
+// schedule over and is refused.
+func (w *Workload) RunScheduled(mode ScheduleMode, workers int) error {
+	if mode == ScheduleSerial {
+		w.RunNative()
+		return nil
+	}
+	if len(w.Grids) > 0 && w.Grids[0].Data == nil {
+		panic("stencil: RunScheduled on a trace-only workload (built with NewTraceWorkload)")
+	}
+	p := w.Plan
+	c := w.Coeffs
+	ti, tj := p.Tile.TI, p.Tile.TJ
+	if !p.Tiled {
+		ti, tj = w.N, 1
+	}
+	switch w.Kernel {
+	case Jacobi:
+		JacobiTiledParallel(w.Grids[0], w.Grids[1], c.JacobiC, ti, tj, workers)
+	case Resid:
+		ResidTiledParallel(w.Grids[0], w.Grids[1], w.Grids[2], c.ResidA, ti, tj, workers)
+	case RedBlack:
+		if !p.Tiled {
+			return fmt.Errorf("stencil: scheduled red-black requires a tiled plan: the wavefront is over tile coordinates")
+		}
+		if mode == ScheduleBatch {
+			// Derive the real schedule so the refusal names the
+			// dependence that rules the batch out.
+			g := w.Grids[0]
+			tab, err := deps.Dependences(ir.RedBlackFusedNest(g.NI, g.NJ, g.NK))
+			if err != nil {
+				return fmt.Errorf("stencil: red-black dependence analysis failed: %w", err)
+			}
+			s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+				{Loop: "J", Size: tj, Count: tileCount(g.NJ-1, tj)},
+				{Loop: "I", Size: ti, Count: tileCount(g.NI-1, ti)},
+			}})
+			if err != nil {
+				return fmt.Errorf("stencil: red-black schedule: %w", err)
+			}
+			if s.Kind != schedule.Batch {
+				return fmt.Errorf("stencil: batch schedule requested but red-black tiles carry %s (%s); the derived schedule is a %s",
+					s.Edges[0], s.Edges[0].Origin, s.Kind)
+			}
+		}
+		RedBlackTiledWavefront(w.Grids[0], c.SorC1, c.SorC2, ti, tj, workers)
+	default:
+		panic("stencil: unknown kernel")
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package stencil
+
+import (
+	"strings"
+	"testing"
+
+	"tiling3d/internal/core"
+	"tiling3d/internal/grid"
+)
+
+// schedWorkerCounts spans the contract range: the schedule's serial
+// linearization, pools narrower and wider than the tile count, the full
+// 64 of the acceptance criteria, and the GOMAXPROCS default.
+var schedWorkerCounts = []int{1, 2, 3, 7, 16, 64, 0}
+
+func clonedWorkload(w *Workload) *Workload {
+	c := *w
+	c.Grids = make([]*grid.Grid3D, len(w.Grids))
+	for i, g := range w.Grids {
+		c.Grids[i] = g.Clone()
+	}
+	return &c
+}
+
+func diffWorkloads(a, b *Workload) float64 {
+	d := 0.0
+	for i := range a.Grids {
+		if x := a.Grids[i].MaxAbsDiff(b.Grids[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// TestRunScheduledMatchesNative is the end-to-end determinism
+// differential: for every kernel, plan shape (tiled — including 1x1
+// tiles — and untiled), legal mode, and worker count, the scheduled
+// sweep produces bytes identical to RunNative.
+func TestRunScheduledMatchesNative(t *testing.T) {
+	n, depth := 21, 9
+	plans := []core.Plan{
+		{DI: n, DJ: n, Tiled: true, Tile: core.Tile{TI: 5, TJ: 4}},
+		{DI: n, DJ: n, Tiled: true, Tile: core.Tile{TI: 1, TJ: 1}},
+		{DI: n + 3, DJ: n + 1, Tiled: true, Tile: core.Tile{TI: 6, TJ: 7}},
+		{DI: n, DJ: n},
+	}
+	for _, k := range Kernels() {
+		for pi, plan := range plans {
+			for _, mode := range []ScheduleMode{ScheduleBatch, ScheduleWavefront} {
+				if k == RedBlack && (mode == ScheduleBatch || !plan.Tiled) {
+					continue // refusal cases, covered below
+				}
+				ref := NewWorkload(k, n, depth, plan, DefaultCoeffs())
+				ref.RunNative()
+				for _, workers := range schedWorkerCounts {
+					w := NewWorkload(k, n, depth, plan, DefaultCoeffs())
+					if err := w.RunScheduled(mode, workers); err != nil {
+						t.Fatalf("%v plan[%d] %v workers=%d: %v", k, pi, mode, workers, err)
+					}
+					if d := diffWorkloads(ref, w); d != 0 {
+						t.Errorf("%v plan[%d] %v workers=%d: scheduled differs from native by %g", k, pi, mode, workers, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunScheduledSerialMode: mode serial is exactly RunNative.
+func TestRunScheduledSerialMode(t *testing.T) {
+	plan := core.Plan{DI: 15, DJ: 15, Tiled: true, Tile: core.Tile{TI: 4, TJ: 4}}
+	ref := NewWorkload(RedBlack, 15, 8, plan, DefaultCoeffs())
+	ref.RunNative()
+	w := NewWorkload(RedBlack, 15, 8, plan, DefaultCoeffs())
+	if err := w.RunScheduled(ScheduleSerial, 8); err != nil {
+		t.Fatal(err)
+	}
+	if d := diffWorkloads(ref, w); d != 0 {
+		t.Errorf("serial mode differs from native by %g", d)
+	}
+}
+
+// TestRunScheduledBatchRefusesRedBlack: requesting a batch for a kernel
+// whose tiles carry dependences is an error that names the dependence,
+// not a silent downgrade to a wavefront.
+func TestRunScheduledBatchRefusesRedBlack(t *testing.T) {
+	plan := core.Plan{DI: 15, DJ: 15, Tiled: true, Tile: core.Tile{TI: 4, TJ: 4}}
+	w := NewWorkload(RedBlack, 15, 8, plan, DefaultCoeffs())
+	err := w.RunScheduled(ScheduleBatch, 4)
+	if err == nil {
+		t.Fatal("batch red-black did not refuse")
+	}
+	if !strings.Contains(err.Error(), "wavefront") || !strings.Contains(err.Error(), "distance") {
+		t.Errorf("refusal %q does not name the derived kind and carrying dependence", err)
+	}
+}
+
+// TestRunScheduledUntiledRedBlackRefused: no tile grid, no wavefront.
+func TestRunScheduledUntiledRedBlackRefused(t *testing.T) {
+	w := NewWorkload(RedBlack, 15, 8, core.Plan{DI: 15, DJ: 15}, DefaultCoeffs())
+	if err := w.RunScheduled(ScheduleWavefront, 4); err == nil {
+		t.Fatal("untiled red-black wavefront did not refuse")
+	}
+}
+
+func TestParseScheduleMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ScheduleMode
+	}{{"serial", ScheduleSerial}, {"batch", ScheduleBatch}, {"wavefront", ScheduleWavefront}} {
+		got, err := ParseScheduleMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScheduleMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseScheduleMode("diagonal"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+// TestJacobiTimeFusedParallelMatchesSequential: the diamond-scheduled
+// pipeline is bit-identical to the serial fusion (and hence to `steps`
+// ping-pong JacobiOrig sweeps) across depths, step counts — including
+// pipelines deeper than the plane count — and worker counts.
+func TestJacobiTimeFusedParallelMatchesSequential(t *testing.T) {
+	for _, n3 := range []int{5, 10, 16} {
+		for _, steps := range []int{1, 2, 3, 5, 9} {
+			n := 12
+			src := testGrid(n, n3, n, n, 2)
+			ref := grid.Must3DPadded(n, n, n3, n, n)
+			JacobiTimeFused(ref, src, 1.0/6.0, steps)
+			for _, workers := range schedWorkerCounts {
+				dst := grid.Must3DPadded(n, n, n3, n, n)
+				JacobiTimeFusedParallel(dst, src, 1.0/6.0, steps, workers)
+				if d := ref.MaxAbsDiff(dst); d != 0 {
+					t.Errorf("n3=%d steps=%d workers=%d: parallel fusion differs by %g", n3, steps, workers, d)
+				}
+			}
+		}
+	}
+}
+
+// TestJacobiTimeFusedParallelRace exists for -race: concurrent pipeline
+// units share the stage rings, and the diamond schedule plus ring edges
+// must keep writers and readers of each plane slot apart.
+func TestJacobiTimeFusedParallelRace(t *testing.T) {
+	n := 20
+	src := testGrid(n, 24, n, n, 1)
+	dst := grid.Must3DPadded(n, n, 24, n, n)
+	JacobiTimeFusedParallel(dst, src, 1.0/6.0, 6, 8)
+}

@@ -1,6 +1,13 @@
 package stencil
 
-import "tiling3d/internal/grid"
+import (
+	"fmt"
+
+	"tiling3d/internal/deps"
+	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/schedule"
+)
 
 // Time fusion for the *simplified* stencil pattern (Section 2.1): when
 // the time-step loop directly encloses a single stencil nest, skewing the
@@ -17,6 +24,10 @@ import "tiling3d/internal/grid"
 // intermediate step keeps only three planes in a ring buffer, so the
 // working set is 3*steps planes instead of steps full arrays — the
 // time-step reuse the simplified pattern admits.
+//
+// The unit of work is one (stage, plane) pair; JacobiTimeFusedParallel
+// runs the same units under a certified diamond schedule derived from
+// ir.TimePipelineNest plus the ring-buffer reuse edges.
 
 // planeRing holds the last three computed planes of one pipeline stage.
 type planeRing struct {
@@ -36,6 +47,92 @@ func (r *planeRing) plane(k int) []float64 {
 	return r.planes[((k%3)+3)%3]
 }
 
+// timePipeline is the shared state of one fused run: the input and
+// output grids plus one three-plane ring per intermediate stage. Its
+// unit method is the schedulable work item — serial and parallel
+// execution differ only in the order units run.
+type timePipeline struct {
+	n1, n2, n3 int
+	c          float64
+	steps      int
+	src, dst   *grid.Grid3D
+	rings      []*planeRing
+}
+
+func newTimePipeline(dst, src *grid.Grid3D, c float64, steps int) *timePipeline {
+	if src.DI != src.NI || src.DJ != src.NJ || dst.DI != dst.NI || dst.DJ != dst.NJ {
+		// The plane-slice arithmetic below assumes contiguous planes;
+		// time fusion needs no padding because its ring buffers are
+		// contiguous by construction.
+		panic("stencil: JacobiTimeFused requires unpadded grids")
+	}
+	tp := &timePipeline{
+		n1: src.NI, n2: src.NJ, n3: src.NK,
+		c: c, steps: steps, src: src, dst: dst,
+	}
+	// rings[s] holds planes of the state after s+1 steps, for
+	// s = 0..steps-2; the final stage writes into dst directly.
+	for s := 0; s < steps-1; s++ {
+		tp.rings = append(tp.rings, newPlaneRing(tp.n1, tp.n2))
+	}
+	return tp
+}
+
+// srcPlane returns the stage input plane k: stage 0 reads src; stage
+// s>0 reads ring s-1. Boundary planes (k=0, k=n3-1) are unchanged by
+// every step, so they always come from src.
+func (tp *timePipeline) srcPlane(stage, k int) []float64 {
+	if stage == 0 || k == 0 || k == tp.n3-1 {
+		return tp.src.Data[tp.src.Index(0, 0, k) : tp.src.Index(0, 0, k)+tp.n1*tp.n2]
+	}
+	return tp.rings[stage-1].plane(k)
+}
+
+// unit computes plane q of pipeline stage `stage` — one Jacobi update of
+// the stage input, written to the stage ring (or to dst for the final
+// stage), with boundary values copied through.
+func (tp *timePipeline) unit(stage, q int) {
+	var out []float64
+	if stage == tp.steps-1 {
+		out = tp.dst.Data[tp.dst.Index(0, 0, q) : tp.dst.Index(0, 0, q)+tp.n1*tp.n2]
+	} else {
+		out = tp.rings[stage].plane(q)
+	}
+	pm := tp.srcPlane(stage, q-1)
+	p0 := tp.srcPlane(stage, q)
+	pp := tp.srcPlane(stage, q+1)
+	copy(out, p0) // boundary rows/columns keep their values
+	n1 := tp.n1
+	for j := 1; j <= tp.n2-2; j++ {
+		row := j * n1
+		rm := row - n1
+		rp := row + n1
+		for i := 1; i <= n1-2; i++ {
+			out[row+i] = tp.c * (p0[row+i-1] + p0[row+i+1] +
+				p0[rm+i] + p0[rp+i] +
+				pm[row+i] + pp[row+i])
+		}
+	}
+}
+
+// ringEdges are the storage-reuse dependences of the three-plane rings,
+// invisible to the value-flow analysis of ir.TimePipelineNest: unit
+// (s, q+3) rewrites the ring slot holding stage s's plane q, so every
+// reader of that plane — units (s+1, q-1..q+1) — and its writer (s, q)
+// must finish first. Expressed as (T, K) tile deltas from each such
+// predecessor to (s, q+3).
+func ringEdges(steps int) []schedule.Edge {
+	if steps < 2 {
+		return nil // no intermediate rings: stages write dst directly
+	}
+	return []schedule.Edge{
+		{Lo: []int{-1, 2}, Hi: []int{-1, 4},
+			Origin: "ring reuse: stage s rewrites plane slot q mod 3 at q+3 while stage s+1 still reads it"},
+		{Lo: []int{0, 3}, Hi: []int{0, 3},
+			Origin: "ring reuse: stage s rewrites plane slot q mod 3 at q+3"},
+	}
+}
+
 // JacobiTimeFused computes `steps` Jacobi iterations of the 6-point
 // stencil, reading the initial state from src and writing the final state
 // to dst (boundaries copied through). It produces exactly the result of
@@ -45,49 +142,8 @@ func JacobiTimeFused(dst, src *grid.Grid3D, c float64, steps int) {
 		dst.CopyLogical(src)
 		return
 	}
-	if src.DI != src.NI || src.DJ != src.NJ || dst.DI != dst.NI || dst.DJ != dst.NJ {
-		// The plane-slice arithmetic below assumes contiguous planes;
-		// time fusion needs no padding because its ring buffers are
-		// contiguous by construction.
-		panic("stencil: JacobiTimeFused requires unpadded grids")
-	}
-	n1, n2, n3 := src.NI, src.NJ, src.NK
-
-	// rings[s] holds planes of the state after s+1 steps, for
-	// s = 0..steps-2; the final step writes into dst directly.
-	rings := make([]*planeRing, 0, steps-1)
-	for s := 0; s < steps-1; s++ {
-		rings = append(rings, newPlaneRing(n1, n2))
-	}
-
-	// srcPlane returns the stage input plane k: stage 0 reads src; stage
-	// s>0 reads ring s-1. Boundary planes (k=0, k=n3-1) are unchanged by
-	// every step, so they always come from src.
-	srcPlane := func(stage, k int) []float64 {
-		if stage == 0 || k == 0 || k == n3-1 {
-			return src.Data[src.Index(0, 0, k) : src.Index(0, 0, k)+n1*n2]
-		}
-		return rings[stage-1].plane(k)
-	}
-
-	// compute fills out (a full n1 x n2 plane) with one Jacobi update of
-	// plane k from the stage input, copying boundary values through.
-	compute := func(stage, k int, out []float64) {
-		pm := srcPlane(stage, k-1)
-		p0 := srcPlane(stage, k)
-		pp := srcPlane(stage, k+1)
-		copy(out, p0) // boundary rows/columns keep their values
-		for j := 1; j <= n2-2; j++ {
-			row := j * n1
-			rm := row - n1
-			rp := row + n1
-			for i := 1; i <= n1-2; i++ {
-				out[row+i] = c * (p0[row+i-1] + p0[row+i+1] +
-					p0[rm+i] + p0[rp+i] +
-					pm[row+i] + pp[row+i])
-			}
-		}
-	}
+	tp := newTimePipeline(dst, src, c, steps)
+	n3 := tp.n3
 
 	// Copy the boundary planes of the result.
 	dst.CopyLogical(src)
@@ -100,12 +156,47 @@ func JacobiTimeFused(dst, src *grid.Grid3D, c float64, steps int) {
 			if q < 1 || q > n3-2 {
 				continue
 			}
-			if s == steps-1 {
-				out := dst.Data[dst.Index(0, 0, q) : dst.Index(0, 0, q)+n1*n2]
-				compute(s, q, out)
-			} else {
-				compute(s, q, rings[s].plane(q))
-			}
+			tp.unit(s, q)
 		}
+	}
+}
+
+// JacobiTimeFusedParallel runs the same fused pipeline with its
+// (stage, plane) units distributed over workers goroutines (0 =
+// GOMAXPROCS) under a certified schedule: the flow cone of
+// ir.TimePipelineNest — stage s+1 plane q reads stage s planes q-1..q+1
+// — plus the ring-reuse edges yields the diamond wavefront
+// step = 3*stage + 2*plane, so independent diagonal bands of the
+// time-skewed pipeline run concurrently. Bit-identical to
+// JacobiTimeFused: every unit writes the same bytes from the same
+// operands, and only units the edges prove independent are reordered.
+func JacobiTimeFusedParallel(dst, src *grid.Grid3D, c float64, steps, workers int) {
+	if steps < 1 {
+		dst.CopyLogical(src)
+		return
+	}
+	planes := src.NK - 2
+	if workers == 1 || planes < 1 || steps*planes == 1 {
+		JacobiTimeFused(dst, src, c, steps)
+		return
+	}
+	tab, err := deps.Dependences(ir.TimePipelineNest(steps, planes))
+	if err != nil {
+		panic(fmt.Sprintf("stencil: time-pipeline dependence analysis failed: %v", err))
+	}
+	s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+		{Loop: "T", Size: 1, Count: steps},
+		{Loop: "K", Size: 1, Count: planes},
+	}}, ringEdges(steps)...)
+	if err != nil {
+		panic(fmt.Sprintf("stencil: time-pipeline schedule refused: %v", err))
+	}
+	tp := newTimePipeline(dst, src, c, steps)
+	dst.CopyLogical(src) // boundary planes of the result
+	err = s.Execute(workers, func(tc []int) {
+		tp.unit(tc[0], tc[1]+1)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: time-pipeline schedule: %v", err))
 	}
 }

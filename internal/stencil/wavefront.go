@@ -1,63 +1,51 @@
 package stencil
 
 import (
-	"sync"
+	"fmt"
 
+	"tiling3d/internal/deps"
 	"tiling3d/internal/grid"
+	"tiling3d/internal/ir"
+	"tiling3d/internal/schedule"
 )
 
-// Wavefront-parallel red-black SOR: the skewed tiles of RedBlackTiled
-// depend on their lower neighbors — tile (a, b) in tile-grid coordinates
-// reads boundary values produced by tiles (a-1, b) and (a, b-1) — so
-// tiles on the same anti-diagonal a+b are mutually independent and can
-// run concurrently, diagonal by diagonal. Results are bit-identical to
-// the sequential tiled (and hence naive) kernel.
-//
-// Tiles are distributed over a pool of exactly workers goroutines (the
-// same jobs-channel shape as forEachTile); a per-diagonal barrier keeps
-// the dependence order. A wide diagonal therefore never spawns more
-// goroutines than asked for, no matter how many tiles it holds.
+// Wavefront-parallel red-black SOR, scheduled from the dependence table
+// of the fused nest (ir.RedBlackFusedNest): the skewed tiles of
+// RedBlackTiled depend on their lower neighbors, and the derived
+// schedule is the (1,1) wavefront over (J, I) tile coordinates —
+// certified before execution, then run by the dependency-counting
+// executor. Unlike the per-diagonal barrier pool this replaces, a tile
+// starts as soon as its own three predecessors (left, below, diagonal)
+// finish, so a slow tile stalls only its true dependents, not the whole
+// diagonal. Results are bit-identical to the sequential tiled (and
+// hence naive) kernel: every point is updated by exactly one tile with
+// the same operand order, and the executor only reorders tiles the
+// dependence table proves independent.
 func RedBlackTiledWavefront(a *grid.Grid3D, c1, c2 float64, ti, tj, workers int) {
-	n1, n2 := a.NI, a.NJ
+	n1, n2, n3 := a.NI, a.NJ, a.NK
 	nTi := (n1 - 1 + ti - 1) / ti // tiles along I (ii = 0, ti, ...)
 	nTj := (n2 - 1 + tj - 1) / tj
-	if workers <= 1 || nTi*nTj == 1 {
+	if workers == 1 || nTi*nTj == 1 {
 		RedBlackTiled(a, c1, c2, ti, tj)
 		return
 	}
-	jobs := make(chan wfJob, workers)
-	var pool sync.WaitGroup
-	pool.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer pool.Done()
-			for j := range jobs {
-				redBlackTile(a, c1, c2, j.ii, j.jj, ti, tj)
-				j.done.Done()
-			}
-		}()
+	tab, err := deps.Dependences(ir.RedBlackFusedNest(n1, n2, n3))
+	if err != nil {
+		panic(fmt.Sprintf("stencil: red-black dependence analysis failed: %v", err))
 	}
-	for diag := 0; diag <= (nTi-1)+(nTj-1); diag++ {
-		var dwg sync.WaitGroup
-		for bj := 0; bj < nTj; bj++ {
-			bi := diag - bj
-			if bi < 0 || bi >= nTi {
-				continue
-			}
-			dwg.Add(1)
-			jobs <- wfJob{ii: bi * ti, jj: bj * tj, done: &dwg}
-		}
-		dwg.Wait()
+	s, err := schedule.Derive(tab, schedule.TileMap{Dims: []schedule.Dim{
+		{Loop: "J", Size: tj, Count: nTj},
+		{Loop: "I", Size: ti, Count: nTi},
+	}})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: red-black wavefront refused: %v", err))
 	}
-	close(jobs)
-	pool.Wait()
-}
-
-// wfJob is one skewed tile of a wavefront diagonal; done is the
-// diagonal's barrier.
-type wfJob struct {
-	ii, jj int
-	done   *sync.WaitGroup
+	err = s.Execute(workers, func(tc []int) {
+		redBlackTile(a, c1, c2, tc[1]*ti, tc[0]*tj, ti, tj)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("stencil: red-black schedule: %v", err))
+	}
 }
 
 // redBlackTile executes one skewed tile of the fused red-black nest —
